@@ -1,0 +1,316 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper
+// (see DESIGN.md §5 for the experiment index). Each benchmark runs the
+// corresponding experiment and reports its headline quantities as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction run. The committed full-length outputs live
+// in EXPERIMENTS.md; cmd/reprotables renders the same experiments as
+// formatted tables and charts.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fetchgate"
+	"repro/internal/multipath"
+	"repro/internal/smtpolicy"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchLimit is the per-trace record budget for the benchmark harness:
+// large enough for stable class statistics, small enough to keep a full
+// -bench=. run in minutes.
+const benchLimit = 150_000
+
+// benchRunner is shared across benchmarks so repeated experiments reuse
+// cached suite simulations (all runs are deterministic).
+var benchRunner = experiments.New(benchLimit)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := benchRunner.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].CBP1MPKI, "cbp1-16K-mpki")
+		b.ReportMetric(t.Rows[1].CBP1MPKI, "cbp1-64K-mpki")
+		b.ReportMetric(t.Rows[2].CBP1MPKI, "cbp1-256K-mpki")
+		b.ReportMetric(t.Rows[2].CBP2MPKI, "cbp2-256K-mpki")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := benchRunner.RunFigure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := benchRunner.RunFigure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := benchRunner.RunFigure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper's central §5 quantity: weak tagged counters are
+		// drastically less reliable than saturated ones.
+		var wtag, stag float64
+		for _, tr := range fig.Traces {
+			wtag += tr.MPrate(core.Wtag)
+			stag += tr.MPrate(core.Stag)
+		}
+		n := float64(len(fig.Traces))
+		b.ReportMetric(wtag/n, "Wtag-MKP")
+		b.ReportMetric(stag/n, "Stag-MKP")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := benchRunner.RunFigure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig.Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := benchRunner.RunFigure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var stag float64
+		for _, tr := range fig.Traces {
+			stag += tr.MPrate(core.Stag)
+		}
+		b.ReportMetric(stag/float64(len(fig.Traces)), "Stag-MKP-modified")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := benchRunner.RunThreeClass(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 16K CBP-1 row: the paper's 0.690-0.128 (7) headline cell.
+		b.ReportMetric(t.Rows[0].High.Pcov, "high-Pcov-16K-cbp1")
+		b.ReportMetric(t.Rows[0].High.MPrate, "high-MKP-16K-cbp1")
+		b.ReportMetric(t.Rows[0].Low.MPrate, "low-MKP-16K-cbp1")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := benchRunner.RunThreeClass(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].High.Pcov, "high-Pcov-16K-cbp1")
+		b.ReportMetric(t.Rows[0].High.MPrate, "high-MKP-16K-cbp1")
+	}
+}
+
+func BenchmarkProbabilitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := benchRunner.RunSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := s.Rows[0], s.Rows[len(s.Rows)-1]
+		b.ReportMetric(first.High.Pcov-last.High.Pcov, "high-Pcov-range")
+		b.ReportMetric(first.High.MPrate-last.High.MPrate, "high-MKP-range")
+	}
+}
+
+func BenchmarkAblationBimWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner.RunBimWindowAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUseAlt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := benchRunner.RunUseAltAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Rows[0].WithoutMPKI-a.Rows[0].WithMPKI, "usealt-gain-mpki-16K")
+	}
+}
+
+func BenchmarkAblationCtrWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := benchRunner.RunCtrWidthAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Rows[1].MPKI-a.Rows[0].MPKI, "widening-cost-mpki-16K")
+	}
+}
+
+func BenchmarkEstimatorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := benchRunner.RunEstimatorComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.Rows[0].Confusion.PVP(), "storage-free-PVP")
+		b.ReportMetric(c.Rows[1].Confusion.PVP(), "jrs-PVP")
+	}
+}
+
+func BenchmarkSelfConfidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := benchRunner.RunSelfConfidence()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range s.Rows {
+			if row.Name == "O-GEHL |sum|>=theta" {
+				// §2.2's quoted characterization: PVN ~1/3, SPEC ~1/2.
+				b.ReportMetric(row.Confusion.PVN(), "ogehl-PVN")
+				b.ReportMetric(row.Confusion.Spec(), "ogehl-SPEC")
+			}
+		}
+	}
+}
+
+func BenchmarkLTAGE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := benchRunner.RunLTAGE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(c.Rows[0].TageMPKI-c.Rows[0].LtageMPKI, "loop-gain-mpki-16K-cbp1")
+	}
+}
+
+func BenchmarkInversionAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inv, err := benchRunner.RunInversion()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The closest class to the 500 MKP inversion break-even.
+		max := 0.0
+		for _, row := range inv.Rows {
+			if row.MPrate > max {
+				max = row.MPrate
+			}
+		}
+		b.ReportMetric(max, "worst-class-MKP")
+	}
+}
+
+func BenchmarkFetchGating(b *testing.B) {
+	tr, err := workload.ByName("300.twolf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		gated, baseline, err := fetchgate.Compare(
+			tage.Small16K(),
+			core.Options{Mode: core.ModeProbabilistic},
+			fetchgate.AggressiveConfig(), tr, benchLimit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := fetchgate.Evaluate(gated, baseline)
+		b.ReportMetric(s.WrongPathReduction, "wrongpath-reduction")
+		b.ReportMetric(s.Slowdown, "slowdown")
+	}
+}
+
+func BenchmarkMultipath(b *testing.B) {
+	tr, err := workload.ByName("300.twolf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		all, err := multipath.Compare(tage.Small16K(),
+			core.Options{Mode: core.ModeProbabilistic},
+			multipath.DefaultConfig(), tr, 60000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(all[multipath.ForkLowConfidence].ForkAccuracy(), "fork-low-accuracy")
+		b.ReportMetric(all[multipath.ForkAlways].WastedFraction(), "fork-always-waste")
+	}
+}
+
+func BenchmarkSMTPolicy(b *testing.B) {
+	var traces []trace.Trace
+	for _, n := range []string{"255.vortex", "300.twolf"} {
+		tr, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	for i := 0; i < b.N; i++ {
+		var thr [2]float64
+		for pi, p := range []smtpolicy.Policy{smtpolicy.RoundRobin, smtpolicy.ConfidenceThrottle} {
+			cfg := smtpolicy.DefaultConfig()
+			cfg.Policy = p
+			st, err := smtpolicy.Run(tage.Small16K(),
+				core.Options{Mode: core.ModeProbabilistic}, cfg, traces, 60000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			thr[pi] = st.Throughput()
+		}
+		b.ReportMetric(thr[1]/thr[0], "confidence-vs-rr-throughput")
+	}
+}
+
+// BenchmarkPredictorSpeed measures raw predict+update throughput of the
+// three configurations through the facade (complementing the per-package
+// micro-benchmarks).
+func BenchmarkPredictorSpeed(b *testing.B) {
+	for _, cfg := range StandardConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			est := NewEstimator(cfg, Options{Mode: ModeProbabilistic})
+			tr, err := TraceByName("INT-2")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := tr.Open()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br, err := r.Next()
+				if err != nil {
+					r = tr.Open()
+					br, _ = r.Next()
+				}
+				est.Predict(br.PC)
+				est.Update(br.PC, br.Taken)
+			}
+		})
+	}
+}

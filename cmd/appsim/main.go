@@ -1,0 +1,130 @@
+// Command appsim runs the confidence-estimation applications (§2.1 of the
+// paper): pipeline gating / fetch throttling, SMT fetch policies, and
+// selective dual-path execution.
+//
+// Usage:
+//
+//	appsim -app gating    -trace 300.twolf
+//	appsim -app gating    -trace SERV-2 -gate aggressive
+//	appsim -app throttle  -trace 300.twolf
+//	appsim -app smt       -threads 255.vortex,300.twolf
+//	appsim -app multipath -trace 300.twolf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fetchgate"
+	"repro/internal/multipath"
+	"repro/internal/smtpolicy"
+	"repro/internal/tage"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "gating", "application: gating, throttle, smt or multipath")
+		configName = flag.String("config", "16K", "predictor configuration: 16K, 64K or 256K")
+		traceName  = flag.String("trace", "300.twolf", "trace for gating/throttle/multipath")
+		threads    = flag.String("threads", "255.vortex,300.twolf", "comma-separated traces for smt")
+		gate       = flag.String("gate", "balanced", "gating point: balanced or aggressive")
+		branches   = flag.Uint64("branches", 120000, "branch records per trace (0 = full)")
+	)
+	flag.Parse()
+
+	cfg, err := tage.ConfigByName(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{Mode: core.ModeProbabilistic}
+
+	switch *app {
+	case "gating", "throttle":
+		tr := mustTrace(*traceName)
+		gcfg := fetchgate.DefaultConfig()
+		if *gate == "aggressive" {
+			gcfg = fetchgate.AggressiveConfig()
+		}
+		if *app == "throttle" {
+			gcfg.ThrottleWidth = 1
+		}
+		gated, base, err := fetchgate.Compare(cfg, opts, gcfg, tr, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		s := fetchgate.Evaluate(gated, base)
+		fmt.Printf("%s on %s (%s %s):\n", *app, *traceName, cfg.Name, *gate)
+		fmt.Printf("  baseline: %s\n", base)
+		fmt.Printf("  gated:    %s\n", gated)
+		fmt.Printf("  wrong-path reduction %.1f%%, slowdown %.1f%%\n",
+			100*s.WrongPathReduction, 100*s.Slowdown)
+
+	case "smt":
+		var trs []trace.Trace
+		for _, n := range strings.Split(*threads, ",") {
+			trs = append(trs, mustTrace(strings.TrimSpace(n)))
+		}
+		var rows [][]string
+		for _, p := range []smtpolicy.Policy{smtpolicy.RoundRobin, smtpolicy.ICount, smtpolicy.ConfidenceThrottle} {
+			sc := smtpolicy.DefaultConfig()
+			sc.Policy = p
+			st, err := smtpolicy.Run(cfg, opts, sc, trs, *branches)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, []string{
+				p.String(),
+				fmt.Sprintf("%.3f", st.Throughput()),
+				fmt.Sprintf("%.3f", st.WrongPathFraction()),
+				fmt.Sprintf("%d", st.Cycles),
+			})
+		}
+		textplot.Table(os.Stdout, fmt.Sprintf("SMT fetch policies on %s (%s)", *threads, cfg.Name),
+			[]string{"policy", "throughput", "wrong-path", "cycles"}, rows)
+
+	case "multipath":
+		tr := mustTrace(*traceName)
+		all, err := multipath.Compare(cfg, opts, multipath.DefaultConfig(), tr, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		var rows [][]string
+		for _, p := range []multipath.ForkPolicy{
+			multipath.ForkNever, multipath.ForkLowConfidence,
+			multipath.ForkLowOrMedium, multipath.ForkAlways,
+		} {
+			st := all[p]
+			rows = append(rows, []string{
+				p.String(),
+				fmt.Sprintf("%.2f", st.IPC()),
+				fmt.Sprintf("%.1f%%", 100*st.WastedFraction()),
+				fmt.Sprintf("%d", st.Forks),
+				fmt.Sprintf("%.0f%%", 100*st.ForkAccuracy()),
+			})
+		}
+		textplot.Table(os.Stdout, fmt.Sprintf("dual-path policies on %s (%s)", *traceName, cfg.Name),
+			[]string{"policy", "IPC", "wasted", "forks", "fork accuracy"}, rows)
+
+	default:
+		fatal(fmt.Errorf("unknown app %q (want gating, throttle, smt or multipath)", *app))
+	}
+}
+
+func mustTrace(name string) trace.Trace {
+	tr, err := workload.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command confsim runs the confidence-estimation comparisons: the
+// storage-free three-level estimator in binary (high vs not-high) mode
+// against the JRS storage-based baselines, reporting Grunwald et al.'s
+// SENS/PVP/SPEC/PVN quality metrics, and the adaptive controller's
+// probability trajectory.
+//
+// Usage:
+//
+//	confsim -config 16K -suite cbp1
+//	confsim -config 64K -trace 300.twolf -adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/jrs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "16K", "predictor configuration: 16K, 64K or 256K")
+		suiteName  = flag.String("suite", "cbp1", "suite: cbp1 or cbp2")
+		traceName  = flag.String("trace", "", "single trace instead of a suite")
+		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full)")
+		adaptive   = flag.Bool("adaptive", false, "show the adaptive controller trajectory instead")
+	)
+	flag.Parse()
+
+	cfg, err := tage.ConfigByName(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	var traces []trace.Trace
+	if *traceName != "" {
+		tr, err := workload.ByName(*traceName)
+		if err != nil {
+			fatal(err)
+		}
+		traces = []trace.Trace{tr}
+	} else {
+		traces, err = workload.Suite(*suiteName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *adaptive {
+		trajectory(cfg, traces, *branches)
+		return
+	}
+	compare(cfg, traces, *branches)
+}
+
+// tageAdapter lets storage-based estimators grade raw TAGE predictions.
+type tageAdapter struct{ p *tage.Predictor }
+
+func (a tageAdapter) Predict(pc uint64) bool       { return a.p.Predict(pc).Pred }
+func (a tageAdapter) Update(pc uint64, taken bool) { a.p.Update(pc, taken) }
+
+func compare(cfg tage.Config, traces []trace.Trace, limit uint64) {
+	type estimatorRun struct {
+		name    string
+		storage int
+		run     func(tr trace.Trace) (metrics.Binary, error)
+	}
+	runs := []estimatorRun{
+		{
+			name: "storage-free (high vs rest)", storage: 0,
+			run: func(tr trace.Trace) (metrics.Binary, error) {
+				est := core.NewEstimator(cfg, core.Options{Mode: core.ModeProbabilistic})
+				res, err := sim.RunTAGEBinary(est, tr, limit)
+				return res.Confusion, err
+			},
+		},
+		{
+			name: "JRS 4-bit (1K entries)", storage: jrs.NewDefault(10, 10).StorageBits(),
+			run: func(tr trace.Trace) (metrics.Binary, error) {
+				res, err := sim.RunBinary(tageAdapter{tage.New(cfg)}, jrs.NewDefault(10, 10), tr, limit)
+				return res.Confusion, err
+			},
+		},
+		{
+			name: "JRS 4-bit enhanced", storage: jrs.NewDefault(10, 10).StorageBits(),
+			run: func(tr trace.Trace) (metrics.Binary, error) {
+				res, err := sim.RunBinary(tageAdapter{tage.New(cfg)}, jrs.NewDefault(10, 10).Enhanced(), tr, limit)
+				return res.Confusion, err
+			},
+		},
+	}
+	var rows [][]string
+	for _, er := range runs {
+		var total metrics.Binary
+		for _, tr := range traces {
+			conf, err := er.run(tr)
+			if err != nil {
+				fatal(err)
+			}
+			total.Add(conf)
+		}
+		rows = append(rows, []string{
+			er.name, fmt.Sprintf("%d bits", er.storage),
+			fmt.Sprintf("%.3f", total.Sens()),
+			fmt.Sprintf("%.3f", total.PVP()),
+			fmt.Sprintf("%.3f", total.Spec()),
+			fmt.Sprintf("%.3f", total.PVN()),
+		})
+	}
+	textplot.Table(os.Stdout,
+		fmt.Sprintf("binary confidence estimation on %s TAGE (%d traces)", cfg.Name, len(traces)),
+		[]string{"estimator", "extra storage", "SENS", "PVP", "SPEC", "PVN"}, rows)
+}
+
+func trajectory(cfg tage.Config, traces []trace.Trace, limit uint64) {
+	for _, tr := range traces {
+		est := core.NewEstimator(cfg, core.Options{Mode: core.ModeAdaptive})
+		res, err := sim.Run(est, tr, limit)
+		if err != nil {
+			fatal(err)
+		}
+		hi := res.Level(core.High)
+		fmt.Printf("%-14s final probability 1/%.0f  adjustments %d  high: Pcov %.3f MPrate %.1f MKP\n",
+			tr.Name(), 1/res.FinalProbability, est.Controller().Adjustments(),
+			metrics.Pcov(hi, res.Total), hi.MKP())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command tagesim runs a TAGE predictor over a synthetic trace or a whole
+// suite and reports accuracy with the storage-free confidence-class
+// breakdown.
+//
+// Usage:
+//
+//	tagesim -config 64K -trace 300.twolf
+//	tagesim -config 16K -suite cbp1 -mode probabilistic -branches 200000
+//	tagesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "64K", "predictor configuration: 16K, 64K or 256K")
+		traceName  = flag.String("trace", "", "single trace to simulate (see -list)")
+		suiteName  = flag.String("suite", "", "suite to simulate: cbp1 or cbp2")
+		modeName   = flag.String("mode", "standard", "automaton mode: standard, probabilistic or adaptive")
+		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
+		window     = flag.Int("window", 0, "medium-conf-bim window (0 = default 8, -1 = disabled)")
+		list       = flag.Bool("list", false, "list available traces and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations: 16K, 64K, 256K")
+		fmt.Println("suites: cbp1, cbp2")
+		fmt.Printf("traces: %s\n", strings.Join(workload.TraceNames(), ", "))
+		return
+	}
+
+	cfg, err := tage.ConfigByName(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	opts.BimWindow = *window
+
+	switch {
+	case *traceName != "":
+		tr, err := workload.ByName(*traceName)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.RunConfig(cfg, opts, tr, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+	case *suiteName != "":
+		traces, err := workload.Suite(*suiteName)
+		if err != nil {
+			fatal(err)
+		}
+		sr, err := sim.RunSuite(cfg, opts, traces, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		var rows [][]string
+		var mpkis []float64
+		for _, res := range sr.PerTrace {
+			rows = append(rows, []string{res.Trace, fmt.Sprintf("%.2f", res.MPKI()),
+				fmt.Sprintf("%.1f", res.Total.MKP())})
+			mpkis = append(mpkis, res.MPKI())
+		}
+		textplot.Table(os.Stdout, fmt.Sprintf("%s on %s (%v automaton)", cfg.Name, *suiteName, opts.Mode),
+			[]string{"trace", "misp/KI", "MKP"}, rows)
+		fmt.Printf("\nper-trace misp/KI: %s\n\n", metrics.Summarize(mpkis))
+		report(sr.Aggregate)
+	default:
+		fatal(fmt.Errorf("specify -trace or -suite (or -list)"))
+	}
+}
+
+func parseMode(name string) (core.Options, error) {
+	switch name {
+	case "standard":
+		return core.Options{Mode: core.ModeStandard}, nil
+	case "probabilistic", "prob", "modified":
+		return core.Options{Mode: core.ModeProbabilistic}, nil
+	case "adaptive":
+		return core.Options{Mode: core.ModeAdaptive}, nil
+	default:
+		return core.Options{}, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func report(res sim.Result) {
+	fmt.Printf("%s, %s, %v automaton: %d branches, %.2f misp/KI (%.1f MKP)\n",
+		res.Trace, res.Config, res.Mode, res.Branches, res.MPKI(), res.Total.MKP())
+	var rows [][]string
+	for _, c := range core.Classes() {
+		rows = append(rows, []string{
+			c.String(), c.Level().String(),
+			fmt.Sprintf("%.3f", res.Pcov(c)),
+			fmt.Sprintf("%.3f", res.MPcov(c)),
+			fmt.Sprintf("%.1f", res.MPrate(c)),
+		})
+	}
+	textplot.Table(os.Stdout, "prediction classes",
+		[]string{"class", "level", "Pcov", "MPcov", "MPrate (MKP)"}, rows)
+	var lrows [][]string
+	for _, l := range core.Levels() {
+		lc := res.Level(l)
+		lrows = append(lrows, []string{
+			l.String(),
+			fmt.Sprintf("%.3f", metrics.Pcov(lc, res.Total)),
+			fmt.Sprintf("%.3f", metrics.MPcov(lc, res.Total)),
+			fmt.Sprintf("%.1f", lc.MKP()),
+		})
+	}
+	textplot.Table(os.Stdout, "confidence levels",
+		[]string{"level", "Pcov", "MPcov", "MPrate (MKP)"}, lrows)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tagesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The three paper configurations have exact storage budgets.
+func ExampleConfig() {
+	for _, cfg := range repro.StandardConfigs() {
+		fmt.Printf("%s: 1+%d tables, history %d..%d, %d bits\n",
+			cfg.Name, cfg.NumTables(),
+			cfg.HistLengths[0], cfg.HistLengths[len(cfg.HistLengths)-1],
+			cfg.StorageBits())
+	}
+	// Output:
+	// 16Kbits: 1+4 tables, history 3..80, 16384 bits
+	// 64Kbits: 1+7 tables, history 5..130, 65536 bits
+	// 256Kbits: 1+8 tables, history 5..300, 262144 bits
+}
+
+// The seven observable classes aggregate into the paper's three levels.
+func ExampleClass_Level() {
+	for _, c := range repro.Classes() {
+		fmt.Printf("%s -> %s\n", c, c.Level())
+	}
+	// Output:
+	// low-conf-bim -> low
+	// medium-conf-bim -> medium
+	// high-conf-bim -> high
+	// Wtag -> low
+	// NWtag -> low
+	// NStag -> medium
+	// Stag -> high
+}
+
+// Predicting a branch returns the direction plus its confidence grade.
+func ExampleEstimator() {
+	est := repro.NewEstimator(repro.Small16K(), repro.Options{
+		Mode: repro.ModeProbabilistic,
+	})
+	pc := uint64(0x400100)
+	// A cold predictor grades its bimodal guess as low confidence (weak
+	// counter).
+	pred, class, level := est.Predict(pc)
+	fmt.Printf("cold: pred=%v class=%v level=%v\n", pred, class, level)
+	est.Update(pc, false)
+	// After training, the same branch becomes high confidence.
+	for i := 0; i < 10; i++ {
+		est.Predict(pc)
+		est.Update(pc, false)
+	}
+	_, class, level = est.Predict(pc)
+	est.Update(pc, false)
+	fmt.Printf("trained: class=%v level=%v\n", class, level)
+	// Output:
+	// cold: pred=false class=low-conf-bim level=low
+	// trained: class=high-conf-bim level=high
+}
+
+// Suites provide the 40 named synthetic traces.
+func ExampleSuite() {
+	cbp1, _ := repro.Suite("cbp1")
+	cbp2, _ := repro.Suite("cbp2")
+	fmt.Printf("cbp1: %d traces, first %s\n", len(cbp1), cbp1[0].Name())
+	fmt.Printf("cbp2: %d traces, last %s\n", len(cbp2), cbp2[len(cbp2)-1].Name())
+	// Output:
+	// cbp1: 20 traces, first FP-1
+	// cbp2: 20 traces, last 300.twolf
+}

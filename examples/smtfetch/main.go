@@ -1,0 +1,59 @@
+// SMT fetch policy: two hardware threads share one fetch port; the
+// confidence-throttled policy (Luo et al., the paper's §2.1 SMT
+// application) deprioritizes the thread whose in-flight branches are
+// likely mispredicted, raising useful throughput over round-robin.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/smtpolicy"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Thread 0 is predictable, thread 1 is branch-misprediction bound: the
+	// interesting case for confidence-driven arbitration.
+	names := []string{"255.vortex", "300.twolf"}
+	var traces []trace.Trace
+	for _, n := range names {
+		tr, err := workload.ByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+
+	fmt.Println("2-way SMT shared fetch port (16 Kbit TAGE per thread, modified automaton)")
+	fmt.Printf("threads: %v\n\n", names)
+	fmt.Printf("%-14s %-12s %-16s %s\n", "policy", "throughput", "wrong-path frac", "per-thread useful")
+
+	opts := core.Options{Mode: core.ModeProbabilistic}
+	for _, p := range []smtpolicy.Policy{
+		smtpolicy.RoundRobin,
+		smtpolicy.ICount,
+		smtpolicy.ConfidenceThrottle,
+	} {
+		cfg := smtpolicy.DefaultConfig()
+		cfg.Policy = p
+		st, err := smtpolicy.Run(tage.Small16K(), opts, cfg, traces, 80000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var per []string
+		for _, th := range st.Threads {
+			per = append(per, fmt.Sprintf("%s=%d", th.Trace, th.UsefulFetched))
+		}
+		fmt.Printf("%-14s %-12.3f %-16.3f %v\n",
+			p, st.Throughput(), st.WrongPathFraction(), per)
+	}
+
+	fmt.Println()
+	fmt.Println("Confidence throttling starves the wrong-path-prone thread only while")
+	fmt.Println("its in-flight branches are low confidence, converting wasted fetch")
+	fmt.Println("bandwidth into useful work for the other thread.")
+}

@@ -1,0 +1,70 @@
+// Package bimodal implements Smith's 2-bit counter bimodal predictor
+// (Smith, ISCA 1981): a PC-indexed table of 2-bit saturating counters.
+//
+// It serves three roles in this repository: the TAGE base predictor
+// component (the paper's configurations use unshared hysteresis, i.e. plain
+// 2-bit counters); a standalone baseline predictor; and the original
+// storage-free confidence estimator — Smith observed that a saturated
+// counter is more likely to be correct than a weak one, the idea the paper
+// generalizes to TAGE.
+package bimodal
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+)
+
+// Predictor is a PC-indexed table of 2-bit counters.
+type Predictor struct {
+	table   []counter.Bimodal
+	mask    uint64
+	logSize uint
+}
+
+// New returns a bimodal predictor with 2^logSize entries, initialized to
+// weak not-taken (the conventional cold state).
+func New(logSize uint) *Predictor {
+	if logSize == 0 || logSize > 28 {
+		panic(fmt.Sprintf("bimodal: unreasonable logSize %d", logSize))
+	}
+	n := 1 << logSize
+	t := make([]counter.Bimodal, n)
+	for i := range t {
+		t[i] = counter.BimodalWeakNotTaken
+	}
+	return &Predictor{table: t, mask: uint64(n - 1), logSize: logSize}
+}
+
+// index maps a branch PC to a table slot. The low two bits of typical RISC
+// branch addresses are constant, so they are shifted out before masking.
+func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict returns the predicted direction for pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	return p.table[p.index(pc)].Taken()
+}
+
+// Counter returns the raw 2-bit counter state for pc, which the confidence
+// classifier inspects (a weak counter makes the prediction low confidence).
+func (p *Predictor) Counter(pc uint64) counter.Bimodal {
+	return p.table[p.index(pc)]
+}
+
+// Weak reports whether pc's counter is in a weak state.
+func (p *Predictor) Weak(pc uint64) bool {
+	return p.table[p.index(pc)].Weak()
+}
+
+// Update trains the counter for pc toward the resolved direction.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	p.table[i] = p.table[i].Update(taken)
+}
+
+// Entries returns the number of table entries.
+func (p *Predictor) Entries() int { return len(p.table) }
+
+// StorageBits returns the predictor's storage budget in bits
+// (2 bits per entry, hysteresis unshared).
+func (p *Predictor) StorageBits() int { return 2 * len(p.table) }

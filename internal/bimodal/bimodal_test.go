@@ -1,0 +1,174 @@
+package bimodal
+
+import (
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/workload"
+)
+
+func TestColdPredictionIsNotTaken(t *testing.T) {
+	p := New(10)
+	if p.Predict(0x400100) {
+		t.Fatal("cold predictor should predict not-taken")
+	}
+	if !p.Weak(0x400100) {
+		t.Fatal("cold counters must be weak")
+	}
+}
+
+func TestLearnsBias(t *testing.T) {
+	p := New(10)
+	pc := uint64(0x400200)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("should predict taken after taken training")
+	}
+	if p.Weak(pc) {
+		t.Fatal("counter should be saturated after 4 taken updates")
+	}
+	if p.Counter(pc) != counter.BimodalStrongTaken {
+		t.Fatalf("counter = %d, want strong taken", p.Counter(pc))
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	p := New(8)
+	pc := uint64(0x40)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true)
+	}
+	// One contrary outcome must not flip a saturated counter's prediction.
+	p.Update(pc, false)
+	if !p.Predict(pc) {
+		t.Fatal("single not-taken should not flip a strong-taken counter")
+	}
+	p.Update(pc, false)
+	if p.Predict(pc) {
+		t.Fatal("two not-takens should flip the prediction")
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	p := New(4) // 16 entries
+	a := uint64(0x1000)
+	b := a + (1 << (4 + 2)) // same index after >>2 and mask
+	for i := 0; i < 4; i++ {
+		p.Update(a, true)
+	}
+	if !p.Predict(b) {
+		t.Fatal("aliased PCs must share the counter")
+	}
+}
+
+func TestIndexIgnoresLowBits(t *testing.T) {
+	p := New(8)
+	p.Update(0x1000, true)
+	p.Update(0x1000, true)
+	if !p.Predict(0x1002) {
+		t.Fatal("PCs differing only in bits 0..1 must map to one entry")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	if got := New(10).StorageBits(); got != 2048 {
+		t.Fatalf("2^10-entry bimodal = %d bits, want 2048", got)
+	}
+	if got := New(10).Entries(); got != 1024 {
+		t.Fatalf("entries = %d, want 1024", got)
+	}
+}
+
+func TestPanicsOnBadSize(t *testing.T) {
+	for _, sz := range []uint{0, 29} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", sz)
+				}
+			}()
+			New(sz)
+		}()
+	}
+}
+
+func TestAccuracyOnBiasedWorkload(t *testing.T) {
+	// On a heavily biased trace the bimodal predictor must approach the
+	// bias rate. Single site, P(taken)=0.9 -> ~10% mispredictions.
+	prog := workload.NewBuilder("b", 5).SetLength(50000).
+		Block(1, 1, 1, workload.S(workload.Biased{P: 0.9})).
+		MustBuild()
+	p := New(12)
+	r := prog.Open()
+	miss, n := 0, 0
+	for {
+		br, err := r.Next()
+		if err != nil {
+			break
+		}
+		if p.Predict(br.PC) != br.Taken {
+			miss++
+		}
+		p.Update(br.PC, br.Taken)
+		n++
+	}
+	rate := float64(miss) / float64(n)
+	if rate > 0.13 {
+		t.Fatalf("miss rate %.3f on 0.9-biased branch, want <= ~0.10", rate)
+	}
+}
+
+func TestLoopCostsOneMissPerIteration(t *testing.T) {
+	// A trip-5 loop mispredicts only the exit once warmed: rate -> 1/5.
+	prog := workload.NewBuilder("l", 6).SetLength(20000).
+		Block(1, 1, 1, workload.S(workload.Loop{Trip: 5})).
+		MustBuild()
+	p := New(10)
+	r := prog.Open()
+	miss, n := 0, 0
+	for {
+		br, err := r.Next()
+		if err != nil {
+			break
+		}
+		if n > 100 { // skip warmup
+			if p.Predict(br.PC) != br.Taken {
+				miss++
+			}
+		}
+		p.Update(br.PC, br.Taken)
+		n++
+	}
+	rate := float64(miss) / float64(n-100)
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("loop miss rate %.3f, want ~0.20", rate)
+	}
+}
+
+func TestWeakTracksCounter(t *testing.T) {
+	p := New(8)
+	pc := uint64(0x2000)
+	if !p.Weak(pc) {
+		t.Fatal("cold entry should be weak")
+	}
+	p.Update(pc, true) // 1 -> 2, still weak
+	if !p.Weak(pc) {
+		t.Fatal("counter 2 is weak")
+	}
+	p.Update(pc, true) // 2 -> 3
+	if p.Weak(pc) {
+		t.Fatal("counter 3 is strong")
+	}
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(12)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i*29) & 0xFFFF
+		taken := i&3 != 0
+		_ = p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}

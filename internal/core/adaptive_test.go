@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/counter"
+)
+
+func TestAdaptiveLowersProbabilityWhenDirty(t *testing.T) {
+	auto := counter.NewProbabilistic(1, 3) // 1/8
+	a := NewAdaptive(auto, 10, 100)
+	// 100 high-confidence predictions at 50 MKP (5 misses).
+	for i := 0; i < 100; i++ {
+		a.Observe(High, i < 5)
+	}
+	if auto.DenomLog() != 4 {
+		t.Fatalf("denomLog = %d, want 4 (probability halved)", auto.DenomLog())
+	}
+	if a.Adjustments() != 1 {
+		t.Fatalf("adjustments = %d", a.Adjustments())
+	}
+}
+
+func TestAdaptiveRaisesProbabilityWhenClean(t *testing.T) {
+	auto := counter.NewProbabilistic(1, 7) // 1/128
+	a := NewAdaptive(auto, 10, 1000)
+	// 1000 predictions, 1 miss = 1 MKP < 6 MKP hysteresis.
+	for i := 0; i < 1000; i++ {
+		a.Observe(High, i == 0)
+	}
+	if auto.DenomLog() != 6 {
+		t.Fatalf("denomLog = %d, want 6 (probability doubled)", auto.DenomLog())
+	}
+}
+
+func TestAdaptiveHoldsInBand(t *testing.T) {
+	auto := counter.NewProbabilistic(1, 7)
+	a := NewAdaptive(auto, 10, 1000)
+	// 8 MKP: inside [6, 10] band -> no change.
+	for i := 0; i < 1000; i++ {
+		a.Observe(High, i < 8)
+	}
+	if auto.DenomLog() != 7 {
+		t.Fatalf("denomLog = %d, want unchanged 7", auto.DenomLog())
+	}
+	if a.Adjustments() != 0 {
+		t.Fatalf("adjustments = %d, want 0", a.Adjustments())
+	}
+}
+
+func TestAdaptiveClampsAtBounds(t *testing.T) {
+	auto := counter.NewProbabilistic(1, counter.MaxDenomLog)
+	a := NewAdaptive(auto, 10, 100)
+	for i := 0; i < 100; i++ {
+		a.Observe(High, i < 50) // filthy
+	}
+	if auto.DenomLog() != counter.MaxDenomLog {
+		t.Fatalf("denomLog = %d, want clamped at max", auto.DenomLog())
+	}
+	auto.SetDenomLog(0)
+	b := NewAdaptive(auto, 10, 100)
+	for i := 0; i < 100; i++ {
+		b.Observe(High, false) // spotless
+	}
+	if auto.DenomLog() != 0 {
+		t.Fatalf("denomLog = %d, want clamped at 0", auto.DenomLog())
+	}
+}
+
+func TestAdaptiveIgnoresNonHigh(t *testing.T) {
+	auto := counter.NewProbabilistic(1, 7)
+	a := NewAdaptive(auto, 10, 10)
+	for i := 0; i < 1000; i++ {
+		a.Observe(Low, true)
+		a.Observe(Medium, true)
+	}
+	if auto.DenomLog() != 7 || a.Adjustments() != 0 {
+		t.Fatal("non-high observations must not drive the controller")
+	}
+}
+
+func TestAdaptiveWindowResets(t *testing.T) {
+	auto := counter.NewProbabilistic(1, 7)
+	a := NewAdaptive(auto, 10, 100)
+	// Two consecutive dirty windows -> two halvings.
+	for i := 0; i < 200; i++ {
+		a.Observe(High, i%10 == 0) // 100 MKP
+	}
+	if auto.DenomLog() != 9 {
+		t.Fatalf("denomLog = %d, want 9 after two dirty windows", auto.DenomLog())
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	auto := counter.NewProbabilistic(1, 7)
+	a := NewAdaptive(auto, 0, 0)
+	if a.TargetMKP() != DefaultTargetMKP {
+		t.Fatalf("target = %v", a.TargetMKP())
+	}
+	if a.window != DefaultAdaptiveWindow {
+		t.Fatalf("window = %d", a.window)
+	}
+	if a.Probability() != 1.0/128 {
+		t.Fatalf("probability = %v", a.Probability())
+	}
+	if a.DenomLog() != 7 {
+		t.Fatalf("DenomLog = %d", a.DenomLog())
+	}
+}

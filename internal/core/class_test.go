@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestClassNames(t *testing.T) {
+	want := map[Class]string{
+		LowConfBim:    "low-conf-bim",
+		MediumConfBim: "medium-conf-bim",
+		HighConfBim:   "high-conf-bim",
+		Wtag:          "Wtag",
+		NWtag:         "NWtag",
+		NStag:         "NStag",
+		Stag:          "Stag",
+	}
+	for c, n := range want {
+		if c.String() != n {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), n)
+		}
+	}
+	if Class(99).String() != "invalid-class" {
+		t.Error("out-of-range class should stringify as invalid")
+	}
+}
+
+func TestLevelMappingMatchesPaper(t *testing.T) {
+	// §6.1: low = {low-conf-bim, Wtag, NWtag}; medium = {medium-conf-bim,
+	// NStag}; high = {high-conf-bim, Stag}.
+	want := map[Class]Level{
+		LowConfBim:    Low,
+		Wtag:          Low,
+		NWtag:         Low,
+		MediumConfBim: Medium,
+		NStag:         Medium,
+		HighConfBim:   High,
+		Stag:          High,
+	}
+	for c, l := range want {
+		if c.Level() != l {
+			t.Errorf("%v.Level() = %v, want %v", c, c.Level(), l)
+		}
+	}
+}
+
+func TestTaggedPredicate(t *testing.T) {
+	for _, c := range []Class{Wtag, NWtag, NStag, Stag} {
+		if !c.Tagged() {
+			t.Errorf("%v should be tagged", c)
+		}
+	}
+	for _, c := range []Class{LowConfBim, MediumConfBim, HighConfBim} {
+		if c.Tagged() {
+			t.Errorf("%v should not be tagged", c)
+		}
+	}
+}
+
+func TestEnumerationsComplete(t *testing.T) {
+	if len(Classes()) != int(NumClasses) {
+		t.Fatalf("Classes() has %d entries, want %d", len(Classes()), NumClasses)
+	}
+	seen := map[Class]bool{}
+	for _, c := range Classes() {
+		if seen[c] {
+			t.Fatalf("duplicate class %v", c)
+		}
+		seen[c] = true
+	}
+	if len(Levels()) != int(NumLevels) {
+		t.Fatalf("Levels() has %d entries, want %d", len(Levels()), NumLevels)
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() != "invalid-level" {
+		t.Fatal("out-of-range level should stringify as invalid")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/tage"
+	"repro/internal/xrand"
+)
+
+// AutomatonMode selects the tagged-counter update automaton of the
+// underlying predictor, which determines how much confidence the class
+// observation carries (§5 vs §6).
+type AutomatonMode uint8
+
+const (
+	// ModeStandard is the unmodified TAGE automaton (§5): seven observable
+	// classes, but Stag is only average-confidence.
+	ModeStandard AutomatonMode = iota
+	// ModeProbabilistic installs the §6 automaton with a fixed saturation
+	// probability (1/128 by default), making Stag high confidence.
+	ModeProbabilistic
+	// ModeAdaptive is ModeProbabilistic plus the run-time probability
+	// controller of §6.2 holding the high-confidence misprediction rate
+	// under a target.
+	ModeAdaptive
+)
+
+// String names the mode.
+func (m AutomatonMode) String() string {
+	switch m {
+	case ModeStandard:
+		return "standard"
+	case ModeProbabilistic:
+		return "probabilistic"
+	case ModeAdaptive:
+		return "adaptive"
+	default:
+		return "invalid-mode"
+	}
+}
+
+// Options configures an Estimator beyond its predictor configuration.
+type Options struct {
+	// Mode selects the automaton (default ModeStandard).
+	Mode AutomatonMode
+	// DenomLog is the log2 saturation-probability denominator for
+	// ModeProbabilistic/ModeAdaptive (default counter.DefaultDenomLog = 7,
+	// i.e. probability 1/128).
+	DenomLog uint
+	// BimWindow is the medium-conf-bim window (default DefaultBimWindow).
+	// Negative disables the window (0 means default).
+	BimWindow int
+	// TargetMKP is the adaptive controller's target (default 10 MKP).
+	TargetMKP float64
+	// AdaptiveWindow is the controller's evaluation window (default 16 K
+	// high-confidence predictions).
+	AdaptiveWindow uint64
+}
+
+// Estimator bundles a TAGE predictor with the storage-free confidence
+// classifier, and optionally the modified automaton and adaptive
+// controller. It is the package's top-level convenience type; the pieces
+// remain usable separately.
+type Estimator struct {
+	pred *tage.Predictor
+	cls  *Classifier
+	auto *counter.Probabilistic // nil in ModeStandard
+	ctl  *Adaptive              // nil unless ModeAdaptive
+	mode AutomatonMode
+
+	lastObs   tage.Observation
+	lastClass Class
+	havePred  bool
+}
+
+// NewEstimator builds an estimator over a fresh predictor with the given
+// configuration and options.
+func NewEstimator(cfg tage.Config, opts Options) *Estimator {
+	denomLog := opts.DenomLog
+	if denomLog == 0 {
+		denomLog = counter.DefaultDenomLog
+	}
+	var auto counter.Automaton = counter.Standard{}
+	var prob *counter.Probabilistic
+	if opts.Mode != ModeStandard {
+		prob = counter.NewProbabilistic(xrand.Mix64(cfg.Seed^0xC0FF), denomLog)
+		auto = prob
+	}
+	pred := tage.NewWithAutomaton(cfg, auto)
+
+	window := opts.BimWindow
+	switch {
+	case window < 0:
+		window = 0
+	case window == 0:
+		window = DefaultBimWindow
+	}
+	e := &Estimator{
+		pred: pred,
+		cls:  NewClassifierWindow(cfg, window),
+		auto: prob,
+		mode: opts.Mode,
+	}
+	if opts.Mode == ModeAdaptive {
+		e.ctl = NewAdaptive(prob, opts.TargetMKP, opts.AdaptiveWindow)
+	}
+	return e
+}
+
+// Predict returns the prediction for pc together with its confidence class
+// and level. Each Predict must be followed by one Update for the same pc.
+func (e *Estimator) Predict(pc uint64) (pred bool, class Class, level Level) {
+	e.lastObs = e.pred.Predict(pc)
+	e.lastClass = e.cls.Classify(e.lastObs)
+	e.havePred = true
+	return e.lastObs.Pred, e.lastClass, e.lastClass.Level()
+}
+
+// Observation returns the raw component observation of the most recent
+// Predict.
+func (e *Estimator) Observation() tage.Observation { return e.lastObs }
+
+// Update resolves the most recent prediction, training the predictor,
+// advancing the classifier window and feeding the adaptive controller.
+func (e *Estimator) Update(pc uint64, taken bool) {
+	if !e.havePred || e.lastObs.PC != pc {
+		panic(fmt.Sprintf("core: Update(%#x) without matching Predict", pc))
+	}
+	e.havePred = false
+	e.cls.Resolve(e.lastObs, taken)
+	if e.ctl != nil {
+		e.ctl.Observe(e.lastClass.Level(), e.lastObs.Pred != taken)
+	}
+	e.pred.Update(pc, taken)
+}
+
+// Predictor exposes the underlying TAGE predictor.
+func (e *Estimator) Predictor() *tage.Predictor { return e.pred }
+
+// Classifier exposes the class observer.
+func (e *Estimator) Classifier() *Classifier { return e.cls }
+
+// Mode returns the automaton mode.
+func (e *Estimator) Mode() AutomatonMode { return e.mode }
+
+// SaturationProbability returns the current saturation probability, or 1
+// in ModeStandard (the standard automaton always saturates on a correct
+// prediction from the nearly-saturated state).
+func (e *Estimator) SaturationProbability() float64 {
+	if e.auto == nil {
+		return 1
+	}
+	return e.auto.Probability()
+}
+
+// Controller returns the adaptive controller, or nil outside ModeAdaptive.
+func (e *Estimator) Controller() *Adaptive { return e.ctl }

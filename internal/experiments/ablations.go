@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/jrs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// BimWindowAblation sweeps the medium-conf-bim window length (the "up to 8
+// branches" choice of §5.1.2), reporting how the bimodal classes split.
+type BimWindowAblation struct {
+	Rows []BimWindowRow
+}
+
+// BimWindowRow is one window length.
+type BimWindowRow struct {
+	Window        int
+	MediumBim     LevelCell // medium-conf-bim class
+	HighBimMPrate float64   // high-conf-bim purity
+}
+
+// RunBimWindowAblation runs the sweep on the 16 Kbit predictor over CBP-1
+// with the modified automaton.
+func (r *Runner) RunBimWindowAblation() (BimWindowAblation, error) {
+	var out BimWindowAblation
+	for _, win := range []int{-1, 4, 8, 16, 32} {
+		opts := modifiedOpts()
+		opts.BimWindow = win
+		sr, err := r.Suite(tage.Small16K(), opts, "cbp1")
+		if err != nil {
+			return out, err
+		}
+		agg := sr.Aggregate
+		shown := win
+		if win < 0 {
+			shown = 0
+		}
+		out.Rows = append(out.Rows, BimWindowRow{
+			Window: shown,
+			MediumBim: LevelCell{
+				Pcov:   agg.Pcov(core.MediumConfBim),
+				MPcov:  agg.MPcov(core.MediumConfBim),
+				MPrate: agg.MPrate(core.MediumConfBim),
+			},
+			HighBimMPrate: agg.MPrate(core.HighConfBim),
+		})
+	}
+	return out, nil
+}
+
+// Render writes the window ablation table.
+func (a BimWindowAblation) Render(w io.Writer) {
+	header := []string{"window", "medium-conf-bim Pcov", "MPcov", "MPrate", "high-conf-bim MPrate"}
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Window),
+			fmt.Sprintf("%.3f", r.MediumBim.Pcov),
+			fmt.Sprintf("%.3f", r.MediumBim.MPcov),
+			fmt.Sprintf("%.1f", r.MediumBim.MPrate),
+			fmt.Sprintf("%.1f", r.HighBimMPrate),
+		})
+	}
+	textplot.Table(w, "Ablation: medium-conf-bim window length (16Kbits, CBP-1, modified automaton)", header, rows)
+}
+
+// UseAltAblation measures the accuracy contribution of USE_ALT_ON_NA
+// (§3.1: the heuristic "(slightly) improves prediction accuracy").
+type UseAltAblation struct {
+	Rows []UseAltRow
+}
+
+// UseAltRow is one configuration.
+type UseAltRow struct {
+	Config      string
+	WithMPKI    float64
+	WithoutMPKI float64
+	WtagWith    float64 // Wtag MPrate with the heuristic
+	WtagWithout float64 // and without it
+}
+
+// RunUseAltAblation compares CBP-1 accuracy with and without the
+// heuristic across the three sizes.
+func (r *Runner) RunUseAltAblation() (UseAltAblation, error) {
+	var out UseAltAblation
+	for _, cfg := range tage.StandardConfigs() {
+		with, err := r.Suite(cfg, standardOpts(), "cbp1")
+		if err != nil {
+			return out, err
+		}
+		cfgOff := cfg
+		cfgOff.DisableUseAltOnNA = true
+		without, err := r.Suite(cfgOff, standardOpts(), "cbp1")
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, UseAltRow{
+			Config:      cfg.Name,
+			WithMPKI:    with.Aggregate.MPKI(),
+			WithoutMPKI: without.Aggregate.MPKI(),
+			WtagWith:    with.Aggregate.MPrate(core.Wtag),
+			WtagWithout: without.Aggregate.MPrate(core.Wtag),
+		})
+	}
+	return out, nil
+}
+
+// Render writes the USE_ALT_ON_NA ablation table.
+func (a UseAltAblation) Render(w io.Writer) {
+	header := []string{"config", "misp/KI with", "misp/KI without", "Wtag MKP with", "Wtag MKP without"}
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			r.Config,
+			fmt.Sprintf("%.3f", r.WithMPKI),
+			fmt.Sprintf("%.3f", r.WithoutMPKI),
+			fmt.Sprintf("%.0f", r.WtagWith),
+			fmt.Sprintf("%.0f", r.WtagWithout),
+		})
+	}
+	textplot.Table(w, "Ablation: USE_ALT_ON_NA on/off (CBP-1, standard automaton)", header, rows)
+}
+
+// CtrWidthAblation reproduces the §6 remark on widening the prediction
+// counter to 4 bits: it does not significantly clean the saturated class
+// and slightly hurts overall accuracy, which is why the paper modifies the
+// automaton instead.
+type CtrWidthAblation struct {
+	Rows []CtrWidthRow
+}
+
+// CtrWidthRow is one (config, counter width) pair.
+type CtrWidthRow struct {
+	Config     string
+	CtrBits    uint
+	MPKI       float64
+	StagPcov   float64
+	StagMPrate float64
+}
+
+// RunCtrWidthAblation compares 3-bit and 4-bit counters on the 16 and
+// 64 Kbit predictors over CBP-1 (standard automaton, so the comparison
+// isolates the widening itself).
+func (r *Runner) RunCtrWidthAblation() (CtrWidthAblation, error) {
+	var out CtrWidthAblation
+	for _, base := range []tage.Config{tage.Small16K(), tage.Medium64K()} {
+		for _, bits := range []uint{3, 4} {
+			cfg := base
+			cfg.CtrBits = bits
+			sr, err := r.Suite(cfg, standardOpts(), "cbp1")
+			if err != nil {
+				return out, err
+			}
+			agg := sr.Aggregate
+			out.Rows = append(out.Rows, CtrWidthRow{
+				Config:     base.Name,
+				CtrBits:    bits,
+				MPKI:       agg.MPKI(),
+				StagPcov:   agg.Pcov(core.Stag),
+				StagMPrate: agg.MPrate(core.Stag),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render writes the counter-width ablation table.
+func (a CtrWidthAblation) Render(w io.Writer) {
+	header := []string{"config", "ctr bits", "misp/KI", "Stag Pcov", "Stag MPrate"}
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			r.Config,
+			fmt.Sprintf("%d", r.CtrBits),
+			fmt.Sprintf("%.3f", r.MPKI),
+			fmt.Sprintf("%.3f", r.StagPcov),
+			fmt.Sprintf("%.1f", r.StagMPrate),
+		})
+	}
+	textplot.Table(w, "Ablation: widening the prediction counter (§6 remark; CBP-1, standard automaton)", header, rows)
+}
+
+// tagePredictorAdapter exposes a raw TAGE predictor through the
+// sim.Predictor interface so storage-based estimators can grade its
+// predictions.
+type tagePredictorAdapter struct {
+	p *tage.Predictor
+}
+
+func (a tagePredictorAdapter) Predict(pc uint64) bool { return a.p.Predict(pc).Pred }
+
+func (a tagePredictorAdapter) Update(pc uint64, taken bool) { a.p.Update(pc, taken) }
+
+// EstimatorComparison pits the paper's storage-free estimator against the
+// JRS storage-based baselines on the same 16 Kbit TAGE predictions,
+// reporting Grunwald et al.'s binary metrics and the extra storage each
+// estimator costs.
+type EstimatorComparison struct {
+	Rows []EstimatorRow
+}
+
+// EstimatorRow is one estimator.
+type EstimatorRow struct {
+	Name        string
+	StorageBits int
+	Confusion   metrics.Binary
+}
+
+// RunEstimatorComparison runs all estimators over CBP-1 on the 16 Kbit
+// predictor with the modified automaton (storage-free) and the standard
+// predictor for the JRS pairs (JRS does not need the automaton change).
+func (r *Runner) RunEstimatorComparison() (EstimatorComparison, error) {
+	var out EstimatorComparison
+	traces, err := workload.Suite("cbp1")
+	if err != nil {
+		return out, err
+	}
+
+	var free metrics.Binary
+	for _, tr := range traces {
+		est := core.NewEstimator(tage.Small16K(), modifiedOpts())
+		res, err := sim.RunTAGEBinary(est, tr, r.Limit)
+		if err != nil {
+			return out, err
+		}
+		free.Add(res.Confusion)
+	}
+	out.Rows = append(out.Rows, EstimatorRow{Name: "storage-free (high level)", StorageBits: 0, Confusion: free})
+
+	for _, enhanced := range []bool{false, true} {
+		var conf metrics.Binary
+		var bits int
+		for _, tr := range traces {
+			p := tagePredictorAdapter{tage.New(tage.Small16K())}
+			e := jrs.NewDefault(10, 10) // 1K 4-bit counters = 4 Kbits extra
+			if enhanced {
+				e = e.Enhanced()
+			}
+			bits = e.StorageBits()
+			res, err := sim.RunBinary(p, e, tr, r.Limit)
+			if err != nil {
+				return out, err
+			}
+			conf.Add(res.Confusion)
+		}
+		name := "JRS 4-bit"
+		if enhanced {
+			name = "JRS 4-bit enhanced"
+		}
+		out.Rows = append(out.Rows, EstimatorRow{Name: name, StorageBits: bits, Confusion: conf})
+	}
+	return out, nil
+}
+
+// Render writes the estimator comparison table.
+func (c EstimatorComparison) Render(w io.Writer) {
+	header := []string{"estimator", "extra storage", "SENS", "PVP", "SPEC", "PVN"}
+	var rows [][]string
+	for _, r := range c.Rows {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%d bits", r.StorageBits),
+			fmt.Sprintf("%.3f", r.Confusion.Sens()),
+			fmt.Sprintf("%.3f", r.Confusion.PVP()),
+			fmt.Sprintf("%.3f", r.Confusion.Spec()),
+			fmt.Sprintf("%.3f", r.Confusion.PVN()),
+		})
+	}
+	textplot.Table(w, "Comparison: storage-free estimation vs JRS tables (16Kbits TAGE, CBP-1)", header, rows)
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelfConfidenceReproducesRelatedWork(t *testing.T) {
+	r := testRunner()
+	s, err := r.RunSelfConfidence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	byName := map[string]SelfConfidenceRow{}
+	for _, row := range s.Rows {
+		byName[row.Name] = row
+		// All schemes must produce sane confusion tallies.
+		if row.Confusion.Total() == 0 {
+			t.Errorf("%s: empty confusion", row.Name)
+		}
+	}
+
+	// §2.2's quoted O-GEHL characterization: PVN around one third (good),
+	// SPEC around one half (limited). Loose bands: the claim is the shape.
+	og := byName["O-GEHL |sum|>=theta"]
+	if og.Confusion.PVN() < 0.15 || og.Confusion.PVN() > 0.55 {
+		t.Errorf("O-GEHL PVN = %.3f, paper quotes ~1/3", og.Confusion.PVN())
+	}
+	if og.Confusion.Spec() < 0.30 || og.Confusion.Spec() > 0.70 {
+		t.Errorf("O-GEHL SPEC = %.3f, paper quotes ~1/2", og.Confusion.Spec())
+	}
+
+	// The paper's estimator must dominate on SPEC (mispredictions pushed
+	// out of the high class) at comparable or better PVP.
+	tage := byName["TAGE storage-free (this paper)"]
+	if tage.Confusion.Spec() <= og.Confusion.Spec() {
+		t.Errorf("TAGE SPEC %.3f should beat O-GEHL %.3f",
+			tage.Confusion.Spec(), og.Confusion.Spec())
+	}
+	if tage.Confusion.PVP() < og.Confusion.PVP() {
+		t.Errorf("TAGE PVP %.3f should not trail O-GEHL %.3f",
+			tage.Confusion.PVP(), og.Confusion.PVP())
+	}
+
+	// Accuracy ordering of the predictors themselves: O-GEHL (64 Kbit)
+	// must beat the bimodal baseline decisively.
+	bim := byName["bimodal saturation (Smith)"]
+	if og.MPKI >= bim.MPKI {
+		t.Errorf("O-GEHL %.2f misp/KI should beat bimodal %.2f", og.MPKI, bim.MPKI)
+	}
+
+	var sb strings.Builder
+	s.Render(&sb)
+	if !strings.Contains(sb.String(), "O-GEHL") || !strings.Contains(sb.String(), "PVN") {
+		t.Fatal("render incomplete")
+	}
+}

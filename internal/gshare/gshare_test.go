@@ -1,0 +1,118 @@
+package gshare
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestHistoryShifting(t *testing.T) {
+	p := New(10, 8)
+	p.Update(0x100, true)
+	p.Update(0x104, false)
+	p.Update(0x108, true)
+	if got := p.History(); got != 0b101 {
+		t.Fatalf("history = %b, want 101", got)
+	}
+}
+
+func TestHistoryDisambiguatesPattern(t *testing.T) {
+	// A single branch alternating T/N is impossible for bimodal but trivial
+	// for gshare: history odd/even states map to different counters.
+	p := New(12, 8)
+	pc := uint64(0x400100)
+	// Warm up.
+	for i := 0; i < 64; i++ {
+		p.Update(pc, i%2 == 0)
+	}
+	miss := 0
+	for i := 64; i < 1064; i++ {
+		taken := i%2 == 0
+		if p.Predict(pc) != taken {
+			miss++
+		}
+		p.Update(pc, taken)
+	}
+	if miss > 0 {
+		t.Fatalf("gshare should learn alternation perfectly, missed %d", miss)
+	}
+}
+
+func TestHistBitsClamped(t *testing.T) {
+	p := New(8, 30)
+	if p.histBits != 8 {
+		t.Fatalf("histBits = %d, want clamped to 8", p.histBits)
+	}
+}
+
+func TestPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 0) should panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestIndexMixesHistory(t *testing.T) {
+	p := New(10, 10)
+	pc := uint64(0x400100)
+	i1 := p.Index(pc)
+	p.pushHistory(true)
+	i2 := p.Index(pc)
+	if i1 == i2 {
+		t.Fatal("index should change when history changes")
+	}
+}
+
+func TestBeatsBimodalOnPattern(t *testing.T) {
+	prog := workload.NewBuilder("pat", 9).SetLength(30000).
+		Block(1, 1, 1,
+			workload.S(workload.Pattern{Bits: []bool{true, true, false, true, false, false}}),
+		).
+		MustBuild()
+	p := New(12, 10)
+	r := prog.Open()
+	miss, n := 0, 0
+	for {
+		br, err := r.Next()
+		if err != nil {
+			break
+		}
+		if n > 1000 && p.Predict(br.PC) != br.Taken {
+			miss++
+		}
+		p.Update(br.PC, br.Taken)
+		n++
+	}
+	rate := float64(miss) / float64(n-1000)
+	if rate > 0.02 {
+		t.Fatalf("gshare miss rate %.3f on period-6 pattern, want ~0", rate)
+	}
+}
+
+func TestCounterMatchesPrediction(t *testing.T) {
+	p := New(10, 6)
+	pc := uint64(0x800)
+	for i := 0; i < 8; i++ {
+		if p.Counter(pc).Taken() != p.Predict(pc) {
+			t.Fatal("Counter and Predict disagree")
+		}
+		p.Update(pc, true)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	if got := New(11, 11).StorageBits(); got != 4096 {
+		t.Fatalf("2^11 gshare = %d bits, want 4096", got)
+	}
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(14, 12)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i*37) & 0x3FFFF
+		_ = p.Predict(pc)
+		p.Update(pc, i&7 < 5)
+	}
+}

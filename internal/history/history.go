@@ -1,0 +1,187 @@
+// Package history implements the branch-history machinery of geometric
+// history length predictors: a circular global-history bit buffer, the
+// incrementally-folded (cyclic shift register) compressions of that history
+// used to index and tag the TAGE tables, a short path-history register, and
+// the geometric history-length series L(i) = round(α^(i-1)·L(1)) introduced
+// with the O-GEHL predictor and reused by TAGE.
+package history
+
+import (
+	"fmt"
+	"math"
+)
+
+// Buffer is a circular buffer of branch-outcome bits. Bit(0) is the outcome
+// of the most recently pushed branch. The capacity is rounded up to a power
+// of two so that indexing is a mask.
+//
+// One byte per bit is deliberately spent: the buffer is tiny (≤ 1 KiB for a
+// 300-bit history with slack) and byte access keeps the folded-history
+// update branch-free and fast.
+type Buffer struct {
+	bits []uint8
+	head int // index of the most recent bit
+	mask int
+}
+
+// NewBuffer returns a buffer able to serve Bit(i) for i in [0, capacity].
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1
+	for size < capacity+2 {
+		size <<= 1
+	}
+	return &Buffer{bits: make([]uint8, size), mask: size - 1}
+}
+
+// Push records the outcome of a new branch as the most recent history bit.
+func (b *Buffer) Push(taken bool) {
+	b.head = (b.head - 1) & b.mask
+	if taken {
+		b.bits[b.head] = 1
+	} else {
+		b.bits[b.head] = 0
+	}
+}
+
+// Bit returns the i-th most recent outcome bit (0 = newest). i must be less
+// than the buffer capacity.
+func (b *Buffer) Bit(i int) uint8 {
+	return b.bits[(b.head+i)&b.mask]
+}
+
+// Len returns the number of bits the buffer can address.
+func (b *Buffer) Len() int { return len(b.bits) }
+
+// Folded is an incrementally maintained compression ("cyclic shift
+// register") of the most recent origLen history bits into compLen bits, as
+// used by the TAGE/PPM-like predictors to fold a long global history into a
+// table index or tag without rehashing the whole history on every branch.
+//
+// After every Buffer.Push, call Update exactly once with the same buffer.
+type Folded struct {
+	comp     uint32
+	origLen  int
+	compLen  int
+	outPoint uint
+	mask     uint32
+}
+
+// NewFolded returns a folded image of the most recent origLen bits
+// compressed into compLen bits. compLen must be in (0, 32]; origLen must be
+// non-negative.
+func NewFolded(origLen, compLen int) *Folded {
+	if compLen <= 0 || compLen > 32 {
+		panic(fmt.Sprintf("history: invalid folded compression length %d", compLen))
+	}
+	if origLen < 0 {
+		panic(fmt.Sprintf("history: invalid folded original length %d", origLen))
+	}
+	return &Folded{
+		origLen:  origLen,
+		compLen:  compLen,
+		outPoint: uint(origLen % compLen),
+		mask:     (uint32(1) << compLen) - 1,
+	}
+}
+
+// Update folds the newest history bit in and the bit leaving the origLen
+// window out. It must be called once per Buffer.Push, after the push.
+func (f *Folded) Update(b *Buffer) {
+	f.comp = (f.comp << 1) | uint32(b.Bit(0))
+	f.comp ^= uint32(b.Bit(f.origLen)) << f.outPoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= f.mask
+}
+
+// Value returns the current compLen-bit folded history.
+func (f *Folded) Value() uint32 { return f.comp }
+
+// Reset clears the folded state (used together with clearing the buffer).
+func (f *Folded) Reset() { f.comp = 0 }
+
+// OrigLen returns the length of the history window being folded.
+func (f *Folded) OrigLen() int { return f.origLen }
+
+// CompLen returns the compressed width in bits.
+func (f *Folded) CompLen() int { return f.compLen }
+
+// Recompute rebuilds the folded value from scratch by walking the buffer:
+// the bit pushed i branches ago contributes at position i mod compLen. This
+// O(origLen) direct definition is what the incremental Update maintains; it
+// exists so tests can cross-check the automaton against the specification.
+func (f *Folded) Recompute(b *Buffer) uint32 {
+	var v uint32
+	for i := 0; i < f.origLen; i++ {
+		if b.Bit(i) != 0 {
+			v ^= uint32(1) << (uint(i) % uint(f.compLen))
+		}
+	}
+	return v & f.mask
+}
+
+// Path is a short path-history register: the low bit of each branch PC is
+// shifted in, keeping the last width bits. TAGE hashes it into the table
+// index to break ties between different paths with the same outcome history.
+type Path struct {
+	value uint32
+	width uint
+}
+
+// NewPath returns a path history register of the given width (≤ 32).
+func NewPath(width uint) *Path {
+	if width > 32 {
+		width = 32
+	}
+	return &Path{width: width}
+}
+
+// Push shifts in the low bit of pc.
+func (p *Path) Push(pc uint64) {
+	p.value = ((p.value << 1) | uint32(pc&1)) & ((1 << p.width) - 1)
+}
+
+// Value returns the current path history bits.
+func (p *Path) Value() uint32 { return p.value }
+
+// Width returns the register width in bits.
+func (p *Path) Width() uint { return p.width }
+
+// GeometricLengths returns n history lengths forming a geometric series from
+// min to max inclusive: L(1)=min, L(n)=max, L(i)=round(min·α^(i-1)) with
+// α=(max/min)^(1/(n-1)). Duplicate rounded values are bumped to keep the
+// series strictly increasing, as in the O-GEHL/TAGE papers.
+func GeometricLengths(min, max, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{max}
+	}
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	alpha := math.Pow(float64(max)/float64(min), 1/float64(n-1))
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		l := int(float64(min)*math.Pow(alpha, float64(i)) + 0.5)
+		out[i] = l
+	}
+	out[0] = min
+	out[n-1] = max
+	// Enforce strict monotonicity after rounding.
+	for i := 1; i < n; i++ {
+		if out[i] <= out[i-1] {
+			out[i] = out[i-1] + 1
+		}
+	}
+	if out[n-1] < max {
+		out[n-1] = max
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package looppred
+
+import (
+	"testing"
+
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LogSize: 0, TagBits: 14, MaxTrip: 100, ConfMax: 3},
+		{LogSize: 6, TagBits: 0, MaxTrip: 100, ConfMax: 3},
+		{LogSize: 6, TagBits: 14, MaxTrip: 1, ConfMax: 3},
+		{LogSize: 6, TagBits: 14, MaxTrip: 100, ConfMax: 0},
+	}
+	for i, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d accepted", i)
+				}
+			}()
+			New(c)
+		}()
+	}
+	New(DefaultConfig()) // must not panic
+}
+
+func TestStorageBits(t *testing.T) {
+	// 64 entries × (14 tag + 2×14 iter + 2 conf + 8 age + 1 dir) = 64×53.
+	if got := DefaultConfig().StorageBits(); got != 64*53 {
+		t.Fatalf("storage = %d, want %d", got, 64*53)
+	}
+}
+
+func TestLearnsConstantTripLoop(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400100)
+	// Drive a trip-7 loop: 6 taken then 1 not-taken, repeatedly. The
+	// predictor should become valid after ConfMax confirmed trips and then
+	// predict perfectly — including the exits, which is the whole point.
+	iter := 0
+	misses := 0
+	checked := 0
+	checkedExits := 0
+	for i := 0; i < 7*40; i++ {
+		taken := iter < 6
+		pr := p.Predict(pc)
+		if pr.Valid {
+			checked++
+			if !taken {
+				checkedExits++
+			}
+			if pr.Pred != taken {
+				misses++
+			}
+		}
+		// Allocation requires a "TAGE mispredicted" signal; say TAGE
+		// mispredicts the exits only.
+		p.Update(pc, taken, !taken)
+		iter++
+		if iter == 7 {
+			iter = 0
+		}
+	}
+	if checked == 0 {
+		t.Fatal("loop predictor never became confident")
+	}
+	if checkedExits < 20 {
+		t.Fatalf("confident predictions must cover exits, saw %d", checkedExits)
+	}
+	if misses != 0 {
+		t.Fatalf("confident loop predictions missed %d of %d", misses, checked)
+	}
+}
+
+func TestRelearnsChangedTrip(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400200)
+	drive := func(trip, instances int) (validPreds, misses int) {
+		iter := 0
+		for i := 0; i < trip*instances; i++ {
+			taken := iter < trip-1
+			pr := p.Predict(pc)
+			if pr.Valid {
+				validPreds++
+				if pr.Pred != taken {
+					misses++
+				}
+			}
+			p.Update(pc, taken, !taken)
+			iter++
+			if iter == trip {
+				iter = 0
+			}
+		}
+		return
+	}
+	drive(5, 20)
+	// Change the trip: predictor must lose confidence, then relearn.
+	v, m := drive(9, 30)
+	if v == 0 {
+		t.Fatal("never regained confidence after trip change")
+	}
+	// Early mispredictions during relearning are expected; the tail must
+	// be clean, so the overall miss fraction stays small.
+	if float64(m)/float64(v) > 0.25 {
+		t.Fatalf("relearning too lossy: %d/%d", m, v)
+	}
+}
+
+func TestNoAllocationWithoutMisprediction(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x400300)
+	for i := 0; i < 100; i++ {
+		p.Predict(pc)
+		p.Update(pc, i%5 != 4, false) // TAGE always right: no allocation
+	}
+	if p.entries[p.index(pc)].valid {
+		t.Fatal("entry allocated without a misprediction")
+	}
+}
+
+func TestAgingProtectsUsefulEntries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LogSize = 1 // two entries: force collisions
+	p := New(cfg)
+	a := uint64(0x1000)
+	b := a + (1<<(1+2))*16 // same index, different tag
+	// Establish a confident loop at a.
+	iter := 0
+	for i := 0; i < 5*30; i++ {
+		taken := iter < 4
+		p.Predict(a)
+		p.Update(a, taken, !taken)
+		iter++
+		if iter == 5 {
+			iter = 0
+		}
+	}
+	eBefore := p.entries[p.index(a)]
+	if !eBefore.valid || eBefore.conf < cfg.ConfMax {
+		t.Fatal("setup: entry for a not confident")
+	}
+	// One allocation attempt from b must age, not evict.
+	p.Predict(b)
+	p.Update(b, true, true)
+	eAfter := p.entries[p.index(a)]
+	if !eAfter.valid || eAfter.tag != eBefore.tag {
+		t.Fatal("useful entry evicted by a single allocation attempt")
+	}
+}
+
+func TestLTAGEBeatsTAGEOnLongLoops(t *testing.T) {
+	// A trip-300 loop is beyond even the 256K TAGE's history reach on the
+	// 16K predictor (max history 80), but trivial for the loop predictor.
+	prog := workload.NewBuilder("longloop", 44).SetLength(120000).
+		Block(1, 1, 1,
+			workload.S(workload.Loop{Trip: 300}),
+			workload.S(workload.Const{Taken: true}),
+		).
+		MustBuild()
+
+	run := func(predict func(pc uint64) bool, update func(pc uint64, taken bool)) float64 {
+		r := trace.Limit(prog, 0).Open()
+		miss, n := 0, 0
+		for {
+			b, err := r.Next()
+			if err != nil {
+				break
+			}
+			if n > 30000 && predict(b.PC) != b.Taken {
+				miss++
+			} else if n <= 30000 {
+				predict(b.PC)
+			}
+			update(b.PC, b.Taken)
+			n++
+		}
+		return float64(miss) / float64(n-30000)
+	}
+
+	tg := tage.New(tage.Small16K())
+	tageRate := run(func(pc uint64) bool { return tg.Predict(pc).Pred }, tg.Update)
+
+	lt := NewLTAGE(tage.Small16K(), DefaultConfig())
+	ltageRate := run(lt.Predict, lt.Update)
+
+	if ltageRate >= tageRate/2 {
+		t.Fatalf("L-TAGE %.5f should halve TAGE %.5f on a trip-300 loop", ltageRate, tageRate)
+	}
+	if ltageRate > 0.0015 {
+		t.Fatalf("L-TAGE rate %.5f on pure loop, want ~0", ltageRate)
+	}
+}
+
+func TestLTAGENeverMuchWorse(t *testing.T) {
+	// On general traces the WITHLOOP counter must keep L-TAGE within a
+	// whisker of TAGE.
+	for _, name := range []string{"INT-2", "300.twolf"} {
+		tr, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(predict func(pc uint64) bool, update func(pc uint64, taken bool)) float64 {
+			r := trace.Limit(tr, 80000).Open()
+			miss, n := 0, 0
+			for {
+				b, err := r.Next()
+				if err != nil {
+					break
+				}
+				if predict(b.PC) != b.Taken {
+					miss++
+				}
+				update(b.PC, b.Taken)
+				n++
+			}
+			return float64(miss) / float64(n)
+		}
+		tg := tage.New(tage.Small16K())
+		tageRate := run(func(pc uint64) bool { return tg.Predict(pc).Pred }, tg.Update)
+		lt := NewLTAGE(tage.Small16K(), DefaultConfig())
+		ltageRate := run(lt.Predict, lt.Update)
+		if ltageRate > tageRate*1.03 {
+			t.Errorf("%s: L-TAGE %.4f much worse than TAGE %.4f", name, ltageRate, tageRate)
+		}
+	}
+}
+
+func TestLTAGEUpdateWithoutPredictPanics(t *testing.T) {
+	lt := NewLTAGE(tage.Small16K(), DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	lt.Update(0x100, true)
+}
+
+func TestLTAGEStorageAccounting(t *testing.T) {
+	lt := NewLTAGE(tage.Small16K(), DefaultConfig())
+	want := 16384 + 64*53 + 7
+	if lt.StorageBits() != want {
+		t.Fatalf("storage = %d, want %d", lt.StorageBits(), want)
+	}
+}
+
+func TestLTAGEObservationAvailable(t *testing.T) {
+	lt := NewLTAGE(tage.Small16K(), DefaultConfig())
+	lt.Predict(0x400100)
+	if lt.Observation().PC != 0x400100 {
+		t.Fatal("TAGE observation not exposed")
+	}
+	lt.Update(0x400100, false)
+	if lt.UsedLoop() {
+		t.Fatal("cold loop predictor cannot have provided")
+	}
+}

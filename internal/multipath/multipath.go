@@ -1,0 +1,262 @@
+// Package multipath models selective dual-path execution (Klauser,
+// Paithankar & Grunwald, ISCA 1998), the third confidence application the
+// paper cites (§2.1): on a low-confidence branch, fetch both paths so
+// that a misprediction costs no squash — at the price of splitting fetch
+// bandwidth while both paths are alive.
+//
+// Dual-path only pays when forking is reserved for branches that are
+// genuinely likely to mispredict; forking on every branch wastes half the
+// front end. A confidence estimator with a high-PVN low class — like the
+// paper's — is what makes the policy selective enough to win.
+package multipath
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/tage"
+	"repro/internal/trace"
+)
+
+// ForkPolicy decides which predictions fork a second path.
+type ForkPolicy uint8
+
+const (
+	// ForkNever is the baseline single-path front end.
+	ForkNever ForkPolicy = iota
+	// ForkLowConfidence forks on low-confidence predictions only.
+	ForkLowConfidence
+	// ForkLowOrMedium forks on low- and medium-confidence predictions.
+	ForkLowOrMedium
+	// ForkAlways forks on every conditional branch (the straw man that
+	// shows why confidence selectivity matters).
+	ForkAlways
+)
+
+// String names the policy.
+func (p ForkPolicy) String() string {
+	switch p {
+	case ForkNever:
+		return "never"
+	case ForkLowConfidence:
+		return "fork-low"
+	case ForkLowOrMedium:
+		return "fork-low+medium"
+	case ForkAlways:
+		return "fork-always"
+	default:
+		return "invalid-policy"
+	}
+}
+
+// Config parameterizes the front end.
+type Config struct {
+	// FetchWidth is instructions per cycle on a single path.
+	FetchWidth int
+	// ResolveDelay is the fetch-to-resolve latency in cycles.
+	ResolveDelay int
+	// Policy selects the forking rule.
+	Policy ForkPolicy
+}
+
+// DefaultConfig matches the fetchgate front end dimensions.
+func DefaultConfig() Config {
+	return Config{FetchWidth: 4, ResolveDelay: 12, Policy: ForkLowConfidence}
+}
+
+func (c Config) validate() error {
+	if c.FetchWidth < 1 || c.ResolveDelay < 1 {
+		return errors.New("multipath: FetchWidth and ResolveDelay must be >= 1")
+	}
+	return nil
+}
+
+// Stats reports one run.
+type Stats struct {
+	Policy ForkPolicy
+	Cycles uint64
+	// UsefulFetched counts correct-path instructions.
+	UsefulFetched uint64
+	// WrongPathFetched counts single-path wrong-path instructions
+	// (squashed work after an unforked misprediction).
+	WrongPathFetched uint64
+	// DualPathFetched counts instructions fetched for the discarded
+	// second path of forks (the bandwidth price of forking).
+	DualPathFetched uint64
+	// Forks counts forked branches; SavedSquashes counts forks that
+	// turned out mispredicted (the squash they avoided).
+	Forks         uint64
+	SavedSquashes uint64
+	Branches      uint64
+	Mispredicted  uint64
+}
+
+// WastedFraction is the share of all fetched instructions that were
+// thrown away (wrong-path plus discarded dual-path work).
+func (s Stats) WastedFraction() float64 {
+	total := s.UsefulFetched + s.WrongPathFetched + s.DualPathFetched
+	if total == 0 {
+		return 0
+	}
+	return float64(s.WrongPathFetched+s.DualPathFetched) / float64(total)
+}
+
+// IPC is useful instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.UsefulFetched) / float64(s.Cycles)
+}
+
+// ForkAccuracy is the fraction of forks that avoided a squash.
+func (s Stats) ForkAccuracy() float64 {
+	if s.Forks == 0 {
+		return 0
+	}
+	return float64(s.SavedSquashes) / float64(s.Forks)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%v: IPC=%.2f wasted=%.1f%% forks=%d (%.0f%% useful)",
+		s.Policy, s.IPC(), 100*s.WastedFraction(), s.Forks, 100*s.ForkAccuracy())
+}
+
+type inflight struct {
+	resolveAt    uint64
+	mispredicted bool
+	forked       bool
+}
+
+// Run drives the dual-path front end over a trace with a fresh estimator.
+func Run(est *core.Estimator, tr trace.Trace, cfg Config, limit uint64) (Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Policy: cfg.Policy}
+	r := trace.Limit(tr, limit).Open()
+
+	var pending []inflight
+	dualActive := 0 // forked branches in flight (each halves fetch width)
+	wrongPath := false
+	recordLeft := 0
+	var cur trace.Branch
+	haveRecord := false
+	done := false
+
+	for !done || len(pending) > 0 {
+		st.Cycles++
+		cycle := st.Cycles
+		for len(pending) > 0 && pending[0].resolveAt <= cycle {
+			b := pending[0]
+			pending = pending[1:]
+			st.Branches++
+			if b.forked {
+				dualActive--
+				if b.mispredicted {
+					// The second path was the right one: no squash window.
+					st.SavedSquashes++
+				}
+			} else if b.mispredicted {
+				wrongPath = false
+			}
+			if b.mispredicted {
+				st.Mispredicted++
+			}
+		}
+
+		width := cfg.FetchWidth
+		if dualActive > 0 {
+			// Bandwidth split between the live paths; the off-path half is
+			// fetched-and-discarded work.
+			width = cfg.FetchWidth / 2
+			if width < 1 {
+				width = 1
+			}
+			st.DualPathFetched += uint64(cfg.FetchWidth - width)
+		}
+
+		budget := width
+		for budget > 0 {
+			if wrongPath {
+				st.WrongPathFetched += uint64(budget)
+				break
+			}
+			if !haveRecord {
+				if done {
+					break
+				}
+				b, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					done = true
+					break
+				}
+				if err != nil {
+					return st, err
+				}
+				cur = b
+				recordLeft = int(b.Instr)
+				haveRecord = true
+			}
+			n := recordLeft
+			if n > budget {
+				n = budget
+			}
+			st.UsefulFetched += uint64(n)
+			recordLeft -= n
+			budget -= n
+			if recordLeft == 0 {
+				haveRecord = false
+				pred, _, level := est.Predict(cur.PC)
+				miss := pred != cur.Taken
+				est.Update(cur.PC, cur.Taken)
+				fork := false
+				switch cfg.Policy {
+				case ForkLowConfidence:
+					fork = level == core.Low
+				case ForkLowOrMedium:
+					fork = level != core.High
+				case ForkAlways:
+					fork = true
+				}
+				// Hardware forks are a limited resource: model one live
+				// fork at a time, as the original selective eager design.
+				if fork && dualActive > 0 {
+					fork = false
+				}
+				if fork {
+					st.Forks++
+					dualActive++
+				}
+				pending = append(pending, inflight{
+					resolveAt:    cycle + uint64(cfg.ResolveDelay),
+					mispredicted: miss,
+					forked:       fork,
+				})
+				if miss && !fork {
+					wrongPath = true
+					break
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// Compare runs all four policies with fresh estimators over the same
+// trace.
+func Compare(cfg tage.Config, opts core.Options, front Config, tr trace.Trace, limit uint64) (map[ForkPolicy]Stats, error) {
+	out := make(map[ForkPolicy]Stats, 4)
+	for _, p := range []ForkPolicy{ForkNever, ForkLowConfidence, ForkLowOrMedium, ForkAlways} {
+		c := front
+		c.Policy = p
+		st, err := Run(core.NewEstimator(cfg, opts), tr, c, limit)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package multipath
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tage"
+	"repro/internal/workload"
+)
+
+func opts() core.Options { return core.Options{Mode: core.ModeProbabilistic} }
+
+func TestPolicyNames(t *testing.T) {
+	want := map[ForkPolicy]string{
+		ForkNever:         "never",
+		ForkLowConfidence: "fork-low",
+		ForkLowOrMedium:   "fork-low+medium",
+		ForkAlways:        "fork-always",
+	}
+	for p, n := range want {
+		if p.String() != n {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), n)
+		}
+	}
+	if ForkPolicy(9).String() != "invalid-policy" {
+		t.Error("invalid policy should stringify as invalid")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr, _ := workload.ByName("FP-1")
+	if _, err := Run(core.NewEstimator(tage.Small16K(), opts()), tr, Config{}, 100); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}
+
+func TestBaselineHasNoForks(t *testing.T) {
+	tr, _ := workload.ByName("INT-3")
+	cfg := DefaultConfig()
+	cfg.Policy = ForkNever
+	st, err := Run(core.NewEstimator(tage.Small16K(), opts()), tr, cfg, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Forks != 0 || st.DualPathFetched != 0 || st.SavedSquashes != 0 {
+		t.Fatalf("baseline forked: %+v", st)
+	}
+	if st.Branches != 20000 || st.Mispredicted == 0 {
+		t.Fatalf("degenerate baseline: %+v", st)
+	}
+}
+
+func TestForkingAvoidsSquashes(t *testing.T) {
+	tr, _ := workload.ByName("300.twolf")
+	st, err := Run(core.NewEstimator(tage.Small16K(), opts()), tr, DefaultConfig(), 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Forks == 0 {
+		t.Fatal("fork-low never forked on a hard trace")
+	}
+	if st.SavedSquashes == 0 {
+		t.Fatal("no squash ever avoided")
+	}
+	// The paper's low class mispredicts ~30%: fork accuracy should be in
+	// that region (far above the base misprediction rate).
+	base := float64(st.Mispredicted) / float64(st.Branches)
+	if st.ForkAccuracy() < 2*base {
+		t.Errorf("fork accuracy %.3f should be well above base rate %.3f",
+			st.ForkAccuracy(), base)
+	}
+}
+
+func TestConfidenceSelectivityBeatsForkAlways(t *testing.T) {
+	tr, _ := workload.ByName("INT-5")
+	all, err := Compare(tage.Small16K(), opts(), DefaultConfig(), tr, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, always := all[ForkLowConfidence], all[ForkAlways]
+	// Forking everything burns bandwidth on high-confidence branches whose
+	// second path is almost always discarded waste.
+	if low.WastedFraction() >= always.WastedFraction() {
+		t.Errorf("fork-low waste %.3f should undercut fork-always %.3f",
+			low.WastedFraction(), always.WastedFraction())
+	}
+	if low.ForkAccuracy() <= always.ForkAccuracy() {
+		t.Errorf("fork-low accuracy %.3f should beat fork-always %.3f",
+			low.ForkAccuracy(), always.ForkAccuracy())
+	}
+	if low.IPC() <= always.IPC() {
+		t.Errorf("fork-low IPC %.3f should beat fork-always %.3f", low.IPC(), always.IPC())
+	}
+}
+
+func TestForkLowBeatsBaselineOnHardTrace(t *testing.T) {
+	tr, _ := workload.ByName("300.twolf")
+	all, err := Compare(tage.Small16K(), opts(), DefaultConfig(), tr, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never, low := all[ForkNever], all[ForkLowConfidence]
+	// Avoided squashes must buy cycles: the forked run finishes no slower
+	// (and usually faster) on a misprediction-bound trace.
+	if low.Cycles > never.Cycles {
+		t.Errorf("fork-low %d cycles, baseline %d: dual-path should not lose", low.Cycles, never.Cycles)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr, _ := workload.ByName("MM-4")
+	a, err := Run(core.NewEstimator(tage.Small16K(), opts()), tr, DefaultConfig(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(core.NewEstimator(tage.Small16K(), opts()), tr, DefaultConfig(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var st Stats
+	if st.WastedFraction() != 0 || st.IPC() != 0 || st.ForkAccuracy() != 0 {
+		t.Fatal("zero stats accessors must be 0")
+	}
+	if st.String() == "" {
+		t.Fatal("String empty")
+	}
+}

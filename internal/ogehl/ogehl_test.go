@@ -1,0 +1,218 @@
+package ogehl
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func runTrace(p *Predictor, tr trace.Trace, limit uint64, skip int) (miss, total int) {
+	r := trace.Limit(tr, limit).Open()
+	n := 0
+	for {
+		b, err := r.Next()
+		if err != nil {
+			break
+		}
+		pred := p.Predict(b.PC)
+		if n >= skip && pred != b.Taken {
+			miss++
+		}
+		p.Update(b.PC, b.Taken)
+		n++
+	}
+	return miss, n - skip
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumTables: 1, LogSize: 10, CtrBits: 4, MinHist: 3, MaxHist: 100},
+		{NumTables: 8, LogSize: 0, CtrBits: 4, MinHist: 3, MaxHist: 100},
+		{NumTables: 8, LogSize: 10, CtrBits: 1, MinHist: 3, MaxHist: 100},
+		{NumTables: 8, LogSize: 10, CtrBits: 4, MinHist: 0, MaxHist: 100},
+		{NumTables: 8, LogSize: 10, CtrBits: 4, MinHist: 10, MaxHist: 5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	cfg := DefaultConfig()
+	want := 8 * 2048 * 4
+	if cfg.StorageBits() != want {
+		t.Fatalf("storage = %d, want %d", cfg.StorageBits(), want)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config must panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestUpdateWithoutPredictPanics(t *testing.T) {
+	p := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update without Predict must panic")
+		}
+	}()
+	p.Update(0x100, true)
+}
+
+func TestLearnsBias(t *testing.T) {
+	p := New(DefaultConfig())
+	prog := workload.NewBuilder("b", 7).SetLength(20000).
+		Block(1, 1, 1, workload.S(workload.Biased{P: 0.95})).
+		MustBuild()
+	miss, total := runTrace(p, prog, 0, 1000)
+	rate := float64(miss) / float64(total)
+	if rate > 0.08 {
+		t.Fatalf("miss rate %.3f on 0.95-biased branch", rate)
+	}
+}
+
+func TestLearnsPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	prog := workload.NewBuilder("pat", 8).SetLength(40000).
+		Block(1, 1, 1,
+			workload.S(workload.Pattern{Bits: []bool{true, true, false, true, false, false, true, false}}),
+		).
+		MustBuild()
+	miss, total := runTrace(p, prog, 0, 10000)
+	rate := float64(miss) / float64(total)
+	if rate > 0.05 {
+		t.Fatalf("miss rate %.3f on period-8 pattern, want ~0", rate)
+	}
+}
+
+func TestLearnsLongHistoryLoop(t *testing.T) {
+	// A trip-60 loop needs ~60 bits of history: O-GEHL's geometric series
+	// (up to 200) must capture it; a bimodal could not.
+	p := New(DefaultConfig())
+	prog := workload.NewBuilder("loop", 9).SetLength(60000).
+		Block(1, 1, 1, workload.S(workload.Loop{Trip: 60})).
+		MustBuild()
+	miss, total := runTrace(p, prog, 0, 20000)
+	rate := float64(miss) / float64(total)
+	if rate > 0.004 {
+		t.Fatalf("miss rate %.4f on trip-60 loop, want ~0", rate)
+	}
+}
+
+func TestThetaAdapts(t *testing.T) {
+	p := New(DefaultConfig())
+	initial := p.Theta()
+	tr, _ := workload.ByName("300.twolf") // hard: θ should move
+	runTrace(p, tr, 120000, 0)
+	if p.Theta() == initial {
+		t.Logf("theta unchanged at %d (acceptable but unusual on a hard trace)", initial)
+	}
+	if p.Theta() < 1 {
+		t.Fatalf("theta fell below 1: %d", p.Theta())
+	}
+}
+
+func TestCountersStayInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CtrBits = 3
+	p := New(cfg)
+	tr, _ := workload.ByName("INT-1")
+	runTrace(p, tr, 50000, 0)
+	for ti, tb := range p.tables {
+		for _, c := range tb {
+			if c > p.ctrMax || c < p.ctrMin {
+				t.Fatalf("table %d counter %d out of [%d,%d]", ti, c, p.ctrMin, p.ctrMax)
+			}
+		}
+	}
+}
+
+func TestSelfConfidenceSeparates(t *testing.T) {
+	// §2.2's characterization: low-confidence predictions mispredict at a
+	// much higher rate than high-confidence ones.
+	p := New(DefaultConfig())
+	tr, _ := workload.ByName("INT-3")
+	r := trace.Limit(tr, 150000).Open()
+	var hiMiss, hiTot, loMiss, loTot int
+	n := 0
+	for {
+		b, err := r.Next()
+		if err != nil {
+			break
+		}
+		pred := p.Predict(b.PC)
+		if n > 20000 {
+			if p.HighConfidence() {
+				hiTot++
+				if pred != b.Taken {
+					hiMiss++
+				}
+			} else {
+				loTot++
+				if pred != b.Taken {
+					loMiss++
+				}
+			}
+		}
+		p.Update(b.PC, b.Taken)
+		n++
+	}
+	if hiTot == 0 || loTot == 0 {
+		t.Fatalf("degenerate confidence split hi=%d lo=%d", hiTot, loTot)
+	}
+	hiRate := float64(hiMiss) / float64(hiTot)
+	loRate := float64(loMiss) / float64(loTot)
+	if loRate < 3*hiRate {
+		t.Fatalf("low-confidence rate %.3f should dwarf high-confidence %.3f", loRate, hiRate)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr, _ := workload.ByName("MM-3")
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	am, an := runTrace(a, tr, 30000, 0)
+	bm, bn := runTrace(b, tr, 30000, 0)
+	if am != bm || an != bn {
+		t.Fatal("nondeterministic O-GEHL run")
+	}
+}
+
+func TestCompetitiveAccuracy(t *testing.T) {
+	// O-GEHL at 64 Kbit should be in the same accuracy league as TAGE on a
+	// mixed trace (the championship-era predictors are close).
+	p := New(DefaultConfig())
+	tr, _ := workload.ByName("186.crafty")
+	miss, total := runTrace(p, tr, 100000, 10000)
+	rate := float64(miss) / float64(total)
+	if rate > 0.10 {
+		t.Fatalf("miss rate %.3f too high for a championship-class predictor", rate)
+	}
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(DefaultConfig())
+	tr, _ := workload.ByName("INT-2")
+	r := tr.Open()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := r.Next()
+		if err != nil {
+			r = tr.Open()
+			br, _ = r.Next()
+		}
+		p.Predict(br.PC)
+		p.Update(br.PC, br.Taken)
+	}
+}

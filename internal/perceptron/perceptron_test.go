@@ -1,0 +1,183 @@
+package perceptron
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func runTrace(p *Predictor, prog *workload.Program, skip int) (miss, total int) {
+	r := prog.Open()
+	n := 0
+	for {
+		br, err := r.Next()
+		if err != nil {
+			break
+		}
+		pred := p.Predict(br.PC)
+		if n >= skip && pred != br.Taken {
+			miss++
+		}
+		p.Update(br.PC, br.Taken)
+		n++
+	}
+	return miss, n - skip
+}
+
+func TestLearnsLinearlySeparablePattern(t *testing.T) {
+	// Outcome = previous outcome (lag-1 correlation) is linearly separable:
+	// a perceptron must learn it near-perfectly.
+	prog := workload.NewBuilder("corr", 3).SetLength(20000).
+		Block(1, 1, 1,
+			workload.S(workload.Biased{P: 0.5}),
+			workload.S(workload.Correlated{Lags: []int{1}}),
+		).
+		MustBuild()
+	p := New(10, 16)
+	miss, total := runTrace(p, prog, 2000)
+	rate := float64(miss) / float64(total)
+	// Half the branches are pure noise (~50% miss), the correlated half
+	// should be ~0: overall well under 35%.
+	if rate > 0.35 {
+		t.Fatalf("miss rate %.3f, want < 0.35", rate)
+	}
+}
+
+func TestLearnsBias(t *testing.T) {
+	prog := workload.NewBuilder("bias", 4).SetLength(10000).
+		Block(1, 1, 1, workload.S(workload.Biased{P: 0.95})).
+		MustBuild()
+	p := New(8, 12)
+	miss, total := runTrace(p, prog, 500)
+	rate := float64(miss) / float64(total)
+	if rate > 0.09 {
+		t.Fatalf("miss rate %.3f on 0.95-biased branch", rate)
+	}
+}
+
+func TestThetaRule(t *testing.T) {
+	p := New(8, 32)
+	h := 32.0
+	want := int32(1.93*h + 14)
+	if p.Theta() != want {
+		t.Fatalf("theta = %d, want %d", p.Theta(), want)
+	}
+}
+
+func TestConfidenceTracksSumMagnitude(t *testing.T) {
+	p := New(8, 8)
+	pc := uint64(0x400100)
+	// Cold predictor: sum 0, low confidence.
+	p.Predict(pc)
+	if p.HighConfidence() {
+		t.Fatal("cold prediction must be low confidence")
+	}
+	// Train hard on always-taken; sum must exceed theta eventually.
+	for i := 0; i < 500; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	p.Predict(pc)
+	if !p.HighConfidence() {
+		t.Fatalf("sum %d after heavy training, theta %d: want high confidence",
+			p.LastSum(), p.Theta())
+	}
+}
+
+func TestSelfConfidenceSeparatesMispredictions(t *testing.T) {
+	// On a mixed workload, the misprediction rate of low-confidence
+	// predictions must exceed that of high-confidence ones (the property
+	// the related work relies on).
+	prog := workload.NewBuilder("mix", 5).SetLength(60000).
+		Block(3, 1, 2,
+			workload.S(workload.Biased{P: 0.55}),
+			workload.S(workload.Const{Taken: true}),
+		).
+		Block(3, 2, 5,
+			workload.S(workload.Pattern{Bits: []bool{true, false, true, true}}),
+			workload.S(workload.Biased{P: 0.9}),
+		).
+		MustBuild()
+	p := New(10, 16)
+	r := prog.Open()
+	var hiMiss, hiTot, loMiss, loTot int
+	n := 0
+	for {
+		br, err := r.Next()
+		if err != nil {
+			break
+		}
+		pred := p.Predict(br.PC)
+		if n > 5000 {
+			if p.HighConfidence() {
+				hiTot++
+				if pred != br.Taken {
+					hiMiss++
+				}
+			} else {
+				loTot++
+				if pred != br.Taken {
+					loMiss++
+				}
+			}
+		}
+		p.Update(br.PC, br.Taken)
+		n++
+	}
+	if hiTot == 0 || loTot == 0 {
+		t.Fatalf("degenerate confidence split: hi=%d lo=%d", hiTot, loTot)
+	}
+	hiRate := float64(hiMiss) / float64(hiTot)
+	loRate := float64(loMiss) / float64(loTot)
+	if loRate <= hiRate {
+		t.Fatalf("low-confidence rate %.3f should exceed high-confidence rate %.3f", loRate, hiRate)
+	}
+}
+
+func TestWeightsClamped(t *testing.T) {
+	p := New(4, 4)
+	pc := uint64(0x100)
+	for i := 0; i < 1000; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	for _, w := range p.weights[p.index(pc)] {
+		if w > weightMax || w < weightMin {
+			t.Fatalf("weight %d escaped clamp", w)
+		}
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	cases := []struct {
+		logSize uint
+		histLen int
+	}{{0, 8}, {25, 8}, {8, 0}, {8, 2000}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", c.logSize, c.histLen)
+				}
+			}()
+			New(c.logSize, c.histLen)
+		}()
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := New(6, 15)
+	want := 64 * 16 * 8
+	if p.StorageBits() != want {
+		t.Fatalf("storage = %d, want %d", p.StorageBits(), want)
+	}
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(10, 32)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i*13) & 0xFFFF
+		_ = p.Predict(pc)
+		p.Update(pc, i&3 != 0)
+	}
+}

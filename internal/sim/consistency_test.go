@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestBinaryAndClassDriversAgree cross-checks the two simulation paths:
+// the class-statistics driver (Run) and the binary-confusion driver
+// (RunTAGEBinary) must see the identical prediction stream, so totals and
+// the high-level split must match exactly.
+func TestBinaryAndClassDriversAgree(t *testing.T) {
+	tr, _ := workload.ByName("197.parser")
+	opts := core.Options{Mode: core.ModeProbabilistic}
+
+	full, err := Run(core.NewEstimator(tage.Small16K(), opts), tr, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := RunTAGEBinary(core.NewEstimator(tage.Small16K(), opts), tr, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if full.Total != bin.Total {
+		t.Fatalf("totals diverge: %+v vs %+v", full.Total, bin.Total)
+	}
+	hi := full.Level(core.High)
+	if bin.Confusion.HighCorrect+bin.Confusion.HighWrong != hi.Preds {
+		t.Fatalf("high-level predictions: %d vs %d",
+			bin.Confusion.HighCorrect+bin.Confusion.HighWrong, hi.Preds)
+	}
+	if bin.Confusion.HighWrong != hi.Misps {
+		t.Fatalf("high-level mispredictions: %d vs %d", bin.Confusion.HighWrong, hi.Misps)
+	}
+}
+
+// TestSuiteAggregateEqualsManualSum re-derives the aggregate from the
+// per-trace results.
+func TestSuiteAggregateEqualsManualSum(t *testing.T) {
+	traces := workload.CBP1()[:4]
+	sr, err := RunSuite(tage.Small16K(), core.Options{}, traces, 15000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manual Result
+	for _, res := range sr.PerTrace {
+		manual.Add(res)
+	}
+	if manual.Total != sr.Aggregate.Total {
+		t.Fatalf("aggregate totals: %+v vs %+v", manual.Total, sr.Aggregate.Total)
+	}
+	for i := range manual.Class {
+		if manual.Class[i] != sr.Aggregate.Class[i] {
+			t.Fatalf("class %d aggregate mismatch", i)
+		}
+	}
+	if manual.Instructions != sr.Aggregate.Instructions {
+		t.Fatal("instruction totals mismatch")
+	}
+}
+
+// TestFreshEstimatorPerTrace verifies that suite runs do not leak state
+// across traces: running trace B alone equals running it after trace A in
+// a suite.
+func TestFreshEstimatorPerTrace(t *testing.T) {
+	a, _ := workload.ByName("FP-1")
+	b, _ := workload.ByName("MM-1")
+	suite, err := RunSuite(tage.Small16K(), core.Options{}, []trace.Trace{a, b}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, err := RunConfig(tage.Small16K(), core.Options{}, b, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.PerTrace[1].Total != alone.Total {
+		t.Fatalf("state leaked across suite traces: %+v vs %+v",
+			suite.PerTrace[1].Total, alone.Total)
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gshare"
+	"repro/internal/jrs"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestRunBasicInvariants(t *testing.T) {
+	est := core.NewEstimator(tage.Small16K(), core.Options{Mode: core.ModeProbabilistic})
+	tr, _ := workload.ByName("FP-1")
+	res, err := Run(est, tr, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != "FP-1" || res.Config != "16Kbits" || res.Mode != core.ModeProbabilistic {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if res.Branches != 50000 {
+		t.Fatalf("branches = %d", res.Branches)
+	}
+	if res.Instructions <= res.Branches {
+		t.Fatal("instructions must exceed branches")
+	}
+	// Class counts must sum to totals.
+	var preds, misps uint64
+	for _, c := range core.Classes() {
+		preds += res.Class[c].Preds
+		misps += res.Class[c].Misps
+	}
+	if preds != res.Total.Preds || misps != res.Total.Misps {
+		t.Fatalf("class sums (%d,%d) != totals (%d,%d)", preds, misps, res.Total.Preds, res.Total.Misps)
+	}
+	if res.Total.Preds != res.Branches {
+		t.Fatal("every branch must be predicted exactly once")
+	}
+	if res.FinalProbability != 1.0/128 {
+		t.Fatalf("final probability = %v", res.FinalProbability)
+	}
+}
+
+func TestLevelAggregation(t *testing.T) {
+	est := core.NewEstimator(tage.Small16K(), core.Options{Mode: core.ModeProbabilistic})
+	tr, _ := workload.ByName("INT-2")
+	res, err := Run(est, tr, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lvlPreds uint64
+	for _, l := range core.Levels() {
+		lvlPreds += res.Level(l).Preds
+	}
+	if lvlPreds != res.Total.Preds {
+		t.Fatal("level aggregation must partition all predictions")
+	}
+	// The three-level property: rate(low) > rate(medium) > rate(high).
+	lo, med, hi := res.Level(core.Low).MKP(), res.Level(core.Medium).MKP(), res.Level(core.High).MKP()
+	if !(lo > med && med > hi) {
+		t.Fatalf("level rates not ordered: low=%.1f med=%.1f high=%.1f MKP", lo, med, hi)
+	}
+}
+
+func TestCoverageAccessors(t *testing.T) {
+	est := core.NewEstimator(tage.Small16K(), core.Options{})
+	tr, _ := workload.ByName("MM-1")
+	res, err := Run(est, tr, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pcov, mpcov, classMPKI float64
+	for _, c := range core.Classes() {
+		pcov += res.Pcov(c)
+		mpcov += res.MPcov(c)
+		classMPKI += res.ClassMPKI(c)
+	}
+	if math.Abs(pcov-1) > 1e-9 {
+		t.Fatalf("Pcov sums to %v", pcov)
+	}
+	if res.Total.Misps > 0 && math.Abs(mpcov-1) > 1e-9 {
+		t.Fatalf("MPcov sums to %v", mpcov)
+	}
+	if math.Abs(classMPKI-res.MPKI()) > 1e-9 {
+		t.Fatalf("class MPKI sums to %v, total %v", classMPKI, res.MPKI())
+	}
+}
+
+func TestRunSuiteAggregates(t *testing.T) {
+	traces := []trace.Trace{workload.CBP1()[0], workload.CBP1()[5]}
+	sr, err := RunSuite(tage.Small16K(), core.Options{}, traces, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.PerTrace) != 2 {
+		t.Fatalf("per-trace count = %d", len(sr.PerTrace))
+	}
+	if sr.Aggregate.Branches != sr.PerTrace[0].Branches+sr.PerTrace[1].Branches {
+		t.Fatal("aggregate branches mismatch")
+	}
+	if sr.Aggregate.Total.Misps != sr.PerTrace[0].Total.Misps+sr.PerTrace[1].Total.Misps {
+		t.Fatal("aggregate mispredictions mismatch")
+	}
+	if sr.Aggregate.Trace != "aggregate" || sr.Aggregate.Config != "16Kbits" {
+		t.Fatalf("aggregate metadata: %+v", sr.Aggregate)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr, _ := workload.ByName("SERV-1")
+	a, _ := RunConfig(tage.Small16K(), core.Options{Mode: core.ModeProbabilistic}, tr, 30000)
+	b, _ := RunConfig(tage.Small16K(), core.Options{Mode: core.ModeProbabilistic}, tr, 30000)
+	if a.Total != b.Total {
+		t.Fatalf("nondeterministic run: %+v vs %+v", a.Total, b.Total)
+	}
+	for i := range a.Class {
+		if a.Class[i] != b.Class[i] {
+			t.Fatalf("class %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestRunBinaryJRS(t *testing.T) {
+	tr, _ := workload.ByName("INT-1")
+	p := gshare.New(12, 10)
+	e := jrs.NewDefault(12, 10)
+	res, err := RunBinary(p, e, tr, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != res.Total.Preds {
+		t.Fatal("confusion total mismatch")
+	}
+	// JRS PVP must be high; PVN should be meaningfully above the base rate.
+	if res.Confusion.PVP() < 0.9 {
+		t.Errorf("JRS PVP = %.3f, want > 0.9", res.Confusion.PVP())
+	}
+	base := res.Total.Rate()
+	if res.Confusion.PVN() < 2*base {
+		t.Errorf("JRS PVN = %.3f, want well above base rate %.3f", res.Confusion.PVN(), base)
+	}
+}
+
+func TestRunTAGEBinary(t *testing.T) {
+	tr, _ := workload.ByName("INT-1")
+	est := core.NewEstimator(tage.Small16K(), core.Options{Mode: core.ModeProbabilistic})
+	res, err := RunTAGEBinary(est, tr, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != res.Total.Preds {
+		t.Fatal("confusion total mismatch")
+	}
+	// The high-confidence class must be very clean (paper: < 1%).
+	if res.Confusion.PVP() < 0.97 {
+		t.Errorf("storage-free PVP = %.3f, want > 0.97", res.Confusion.PVP())
+	}
+}
+
+func TestResultAddMergesMetadata(t *testing.T) {
+	var agg Result
+	agg.Add(Result{Trace: "x", Config: "c", Branches: 5})
+	if agg.Trace != "x" || agg.Config != "c" || agg.Branches != 5 {
+		t.Fatalf("Add did not adopt metadata: %+v", agg)
+	}
+}
+
+func TestMPKIZeroInstr(t *testing.T) {
+	var r Result
+	if r.MPKI() != 0 {
+		t.Fatal("zero-instruction MPKI must be 0")
+	}
+}

@@ -1,0 +1,353 @@
+// Package smtpolicy models confidence-driven SMT fetch policies (Luo,
+// Franklin, Mukherjee & Seznec, IPDPS 2001), the resource-allocation
+// application of branch confidence estimation cited by the paper (§2.1).
+//
+// Several hardware threads share one fetch port. Each cycle the policy
+// picks the thread to fetch for. Wrong-path instructions fetched for a
+// thread whose in-flight branch will mispredict waste the shared port, so
+// a policy that deprioritizes threads with low-confidence in-flight
+// branches ("confidence throttling") raises total useful throughput over
+// round-robin or instruction-count-based policies.
+package smtpolicy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/tage"
+	"repro/internal/trace"
+)
+
+// Policy selects the thread to fetch for each cycle.
+type Policy uint8
+
+const (
+	// RoundRobin alternates threads regardless of state.
+	RoundRobin Policy = iota
+	// ICount fetches for the thread with the fewest in-flight
+	// instructions (classic SMT fetch heuristic).
+	ICount
+	// ConfidenceThrottle fetches for the thread with the least in-flight
+	// confidence boost (low-confidence branches weigh most), skipping
+	// threads whose boost is at or above the gate threshold.
+	ConfidenceThrottle
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case ICount:
+		return "icount"
+	case ConfidenceThrottle:
+		return "confidence"
+	default:
+		return "invalid-policy"
+	}
+}
+
+// Config parameterizes the shared front end.
+type Config struct {
+	// FetchWidth is instructions fetched per cycle for the chosen thread.
+	FetchWidth int
+	// ResolveDelay is the fetch-to-resolve latency in cycles.
+	ResolveDelay int
+	// LowBoost/MediumBoost/HighBoost weigh in-flight branches for
+	// ConfidenceThrottle.
+	LowBoost, MediumBoost, HighBoost int
+	// GateThreshold: a thread at or above this boost is not fetched at all
+	// this cycle (0 disables the hard gate; relative ordering still
+	// applies).
+	GateThreshold int
+	// Policy selects the arbitration heuristic.
+	Policy Policy
+}
+
+// DefaultConfig returns a representative 2-way SMT front end
+// configuration using confidence throttling.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:    4,
+		ResolveDelay:  12,
+		LowBoost:      4,
+		MediumBoost:   2,
+		HighBoost:     0,
+		GateThreshold: 8,
+		Policy:        ConfidenceThrottle,
+	}
+}
+
+func (c Config) validate() error {
+	if c.FetchWidth < 1 || c.ResolveDelay < 1 {
+		return errors.New("smtpolicy: FetchWidth and ResolveDelay must be >= 1")
+	}
+	return nil
+}
+
+// ThreadStats reports one thread's outcome.
+type ThreadStats struct {
+	Trace            string
+	UsefulFetched    uint64
+	WrongPathFetched uint64
+	Branches         uint64
+	Mispredictions   uint64
+	FetchCycles      uint64 // cycles this thread owned the port
+}
+
+// Stats reports a whole SMT run.
+type Stats struct {
+	Policy  Policy
+	Cycles  uint64
+	Threads []ThreadStats
+}
+
+// TotalUseful sums useful instructions over threads.
+func (s Stats) TotalUseful() uint64 {
+	var t uint64
+	for _, th := range s.Threads {
+		t += th.UsefulFetched
+	}
+	return t
+}
+
+// TotalWrongPath sums wrong-path instructions over threads.
+func (s Stats) TotalWrongPath() uint64 {
+	var t uint64
+	for _, th := range s.Threads {
+		t += th.WrongPathFetched
+	}
+	return t
+}
+
+// Throughput is total useful instructions per cycle.
+func (s Stats) Throughput() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TotalUseful()) / float64(s.Cycles)
+}
+
+// WrongPathFraction is the wrong-path share of all fetched instructions.
+func (s Stats) WrongPathFraction() float64 {
+	total := s.TotalUseful() + s.TotalWrongPath()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TotalWrongPath()) / float64(total)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%v: cycles=%d throughput=%.2f wrongPath=%.1f%%",
+		s.Policy, s.Cycles, s.Throughput(), 100*s.WrongPathFraction())
+}
+
+type inflight struct {
+	resolveAt    uint64
+	level        core.Level
+	mispredicted bool
+}
+
+type thread struct {
+	est        *core.Estimator
+	reader     trace.Reader
+	stats      ThreadStats
+	pending    []inflight
+	wrongPath  bool
+	cur        trace.Branch
+	recordLeft int
+	haveRecord bool
+	done       bool
+}
+
+func (t *thread) active() bool { return !t.done || len(t.pending) > 0 }
+
+func (t *thread) inflightInstr() int {
+	// Proxy: each unresolved branch holds a record's worth of instructions.
+	return len(t.pending)
+}
+
+func (t *thread) boost(cfg Config) int {
+	b := 0
+	for _, f := range t.pending {
+		switch f.level {
+		case core.Low:
+			b += cfg.LowBoost
+		case core.Medium:
+			b += cfg.MediumBoost
+		default:
+			b += cfg.HighBoost
+		}
+	}
+	return b
+}
+
+func (t *thread) resolve(cycle uint64) {
+	for len(t.pending) > 0 && t.pending[0].resolveAt <= cycle {
+		f := t.pending[0]
+		t.pending = t.pending[1:]
+		t.stats.Branches++
+		if f.mispredicted {
+			t.stats.Mispredictions++
+			t.wrongPath = false
+		}
+	}
+}
+
+// fetch consumes up to width instructions for the thread at cycle.
+func (t *thread) fetch(cycle uint64, cfg Config) error {
+	t.stats.FetchCycles++
+	budget := cfg.FetchWidth
+	for budget > 0 {
+		if t.wrongPath {
+			t.stats.WrongPathFetched += uint64(budget)
+			return nil
+		}
+		if !t.haveRecord {
+			if t.done {
+				return nil
+			}
+			b, err := t.reader.Next()
+			if errors.Is(err, io.EOF) {
+				t.done = true
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			t.cur = b
+			t.recordLeft = int(b.Instr)
+			t.haveRecord = true
+		}
+		n := t.recordLeft
+		if n > budget {
+			n = budget
+		}
+		t.stats.UsefulFetched += uint64(n)
+		t.recordLeft -= n
+		budget -= n
+		if t.recordLeft == 0 {
+			t.haveRecord = false
+			pred, _, level := t.est.Predict(t.cur.PC)
+			miss := pred != t.cur.Taken
+			t.est.Update(t.cur.PC, t.cur.Taken)
+			t.pending = append(t.pending, inflight{
+				resolveAt:    cycle + uint64(cfg.ResolveDelay),
+				level:        level,
+				mispredicted: miss,
+			})
+			if miss {
+				t.wrongPath = true
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Run simulates the SMT front end over one trace per thread, building a
+// fresh estimator per thread from (cfg, opts).
+func Run(cfg tage.Config, opts core.Options, smt Config, traces []trace.Trace, limit uint64) (Stats, error) {
+	if err := smt.validate(); err != nil {
+		return Stats{}, err
+	}
+	if len(traces) == 0 {
+		return Stats{}, errors.New("smtpolicy: no threads")
+	}
+	threads := make([]*thread, len(traces))
+	for i, tr := range traces {
+		threads[i] = &thread{
+			est:    core.NewEstimator(cfg, opts),
+			reader: trace.Limit(tr, limit).Open(),
+		}
+		threads[i].stats.Trace = tr.Name()
+	}
+	st := Stats{Policy: smt.Policy}
+	rr := 0
+	for {
+		// Standard SMT methodology: measure the co-run window only, ending
+		// when the first thread exhausts its trace (continuing would tail
+		// into single-threaded execution and bias the policy comparison).
+		coRunning := true
+		for _, t := range threads {
+			if t.done {
+				coRunning = false
+				break
+			}
+		}
+		if !coRunning {
+			break
+		}
+		st.Cycles++
+		cycle := st.Cycles
+		for _, t := range threads {
+			t.resolve(cycle)
+		}
+
+		pick := -1
+		switch smt.Policy {
+		case RoundRobin:
+			for i := 0; i < len(threads); i++ {
+				cand := (rr + i) % len(threads)
+				if threads[cand].active() {
+					pick = cand
+					break
+				}
+			}
+			rr = (pick + 1) % len(threads)
+		case ICount:
+			best := 1 << 30
+			for i, t := range threads {
+				if t.active() && t.inflightInstr() < best {
+					best = t.inflightInstr()
+					pick = i
+				}
+			}
+		case ConfidenceThrottle:
+			best := 1 << 30
+			for i, t := range threads {
+				if !t.active() {
+					continue
+				}
+				b := t.boost(smt)
+				if smt.GateThreshold > 0 && b >= smt.GateThreshold {
+					continue
+				}
+				// Tie-break by in-flight count for fairness.
+				score := b*1024 + t.inflightInstr()
+				if score < best {
+					best = score
+					pick = i
+				}
+			}
+			if pick < 0 {
+				// Every thread is gated: stay work-conserving and fetch
+				// for the least-boost active thread rather than idle the
+				// shared port.
+				for i, t := range threads {
+					if !t.active() {
+						continue
+					}
+					if score := t.boost(smt)*1024 + t.inflightInstr(); score < best {
+						best = score
+						pick = i
+					}
+				}
+			}
+		default:
+			return st, fmt.Errorf("smtpolicy: unknown policy %d", smt.Policy)
+		}
+		if pick < 0 {
+			continue
+		}
+		if err := threads[pick].fetch(cycle, smt); err != nil {
+			return st, err
+		}
+	}
+	for _, t := range threads {
+		st.Threads = append(st.Threads, t.stats)
+	}
+	return st, nil
+}

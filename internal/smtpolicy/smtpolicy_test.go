@@ -1,0 +1,146 @@
+package smtpolicy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func twoThreads(t *testing.T) []trace.Trace {
+	t.Helper()
+	a, err := workload.ByName("252.eon") // predictable
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByName("300.twolf") // unpredictable
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []trace.Trace{a, b}
+}
+
+func opts() core.Options { return core.Options{Mode: core.ModeProbabilistic} }
+
+func runPolicy(t *testing.T, p Policy, traces []trace.Trace, limit uint64) Stats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = p
+	st, err := Run(tage.Small16K(), opts(), cfg, traces, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPolicyNames(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || ICount.String() != "icount" ||
+		ConfidenceThrottle.String() != "confidence" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "invalid-policy" {
+		t.Fatal("invalid policy should stringify as invalid")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(tage.Small16K(), opts(), Config{}, twoThreads(t), 100); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+	cfg := DefaultConfig()
+	if _, err := Run(tage.Small16K(), opts(), cfg, nil, 100); err == nil {
+		t.Fatal("no threads must be rejected")
+	}
+	cfg.Policy = Policy(42)
+	if _, err := Run(tage.Small16K(), opts(), cfg, twoThreads(t), 100); err == nil {
+		t.Fatal("unknown policy must be rejected")
+	}
+}
+
+func TestRunMeasuresCoRunWindow(t *testing.T) {
+	st := runPolicy(t, RoundRobin, twoThreads(t), 10000)
+	if len(st.Threads) != 2 {
+		t.Fatalf("thread stats count = %d", len(st.Threads))
+	}
+	var maxBranches uint64
+	for _, th := range st.Threads {
+		if th.Branches > 10000 {
+			t.Fatalf("thread %s resolved %d branches, beyond its trace", th.Trace, th.Branches)
+		}
+		if th.UsefulFetched == 0 {
+			t.Fatalf("thread %s fetched nothing useful", th.Trace)
+		}
+		if th.Branches > maxBranches {
+			maxBranches = th.Branches
+		}
+	}
+	// The run ends when the first thread exhausts its trace: that thread
+	// must have made it (nearly) through.
+	if maxBranches < 9000 {
+		t.Fatalf("co-run window ended early: max %d branches", maxBranches)
+	}
+	if st.Cycles == 0 || st.TotalUseful() == 0 {
+		t.Fatal("degenerate run")
+	}
+}
+
+func TestConfidenceThrottleBeatsRoundRobinOnWrongPath(t *testing.T) {
+	traces := twoThreads(t)
+	rr := runPolicy(t, RoundRobin, traces, 30000)
+	ct := runPolicy(t, ConfidenceThrottle, traces, 30000)
+	if ct.WrongPathFraction() >= rr.WrongPathFraction() {
+		t.Errorf("confidence throttling wrong-path %.3f should beat round-robin %.3f",
+			ct.WrongPathFraction(), rr.WrongPathFraction())
+	}
+}
+
+func TestICountRuns(t *testing.T) {
+	st := runPolicy(t, ICount, twoThreads(t), 15000)
+	if st.TotalUseful() == 0 {
+		t.Fatal("icount degenerate")
+	}
+}
+
+func TestThroughputAccessorsZeroSafe(t *testing.T) {
+	var st Stats
+	if st.Throughput() != 0 || st.WrongPathFraction() != 0 {
+		t.Fatal("zero stats accessors must be 0")
+	}
+	if st.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	traces := twoThreads(t)
+	a := runPolicy(t, ConfidenceThrottle, traces, 10000)
+	b := runPolicy(t, ConfidenceThrottle, traces, 10000)
+	if a.Cycles != b.Cycles || a.TotalUseful() != b.TotalUseful() || a.TotalWrongPath() != b.TotalWrongPath() {
+		t.Fatal("nondeterministic SMT run")
+	}
+}
+
+func TestFourThreads(t *testing.T) {
+	var traces []trace.Trace
+	for _, n := range []string{"FP-1", "INT-3", "MM-2", "SERV-1"} {
+		tr, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	st := runPolicy(t, ConfidenceThrottle, traces, 8000)
+	if len(st.Threads) != 4 {
+		t.Fatalf("threads = %d", len(st.Threads))
+	}
+	for _, th := range st.Threads {
+		if th.Branches == 0 {
+			t.Fatalf("thread %s made no progress", th.Trace)
+		}
+		if th.Branches > 8000 {
+			t.Fatalf("thread %s overran its trace: %d branches", th.Trace, th.Branches)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package tage implements the TAGE conditional branch predictor (Seznec &
+// Michaud, JILP 2006): a bimodal base predictor backed by several partially
+// tagged tables indexed with geometrically increasing global-history
+// lengths.
+//
+// The implementation follows the reference simulator's structure: folded
+// (cyclic-shift-register) history compressions for index and tag
+// computation, a path-history hash, per-entry signed prediction counters
+// and useful counters, the USE_ALT_ON_NA newly-allocated-entry heuristic,
+// misprediction-driven allocation preferring shorter histories, and
+// periodic graceful aging of the useful counters.
+//
+// Everything the paper's storage-free confidence estimator needs to observe
+// — which component provided the prediction and the value of its prediction
+// counter — is exposed through the Observation returned by Predict.
+package tage
+
+import (
+	"fmt"
+
+	"repro/internal/bimodal"
+	"repro/internal/counter"
+	"repro/internal/history"
+	"repro/internal/xrand"
+)
+
+// ProviderBimodal is the Observation.Provider value meaning the base
+// bimodal component provided the prediction.
+const ProviderBimodal = -1
+
+// Observation captures everything visible at the outputs of the predictor
+// components for one prediction — the raw material of the paper's
+// storage-free confidence estimation.
+type Observation struct {
+	// PC is the branch the observation belongs to.
+	PC uint64
+	// Pred is the final prediction.
+	Pred bool
+	// AltPred is the prediction that would have been made had the provider
+	// component missed (the next hitting component, or the base predictor).
+	AltPred bool
+	// Provider is the tagged table index (0-based, longer history = larger
+	// index) or ProviderBimodal.
+	Provider int
+	// ProviderCtr is the provider's signed prediction counter (tagged
+	// provider only).
+	ProviderCtr int8
+	// ProviderU is the provider's useful counter (tagged provider only).
+	ProviderU uint8
+	// BimCtr is the base bimodal counter for this branch (always valid).
+	BimCtr counter.Bimodal
+	// UsedAlt reports that the final prediction came from the alternate
+	// prediction under the USE_ALT_ON_NA heuristic.
+	UsedAlt bool
+	// AltProvider is the table index of the alternate provider, or
+	// ProviderBimodal.
+	AltProvider int
+	// AltCtr is the alternate provider's counter (tagged alternate only).
+	AltCtr int8
+}
+
+// Tagged reports whether the prediction was provided by a tagged component.
+func (o Observation) Tagged() bool { return o.Provider != ProviderBimodal }
+
+// Strength returns |2·ctr+1| of the provider counter for tagged providers,
+// the paper's tagged-class discriminator; it returns 0 for bimodal
+// providers.
+func (o Observation) Strength() int {
+	if !o.Tagged() {
+		return 0
+	}
+	return counter.Strength(o.ProviderCtr)
+}
+
+type entry struct {
+	ctr int8
+	tag uint16
+	u   uint8
+}
+
+type table struct {
+	entries   []entry
+	histLen   int
+	indexFold *history.Folded
+	tagFold1  *history.Folded
+	tagFold2  *history.Folded
+}
+
+// Predictor is a TAGE predictor instance. It is not safe for concurrent
+// use; simulate one stream per Predictor.
+type Predictor struct {
+	cfg    Config
+	base   *bimodal.Predictor
+	tables []table
+
+	ghist *history.Buffer
+	phist *history.Path
+
+	useAltOnNA int8 // 4-bit signed: >= 0 favors altpred on weak new entries
+
+	auto counter.Automaton
+	rng  *xrand.Rand
+
+	tick uint64
+
+	// Per-prediction scratch captured by Predict for the paired Update.
+	lastObs      Observation
+	havePred     bool
+	indices      []uint32
+	tags         []uint16
+	hitBank      int // 1-based; 0 = none
+	altBank      int // 1-based; 0 = none
+	longestPred  bool
+	allocScratch []int
+}
+
+// New builds a predictor with the standard saturating-counter automaton.
+func New(cfg Config) *Predictor {
+	return NewWithAutomaton(cfg, counter.Standard{})
+}
+
+// NewWithAutomaton builds a predictor whose tagged prediction counters are
+// driven by the given update automaton — counter.Standard{} for the
+// unmodified TAGE, or a *counter.Probabilistic for the paper's §6
+// modification.
+func NewWithAutomaton(cfg Config, auto counter.Automaton) *Predictor {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	maxHist := cfg.HistLengths[len(cfg.HistLengths)-1]
+	p := &Predictor{
+		cfg:     cfg,
+		base:    bimodal.New(cfg.BimodalLog),
+		tables:  make([]table, len(cfg.HistLengths)),
+		ghist:   history.NewBuffer(maxHist + 2),
+		phist:   history.NewPath(cfg.PathBits),
+		auto:    auto,
+		rng:     xrand.New(xrand.Mix64(cfg.Seed ^ 0x7A6E)),
+		indices: make([]uint32, len(cfg.HistLengths)+1),
+		tags:    make([]uint16, len(cfg.HistLengths)+1),
+
+		allocScratch: make([]int, 0, len(cfg.HistLengths)),
+	}
+	tagBits := int(cfg.TagBits)
+	for i := range p.tables {
+		hl := cfg.HistLengths[i]
+		t2 := tagBits - 1
+		if t2 < 1 {
+			t2 = 1
+		}
+		p.tables[i] = table{
+			entries:   make([]entry, 1<<cfg.TaggedLog),
+			histLen:   hl,
+			indexFold: history.NewFolded(hl, int(cfg.TaggedLog)),
+			tagFold1:  history.NewFolded(hl, tagBits),
+			tagFold2:  history.NewFolded(hl, t2),
+		}
+	}
+	return p
+}
+
+// Config returns the (normalized) configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Automaton returns the installed tagged-counter update automaton.
+func (p *Predictor) Automaton() counter.Automaton { return p.auto }
+
+// pathHash implements the F() path-history mixing function of the
+// reference TAGE simulator for table bank (1-based).
+func (p *Predictor) pathHash(bank int) uint32 {
+	logg := uint(p.cfg.TaggedLog)
+	size := p.tables[bank-1].histLen
+	if size > int(p.cfg.PathBits) {
+		size = int(p.cfg.PathBits)
+	}
+	a := p.phist.Value() & ((1 << uint(size)) - 1)
+	mask := (uint32(1) << logg) - 1
+	a1 := a & mask
+	a2 := a >> logg
+	sh := uint(bank) % logg
+	a2 = ((a2 << sh) & mask) + (a2 >> (logg - sh))
+	a = a1 ^ a2
+	a = ((a << sh) & mask) + (a >> (logg - sh))
+	return a & mask
+}
+
+// tableIndex computes the index into tagged table bank (1-based).
+func (p *Predictor) tableIndex(pc uint64, bank int) uint32 {
+	t := &p.tables[bank-1]
+	logg := uint(p.cfg.TaggedLog)
+	idx := uint32(pc>>2) ^ uint32(pc>>(2+logg)) ^ t.indexFold.Value() ^ p.pathHash(bank)
+	return idx & ((1 << logg) - 1)
+}
+
+// tableTag computes the partial tag for table bank (1-based).
+func (p *Predictor) tableTag(pc uint64, bank int) uint16 {
+	t := &p.tables[bank-1]
+	tag := uint32(pc>>2) ^ t.tagFold1.Value() ^ (t.tagFold2.Value() << 1)
+	return uint16(tag & ((1 << p.cfg.TagBits) - 1))
+}
+
+// Predict computes the prediction for pc and returns the component
+// observation. Each Predict must be followed by exactly one Update for the
+// same pc before predicting the next branch.
+func (p *Predictor) Predict(pc uint64) Observation {
+	m := len(p.tables)
+	p.hitBank, p.altBank = 0, 0
+	for bank := 1; bank <= m; bank++ {
+		p.indices[bank] = p.tableIndex(pc, bank)
+		p.tags[bank] = p.tableTag(pc, bank)
+	}
+	for bank := m; bank >= 1; bank-- {
+		if p.tables[bank-1].entries[p.indices[bank]].tag == p.tags[bank] {
+			if p.hitBank == 0 {
+				p.hitBank = bank
+			} else {
+				p.altBank = bank
+				break
+			}
+		}
+	}
+
+	obs := Observation{
+		PC:          pc,
+		Provider:    ProviderBimodal,
+		AltProvider: ProviderBimodal,
+		BimCtr:      p.base.Counter(pc),
+	}
+	basePred := obs.BimCtr.Taken()
+
+	if p.hitBank == 0 {
+		obs.Pred = basePred
+		obs.AltPred = basePred
+		p.longestPred = basePred
+		p.lastObs = obs
+		p.havePred = true
+		return obs
+	}
+
+	provider := &p.tables[p.hitBank-1].entries[p.indices[p.hitBank]]
+	p.longestPred = counter.TakenSigned(provider.ctr)
+
+	altPred := basePred
+	if p.altBank > 0 {
+		alt := &p.tables[p.altBank-1].entries[p.indices[p.altBank]]
+		altPred = counter.TakenSigned(alt.ctr)
+		obs.AltProvider = p.altBank - 1
+		obs.AltCtr = alt.ctr
+	}
+
+	obs.Provider = p.hitBank - 1
+	obs.ProviderCtr = provider.ctr
+	obs.ProviderU = provider.u
+	obs.AltPred = altPred
+
+	// Prediction selection (paper §3.1): use the provider counter unless it
+	// is weak and USE_ALT_ON_NA is non-negative.
+	if p.cfg.DisableUseAltOnNA || p.useAltOnNA < 0 || !counter.WeakSigned(provider.ctr) {
+		obs.Pred = p.longestPred
+	} else {
+		obs.Pred = altPred
+		obs.UsedAlt = obs.Pred != p.longestPred
+	}
+
+	p.lastObs = obs
+	p.havePred = true
+	return obs
+}
+
+// Update resolves the branch predicted by the immediately preceding
+// Predict call, training tables, allocating entries on mispredictions, and
+// advancing the global/path histories.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	if !p.havePred || p.lastObs.PC != pc {
+		panic(fmt.Sprintf("tage: Update(%#x) without matching Predict (last %#x)", pc, p.lastObs.PC))
+	}
+	p.havePred = false
+	obs := p.lastObs
+	m := len(p.tables)
+	ctrBits := p.cfg.CtrBits
+
+	// Allocation on misprediction when a longer-history table exists.
+	if obs.Pred != taken && p.hitBank < m {
+		p.allocate(taken)
+	}
+
+	if p.hitBank > 0 {
+		provider := &p.tables[p.hitBank-1].entries[p.indices[p.hitBank]]
+
+		// USE_ALT_ON_NA monitors whether the alternate prediction beats a
+		// weak ("newly allocated") provider.
+		if counter.WeakSigned(provider.ctr) && p.longestPred != obs.AltPred {
+			if obs.AltPred == taken {
+				if p.useAltOnNA < 7 {
+					p.useAltOnNA++
+				}
+			} else if p.useAltOnNA > -8 {
+				p.useAltOnNA--
+			}
+		}
+
+		// When the provider entry is not yet established (u == 0), also
+		// train the alternate prediction source.
+		if provider.u == 0 {
+			if p.altBank > 0 {
+				alt := &p.tables[p.altBank-1].entries[p.indices[p.altBank]]
+				alt.ctr = p.auto.Update(alt.ctr, ctrBits, taken)
+			} else {
+				p.base.Update(pc, taken)
+			}
+		}
+
+		provider.ctr = p.auto.Update(provider.ctr, ctrBits, taken)
+
+		// Useful counter: credit the provider when it disagreed with the
+		// alternate prediction and was right; debit when wrong.
+		if p.longestPred != obs.AltPred {
+			if p.longestPred == taken {
+				provider.u = counter.IncUnsigned(provider.u, p.cfg.UBits)
+			} else {
+				provider.u = counter.DecUnsigned(provider.u)
+			}
+		}
+	} else {
+		p.base.Update(pc, taken)
+	}
+
+	// Graceful aging of useful counters: a one-bit right shift of every u
+	// every UResetPeriod updates.
+	p.tick++
+	if p.tick&(p.cfg.UResetPeriod-1) == 0 {
+		for i := range p.tables {
+			es := p.tables[i].entries
+			for j := range es {
+				es[j].u >>= 1
+			}
+		}
+	}
+
+	// Advance histories.
+	p.ghist.Push(taken)
+	p.phist.Push(pc)
+	for i := range p.tables {
+		t := &p.tables[i]
+		t.indexFold.Update(p.ghist)
+		t.tagFold1.Update(p.ghist)
+		t.tagFold2.Update(p.ghist)
+	}
+}
+
+// allocate installs at most one new entry in a table with a longer history
+// than the provider, choosing among entries with u == 0 with a geometric
+// preference for shorter histories (each candidate is taken with
+// probability 1/2 before considering the next, the reference design's 2:1
+// skew); if every candidate is useful, their u counters are decremented
+// instead (the anti-ping-pong rule of the TAGE paper).
+func (p *Predictor) allocate(taken bool) {
+	m := len(p.tables)
+	p.allocScratch = p.allocScratch[:0]
+	for bank := p.hitBank + 1; bank <= m; bank++ {
+		if p.tables[bank-1].entries[p.indices[bank]].u == 0 {
+			p.allocScratch = append(p.allocScratch, bank)
+		}
+	}
+	if len(p.allocScratch) == 0 {
+		for bank := p.hitBank + 1; bank <= m; bank++ {
+			e := &p.tables[bank-1].entries[p.indices[bank]]
+			e.u = counter.DecUnsigned(e.u)
+		}
+		return
+	}
+	chosen := p.allocScratch[len(p.allocScratch)-1]
+	for _, bank := range p.allocScratch[:len(p.allocScratch)-1] {
+		if p.rng.OneIn(2) {
+			chosen = bank
+			break
+		}
+	}
+	e := &p.tables[chosen-1].entries[p.indices[chosen]]
+	e.tag = p.tags[chosen]
+	e.u = 0
+	if taken {
+		e.ctr = 0
+	} else {
+		e.ctr = -1
+	}
+}
+
+// UseAltOnNA returns the current USE_ALT_ON_NA counter value (for tests
+// and diagnostics).
+func (p *Predictor) UseAltOnNA() int8 { return p.useAltOnNA }
+
+// TaggedEntries returns the number of entries in each tagged table.
+func (p *Predictor) TaggedEntries() int { return 1 << p.cfg.TaggedLog }
+
+// TableStats is per-tagged-table occupancy introspection.
+type TableStats struct {
+	// HistLen is the table's history length.
+	HistLen int
+	// LiveEntries counts entries with a non-weak prediction counter
+	// (established state).
+	LiveEntries int
+	// UsefulEntries counts entries with u > 0 (protected from allocation).
+	UsefulEntries int
+	// SaturatedEntries counts entries with a saturated counter.
+	SaturatedEntries int
+}
+
+// Stats returns a per-table occupancy snapshot — observability for
+// capacity analysis (which tables hold established state, how much of it
+// is protected, how much has saturated).
+func (p *Predictor) Stats() []TableStats {
+	out := make([]TableStats, len(p.tables))
+	for i := range p.tables {
+		t := &p.tables[i]
+		s := TableStats{HistLen: t.histLen}
+		for _, e := range t.entries {
+			if !counter.WeakSigned(e.ctr) {
+				s.LiveEntries++
+			}
+			if e.u > 0 {
+				s.UsefulEntries++
+			}
+			if counter.SaturatedSigned(e.ctr, p.cfg.CtrBits) {
+				s.SaturatedEntries++
+			}
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStackedBarsNormalized(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "dist", []string{"a", "b"}, []StackRow{
+		{Label: "row1", Parts: []float64{0.5, 0.5}},
+		{Label: "r2", Parts: []float64{1, 0}},
+	}, 20, true)
+	out := sb.String()
+	if !strings.Contains(out, "dist") || !strings.Contains(out, "legend") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// row1: 10 '#' then 10 '='.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)+strings.Repeat("=", 10)) {
+		t.Fatalf("row1 bar wrong: %q", lines[2])
+	}
+	// r2: 20 '#'.
+	if !strings.Contains(lines[3], strings.Repeat("#", 20)) {
+		t.Fatalf("r2 bar wrong: %q", lines[3])
+	}
+	// Labels aligned to same column.
+	if strings.Index(lines[2], "|") != strings.Index(lines[3], "|") {
+		t.Fatal("bars not aligned")
+	}
+}
+
+func TestStackedBarsMagnitude(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "mpki", []string{"x"}, []StackRow{
+		{Label: "big", Parts: []float64{4}},
+		{Label: "sml", Parts: []float64{1}},
+	}, 40, false)
+	out := sb.String()
+	// Magnitude mode annotates totals and scales to the max row.
+	if !strings.Contains(out, "4.00") || !strings.Contains(out, "1.00") {
+		t.Fatalf("totals missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bigBar := strings.Count(lines[2], "#")
+	smlBar := strings.Count(lines[3], "#")
+	if bigBar != 40 || smlBar != 10 {
+		t.Fatalf("scaling wrong: big=%d sml=%d", bigBar, smlBar)
+	}
+}
+
+func TestStackedBarsZeroRows(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "z", []string{"a"}, []StackRow{{Label: "empty", Parts: []float64{0}}}, 20, true)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("zero row should still render its label")
+	}
+}
+
+func TestStackedBarsTinyWidthClamped(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "t", []string{"a"}, []StackRow{{Label: "r", Parts: []float64{1}}}, 1, true)
+	if !strings.Contains(sb.String(), strings.Repeat("#", 10)) {
+		t.Fatal("width should clamp to 10")
+	}
+}
+
+func TestManySegmentsCycleRunes(t *testing.T) {
+	var sb strings.Builder
+	segs := make([]string, 12)
+	parts := make([]float64, 12)
+	for i := range segs {
+		segs[i] = "s"
+		parts[i] = 1
+	}
+	StackedBars(&sb, "cycle", segs, []StackRow{{Label: "r", Parts: parts}}, 36, true)
+	// Should not panic and should reuse runes beyond 10 segments.
+	if !strings.Contains(sb.String(), "#") {
+		t.Fatal("render failed")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "rates", []Bar{{"aaa", 100}, {"b", 50}, {"c", 0}}, 30)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 30 {
+		t.Fatalf("max bar should fill width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 15 {
+		t.Fatalf("half bar: %q", lines[2])
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Fatalf("zero bar: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "100.0") {
+		t.Fatal("value annotation missing")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "z", []Bar{{"a", 0}}, 20)
+	if !strings.Contains(sb.String(), "a") {
+		t.Fatal("zero chart should render labels")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	var sb strings.Builder
+	GroupedBars(&sb, "fig4", []Group{
+		{Label: "gzip", Bars: []Bar{{"Wtag", 300}, {"Stag", 30}}},
+		{Label: "vpr", Bars: []Bar{{"Wtag", 150}}},
+	}, 30)
+	out := sb.String()
+	if !strings.Contains(out, "gzip") || !strings.Contains(out, "vpr") {
+		t.Fatal("group labels missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Max (300) fills width, 150 gets half, 30 gets 3.
+	var w300, w150, w30 int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		switch {
+		case strings.Contains(l, "300.0"):
+			w300 = n
+		case strings.Contains(l, "150.0"):
+			w150 = n
+		case strings.Contains(l, "30.0"):
+			w30 = n
+		}
+	}
+	if w300 != 30 || w150 != 15 || w30 != 3 {
+		t.Fatalf("grouped scaling wrong: %d/%d/%d\n%s", w300, w150, w30, out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "tbl", []string{"col", "x"}, [][]string{
+		{"aaaa", "1"},
+		{"b", "22"},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines (title+header+sep+2 rows):\n%s", out)
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+	// The second column should start at the same offset in every row.
+	off := strings.Index(lines[1], "x")
+	if strings.Index(lines[3], "1") != off || strings.Index(lines[4], "22") != off {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}

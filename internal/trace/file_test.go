@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSample(t *testing.T, n int) (path string, recs []Branch) {
+	t.Helper()
+	recs = sampleRecords(n, 77)
+	path = filepath.Join(t.TempDir(), "sample.tbt")
+	if err := WriteFile(path, &Mem{TraceName: "streamed", Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestOpenFileStreamsIdenticalToReadFile(t *testing.T) {
+	path, recs := writeSample(t, 4000)
+	ft, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Name() != "streamed" {
+		t.Fatalf("name = %q", ft.Name())
+	}
+	got, err := Collect(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("streamed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestOpenFileReplayable(t *testing.T) {
+	path, _ := writeSample(t, 500)
+	ft, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Collect(ft)
+	b, _ := Collect(ft)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("passes differ at %d", i)
+		}
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.tbt")); err == nil {
+		t.Fatal("missing file must fail eagerly")
+	}
+}
+
+func TestOpenFileBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.tbt")
+	if err := os.WriteFile(path, []byte("JUNKDATA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestOpenFileTruncatedBody(t *testing.T) {
+	path, _ := writeSample(t, 300)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.tbt")
+	if err := os.WriteFile(cut, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := OpenFile(cut) // header intact: open succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ft.Open()
+	var lastErr error
+	for {
+		_, err := r.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrBadFormat) {
+		t.Fatalf("truncation should surface as ErrBadFormat, got %v", lastErr)
+	}
+}
+
+func TestOpenFileEOFSticky(t *testing.T) {
+	path, _ := writeSample(t, 5)
+	ft, _ := OpenFile(path)
+	r := ft.Open()
+	for i := 0; i < 5; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("want sticky EOF, got %v", err)
+		}
+	}
+}
+
+func TestOpenFileWorksWithLimit(t *testing.T) {
+	path, _ := writeSample(t, 100)
+	ft, _ := OpenFile(path)
+	got, err := Collect(Limit(ft, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("limited stream = %d records", len(got))
+	}
+}

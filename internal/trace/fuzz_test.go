@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the binary trace parser never panics and never accepts
+// garbage silently: arbitrary input either parses into a well-formed Mem
+// or returns an error.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file, a truncation, and junk.
+	var buf bytes.Buffer
+	if err := WriteMem(&buf, &Mem{TraceName: "seed", Records: sampleRecords(50, 1)}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("TBT1"))
+	f.Add([]byte("garbage data, not a trace"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Successful parses must produce well-formed records.
+		for _, r := range m.Records {
+			if r.Instr == 0 {
+				t.Fatal("parsed record with zero instruction count")
+			}
+		}
+		// Round-trip property: re-serializing must succeed and re-parse to
+		// the same records.
+		var out bytes.Buffer
+		if err := WriteMem(&out, m); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		m2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(m2.Records) != len(m.Records) || m2.TraceName != m.TraceName {
+			t.Fatal("round trip changed the trace")
+		}
+		for i := range m.Records {
+			if m.Records[i] != m2.Records[i] {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,492 @@
+// Package trace defines the branch-trace model used by every simulator in
+// this repository: a stream of conditional-branch records, each carrying the
+// branch address, its outcome, and the number of dynamic instructions the
+// record accounts for (the branch plus the non-branch instructions preceding
+// it), so that misprediction rates can be reported per kilo-instruction
+// (misp/KI) exactly as the paper does.
+//
+// The paper evaluates on the CBP-1 and CBP-2 championship trace sets, which
+// are not redistributable; internal/workload provides deterministic
+// synthetic Trace implementations standing in for them (see DESIGN.md §2).
+// This package additionally provides a compact binary on-disk format so
+// generated traces can be exported, inspected and re-read.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Branch is one dynamic conditional branch.
+type Branch struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Taken is the resolved direction.
+	Taken bool
+	// Instr is the number of dynamic instructions this record accounts for:
+	// the branch itself plus the non-branch instructions executed since the
+	// previous record. It is at least 1.
+	Instr uint32
+}
+
+// Reader yields the records of one pass over a trace. Next returns io.EOF
+// after the last record.
+type Reader interface {
+	Next() (Branch, error)
+}
+
+// Trace is a named, replayable branch trace: Open returns a fresh Reader
+// positioned at the first record. Implementations must be deterministic —
+// every Open yields the identical stream.
+type Trace interface {
+	Name() string
+	Open() Reader
+}
+
+// Mem is an in-memory trace.
+type Mem struct {
+	TraceName string
+	Records   []Branch
+}
+
+// Name implements Trace.
+func (m *Mem) Name() string { return m.TraceName }
+
+// Open implements Trace.
+func (m *Mem) Open() Reader { return &memReader{records: m.Records} }
+
+type memReader struct {
+	records []Branch
+	pos     int
+}
+
+func (r *memReader) Next() (Branch, error) {
+	if r.pos >= len(r.records) {
+		return Branch{}, io.EOF
+	}
+	b := r.records[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// Collect reads an entire trace into memory. It is intended for tests and
+// tools; simulation drivers should stream.
+func Collect(t Trace) ([]Branch, error) {
+	r := t.Open()
+	var out []Branch
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+}
+
+// Stats summarizes a branch stream.
+type Stats struct {
+	Branches     uint64
+	Taken        uint64
+	Instructions uint64
+	UniquePCs    int
+	MinPC, MaxPC uint64
+}
+
+// TakenRate returns the fraction of taken branches.
+func (s Stats) TakenRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Branches)
+}
+
+// InstrPerBranch returns the mean dynamic instructions per branch record.
+func (s Stats) InstrPerBranch() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Branches)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("branches=%d taken=%.1f%% instr=%d (%.2f/branch) staticPCs=%d",
+		s.Branches, 100*s.TakenRate(), s.Instructions, s.InstrPerBranch(), s.UniquePCs)
+}
+
+// Measure computes Stats for a trace in one streaming pass.
+func Measure(t Trace) (Stats, error) {
+	r := t.Open()
+	var s Stats
+	pcs := make(map[uint64]struct{})
+	first := true
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		s.Branches++
+		s.Instructions += uint64(b.Instr)
+		if b.Taken {
+			s.Taken++
+		}
+		pcs[b.PC] = struct{}{}
+		if first || b.PC < s.MinPC {
+			s.MinPC = b.PC
+		}
+		if first || b.PC > s.MaxPC {
+			s.MaxPC = b.PC
+		}
+		first = false
+	}
+	s.UniquePCs = len(pcs)
+	return s, nil
+}
+
+// Binary trace format ("TBT1"):
+//
+//	magic   [4]byte  "TBT1"
+//	name    uvarint length + bytes
+//	count   uvarint  number of records
+//	records: per record
+//	    pcDelta  svarint (signed delta from previous PC; first is from 0)
+//	    packed   uvarint ((Instr-1) << 1 | taken)
+//
+// PC deltas compress well because synthetic programs revisit a small static
+// footprint; Instr is almost always < 64 so packed fits in one byte.
+
+var magic = [4]byte{'T', 'B', 'T', '1'}
+
+// ErrBadFormat reports a malformed or truncated trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Write serializes a record stream to w. The record count must be known up
+// front, so Write drains the given Reader fully.
+func Write(w io.Writer, name string, r Reader) (n uint64, err error) {
+	var records []Branch
+	for {
+		b, e := r.Next()
+		if errors.Is(e, io.EOF) {
+			break
+		}
+		if e != nil {
+			return 0, e
+		}
+		records = append(records, b)
+	}
+	return uint64(len(records)), writeRecords(w, name, records)
+}
+
+// WriteMem serializes an in-memory trace to w.
+func WriteMem(w io.Writer, m *Mem) error {
+	return writeRecords(w, m.TraceName, m.Records)
+}
+
+func writeRecords(w io.Writer, name string, records []Branch) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putS := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if err := put(uint64(len(records))); err != nil {
+		return err
+	}
+	prevPC := uint64(0)
+	for _, rec := range records {
+		if rec.Instr == 0 {
+			return fmt.Errorf("trace: record with zero instruction count at pc %#x", rec.PC)
+		}
+		if err := putS(int64(rec.PC) - int64(prevPC)); err != nil {
+			return err
+		}
+		prevPC = rec.PC
+		packed := uint64(rec.Instr-1) << 1
+		if rec.Taken {
+			packed |= 1
+		}
+		if err := put(packed); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serialized trace fully into memory.
+func Read(r io.Reader) (*Mem, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: name length: %v", ErrBadFormat, err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: unreasonable name length %d", ErrBadFormat, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadFormat, count)
+	}
+	out := &Mem{TraceName: string(nameBuf), Records: make([]Branch, 0, count)}
+	prevPC := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d pc: %v", ErrBadFormat, i, err)
+		}
+		pc := uint64(int64(prevPC) + delta)
+		prevPC = pc
+		packed, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d packed: %v", ErrBadFormat, i, err)
+		}
+		out.Records = append(out.Records, Branch{
+			PC:    pc,
+			Taken: packed&1 == 1,
+			Instr: uint32(packed>>1) + 1,
+		})
+	}
+	return out, nil
+}
+
+// WriteFile serializes a trace to the named file.
+func WriteFile(path string, t Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := Write(f, t.Name(), t.Open()); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace file written by WriteFile.
+func ReadFile(path string) (*Mem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// OpenFile returns a Trace backed by a file without loading it into
+// memory: each Open re-reads the file, decoding records on demand. The
+// header is validated eagerly so a malformed file fails at OpenFile time.
+func OpenFile(path string) (Trace, error) {
+	ft := &fileTrace{path: path}
+	r, err := ft.open()
+	if err != nil {
+		return nil, err
+	}
+	ft.name = r.name
+	return ft, nil
+}
+
+type fileTrace struct {
+	path string
+	name string
+}
+
+func (t *fileTrace) Name() string { return t.name }
+
+// Open implements Trace. Errors opening the file surface through the
+// first Next call.
+func (t *fileTrace) Open() Reader {
+	r, err := t.open()
+	if err != nil {
+		return errReader{err}
+	}
+	return r
+}
+
+func (t *fileTrace) open() (*fileReader, error) {
+	f, err := os.Open(t.path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > 1<<16 {
+		f.Close()
+		return nil, fmt.Errorf("%w: name length", ErrBadFormat)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	return &fileReader{f: f, br: br, name: string(nameBuf), left: count}, nil
+}
+
+type errReader struct{ err error }
+
+func (e errReader) Next() (Branch, error) { return Branch{}, e.err }
+
+type fileReader struct {
+	f      *os.File
+	br     *bufio.Reader
+	name   string
+	left   uint64
+	prevPC uint64
+	closed bool
+}
+
+// Next implements Reader, decoding one record; the underlying file closes
+// automatically at EOF or on the first decode error.
+func (r *fileReader) Next() (Branch, error) {
+	if r.left == 0 {
+		r.close()
+		return Branch{}, io.EOF
+	}
+	delta, err := binary.ReadVarint(r.br)
+	if err != nil {
+		r.close()
+		return Branch{}, fmt.Errorf("%w: pc: %v", ErrBadFormat, err)
+	}
+	packed, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		r.close()
+		return Branch{}, fmt.Errorf("%w: packed: %v", ErrBadFormat, err)
+	}
+	r.left--
+	pc := uint64(int64(r.prevPC) + delta)
+	r.prevPC = pc
+	return Branch{PC: pc, Taken: packed&1 == 1, Instr: uint32(packed>>1) + 1}, nil
+}
+
+func (r *fileReader) close() {
+	if !r.closed {
+		r.closed = true
+		r.f.Close()
+	}
+}
+
+// Limit wraps a trace, truncating every pass after max records. A max of 0
+// means no limit. It is how experiment harnesses run shortened simulations.
+func Limit(t Trace, max uint64) Trace {
+	if max == 0 {
+		return t
+	}
+	return &limited{inner: t, max: max}
+}
+
+type limited struct {
+	inner Trace
+	max   uint64
+}
+
+func (l *limited) Name() string { return l.inner.Name() }
+
+func (l *limited) Open() Reader { return &limitReader{inner: l.inner.Open(), left: l.max} }
+
+type limitReader struct {
+	inner Reader
+	left  uint64
+}
+
+func (r *limitReader) Next() (Branch, error) {
+	if r.left == 0 {
+		return Branch{}, io.EOF
+	}
+	b, err := r.inner.Next()
+	if err != nil {
+		return b, err
+	}
+	r.left--
+	return b, nil
+}
+
+// Concat returns a trace that replays the given traces back to back under
+// one name. It is used to build multi-phase workloads in tests.
+func Concat(name string, traces ...Trace) Trace {
+	return &concat{name: name, traces: traces}
+}
+
+type concat struct {
+	name   string
+	traces []Trace
+}
+
+func (c *concat) Name() string { return c.name }
+
+func (c *concat) Open() Reader {
+	return &concatReader{traces: c.traces}
+}
+
+type concatReader struct {
+	traces []Trace
+	idx    int
+	cur    Reader
+}
+
+func (r *concatReader) Next() (Branch, error) {
+	for {
+		if r.cur == nil {
+			if r.idx >= len(r.traces) {
+				return Branch{}, io.EOF
+			}
+			r.cur = r.traces[r.idx].Open()
+			r.idx++
+		}
+		b, err := r.cur.Next()
+		if errors.Is(err, io.EOF) {
+			r.cur = nil
+			continue
+		}
+		return b, err
+	}
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func sampleRecords(n int, seed uint64) []Branch {
+	r := xrand.New(seed)
+	out := make([]Branch, n)
+	pc := uint64(0x400000)
+	for i := range out {
+		pc += uint64(r.Intn(64)) * 4
+		if r.OneIn(8) {
+			pc -= uint64(r.Intn(32)) * 4
+		}
+		out[i] = Branch{
+			PC:    pc,
+			Taken: r.Bool(),
+			Instr: uint32(r.Intn(12)) + 1,
+		}
+	}
+	return out
+}
+
+func TestMemTraceRoundTrip(t *testing.T) {
+	recs := sampleRecords(100, 1)
+	m := &Mem{TraceName: "sample", Records: recs}
+	if m.Name() != "sample" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	got, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("collected %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestMemTraceReplayable(t *testing.T) {
+	m := &Mem{TraceName: "x", Records: sampleRecords(50, 2)}
+	a, _ := Collect(m)
+	b, _ := Collect(m)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two passes differ at %d", i)
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	m := &Mem{TraceName: "e"}
+	r := m.Open()
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty trace should EOF immediately, got %v", err)
+	}
+	// EOF must be sticky.
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF should be sticky, got %v", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	recs := sampleRecords(5000, 3)
+	m := &Mem{TraceName: "roundtrip-трейс", Records: recs}
+	var buf bytes.Buffer
+	if err := WriteMem(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceName != m.TraceName {
+		t.Fatalf("name %q != %q", got.TraceName, m.TraceName)
+	}
+	if len(got.Records) != len(recs) {
+		t.Fatalf("count %d != %d", len(got.Records), len(recs))
+	}
+	for i := range recs {
+		if got.Records[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryRejectsZeroInstr(t *testing.T) {
+	m := &Mem{TraceName: "bad", Records: []Branch{{PC: 4, Taken: true, Instr: 0}}}
+	var buf bytes.Buffer
+	if err := WriteMem(&buf, m); err == nil {
+		t.Fatal("zero-instr record must be rejected")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte("NOPE....")))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	recs := sampleRecords(100, 4)
+	var buf bytes.Buffer
+	if err := WriteMem(&buf, &Mem{TraceName: "t", Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 4, 5, 10, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestReadRejectsEmpty(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tbt")
+	m := &Mem{TraceName: "file-trace", Records: sampleRecords(300, 5)}
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceName != "file-trace" || len(got.Records) != 300 {
+		t.Fatalf("got %q/%d records", got.TraceName, len(got.Records))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.tbt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m := &Mem{TraceName: "m", Records: []Branch{
+		{PC: 100, Taken: true, Instr: 5},
+		{PC: 104, Taken: false, Instr: 3},
+		{PC: 100, Taken: true, Instr: 2},
+	}}
+	s, err := Measure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Branches != 3 || s.Taken != 2 || s.Instructions != 10 || s.UniquePCs != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinPC != 100 || s.MaxPC != 104 {
+		t.Fatalf("pc range = [%d,%d]", s.MinPC, s.MaxPC)
+	}
+	if s.TakenRate() < 0.66 || s.TakenRate() > 0.67 {
+		t.Fatalf("taken rate = %v", s.TakenRate())
+	}
+	if s.InstrPerBranch() != 10.0/3 {
+		t.Fatalf("instr/branch = %v", s.InstrPerBranch())
+	}
+	if s.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	s, err := Measure(&Mem{TraceName: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TakenRate() != 0 || s.InstrPerBranch() != 0 {
+		t.Fatalf("empty-trace rates should be 0: %+v", s)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	m := &Mem{TraceName: "L", Records: sampleRecords(100, 6)}
+	lt := Limit(m, 10)
+	if lt.Name() != "L" {
+		t.Fatalf("limited name = %q", lt.Name())
+	}
+	got, err := Collect(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("limited to %d records, want 10", len(got))
+	}
+	// Limit larger than trace yields the whole trace.
+	got, _ = Collect(Limit(m, 1000))
+	if len(got) != 100 {
+		t.Fatalf("over-limit: got %d, want 100", len(got))
+	}
+	// Zero means unlimited and returns the original trace.
+	if Limit(m, 0) != Trace(m) {
+		t.Fatal("Limit(t, 0) should return t unchanged")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := &Mem{TraceName: "a", Records: sampleRecords(5, 7)}
+	b := &Mem{TraceName: "b", Records: sampleRecords(7, 8)}
+	c := Concat("ab", a, b)
+	if c.Name() != "ab" {
+		t.Fatalf("concat name = %q", c.Name())
+	}
+	got, err := Collect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("concat length = %d, want 12", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		if got[i] != a.Records[i] {
+			t.Fatalf("prefix mismatch at %d", i)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if got[5+i] != b.Records[i] {
+			t.Fatalf("suffix mismatch at %d", i)
+		}
+	}
+}
+
+func TestConcatEmptyParts(t *testing.T) {
+	empty := &Mem{TraceName: "e"}
+	b := &Mem{TraceName: "b", Records: sampleRecords(3, 9)}
+	got, err := Collect(Concat("c", empty, b, empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3", len(got))
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw % 500)
+		recs := sampleRecords(n, seed)
+		m := &Mem{TraceName: "q", Records: recs}
+		var buf bytes.Buffer
+		if err := WriteMem(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != n {
+			return false
+		}
+		for i := range recs {
+			if got.Records[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDrainsReader(t *testing.T) {
+	m := &Mem{TraceName: "drain", Records: sampleRecords(42, 10)}
+	var buf bytes.Buffer
+	n, err := Write(&buf, "drained", m.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 42 {
+		t.Fatalf("Write reported %d records, want 42", n)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceName != "drained" || len(got.Records) != 42 {
+		t.Fatalf("got %q/%d", got.TraceName, len(got.Records))
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	m := &Mem{TraceName: "bench", Records: sampleRecords(10000, 11)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteMem(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	m := &Mem{TraceName: "bench", Records: sampleRecords(10000, 12)}
+	var buf bytes.Buffer
+	if err := WriteMem(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

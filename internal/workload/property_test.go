@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// TestQuickArbitraryProgramsReplayIdentically: any structurally valid
+// random program replays bit-identically across Opens.
+func TestQuickArbitraryProgramsReplayIdentically(t *testing.T) {
+	f := func(seed uint64, shape uint16) bool {
+		b := NewBuilder("q", seed)
+		b.SetLength(3000)
+		r := xrand.New(seed ^ 0xABCD)
+		nBlocks := int(shape%4) + 1
+		for i := 0; i < nBlocks; i++ {
+			behaviors := []SiteDef{
+				S(Const{Taken: r.Bool()}),
+				S(Biased{P: r.Float64()}),
+				S(Loop{Trip: r.Intn(20) + 1}),
+				S(Pattern{Bits: patternBits(r, r.Intn(12)+2), Noise: r.Float64() * 0.1}),
+				S(VarLoop{Min: 2, Max: r.Intn(8) + 2}),
+			}
+			n := r.Intn(len(behaviors)) + 1
+			b.Block(r.Intn(9)+1, 1, r.Intn(10)+1, behaviors[:n]...)
+		}
+		prog := b.MustBuild()
+		a, err := trace.Collect(prog)
+		if err != nil {
+			return false
+		}
+		bb, err := trace.Collect(prog)
+		if err != nil {
+			return false
+		}
+		if len(a) != len(bb) {
+			return false
+		}
+		for i := range a {
+			if a[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockWeightProportions: dynamic branch shares track block weights
+// scaled by body size and repetition.
+func TestBlockWeightProportions(t *testing.T) {
+	p := NewBuilder("w", 99).SetLength(120000).
+		Block(3, 2, 2, S(Const{Taken: true})).
+		Block(1, 2, 2, S(Const{Taken: false})).
+		MustBuild()
+	recs, err := trace.Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken := 0
+	for _, r := range recs {
+		if r.Taken {
+			taken++
+		}
+	}
+	// Identical body sizes and repetitions: share == weight share = 3/4.
+	frac := float64(taken) / float64(len(recs))
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("weight-3 block got %.3f of branches, want ~0.75", frac)
+	}
+}
+
+// TestSuiteTracesHaveDistinctStreams: no two suite traces may produce the
+// same outcome stream (a recipe/seed collision would silently weaken the
+// evaluation).
+func TestSuiteTracesHaveDistinctStreams(t *testing.T) {
+	sig := func(tr trace.Trace) uint64 {
+		r := trace.Limit(tr, 4096).Open()
+		var h uint64 = 1469598103934665603
+		for {
+			b, err := r.Next()
+			if err != nil {
+				return h
+			}
+			x := b.PC<<1 | 1
+			if !b.Taken {
+				x = b.PC << 1
+			}
+			h = (h ^ x) * 1099511628211
+		}
+	}
+	seen := map[uint64]string{}
+	for _, tr := range append(CBP1(), CBP2()...) {
+		s := sig(tr)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("traces %s and %s have identical streams", prev, tr.Name())
+		}
+		seen[s] = tr.Name()
+	}
+}
+
+// TestInstrGapsBounded: every record's instruction count stays within the
+// builder's sane band.
+func TestInstrGapsBounded(t *testing.T) {
+	for _, tr := range []trace.Trace{CBP1()[3], CBP2()[11]} {
+		recs, err := trace.Collect(trace.Limit(tr, 20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if r.Instr < 1 || r.Instr > 16 {
+				t.Fatalf("%s: instruction gap %d out of band", tr.Name(), r.Instr)
+			}
+		}
+	}
+}
+
+// TestEnvHistReflectsStream: the environment history visible to
+// correlated behaviors equals the actual emitted outcomes.
+func TestEnvHistReflectsStream(t *testing.T) {
+	// Correlated{Lags:[1]} copies the previous branch outcome; with a
+	// single deterministic neighbor the copy must match exactly.
+	p := NewBuilder("h", 5).SetLength(2000).
+		Block(1, 1, 1,
+			S(Pattern{Bits: []bool{true, false, true, true, false}}),
+			S(Correlated{Lags: []int{1}}),
+		).
+		MustBuild()
+	recs, _ := trace.Collect(p)
+	for i := 1; i < len(recs); i += 2 {
+		if recs[i].Taken != recs[i-1].Taken {
+			t.Fatalf("correlated site at %d failed to mirror predecessor", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	if r.state == 0 {
+		t.Fatal("zero seed must not produce zero state")
+	}
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("stream from zero seed looks degenerate")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %x vs %x", i, av, bv)
+		}
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	// Consecutive small seeds must produce different streams.
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 64 outputs", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	r := New(7)
+	d1 := r.Derive(1)
+	d2 := r.Derive(2)
+	if d1.Uint64() == d2.Uint64() {
+		t.Fatal("derived streams with different ids should differ")
+	}
+	// Deriving must not advance the parent stream.
+	r2 := New(7)
+	_ = r2.Derive(1)
+	a := New(7)
+	if got, want := r.Uint64(), a.Uint64(); got != want {
+		t.Fatalf("Derive perturbed parent stream: got %x want %x", got, want)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(99)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestOneInStatistics(t *testing.T) {
+	r := New(42)
+	for _, n := range []int{1, 2, 16, 128, 1024} {
+		const trials = 200000
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.OneIn(n) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := 1.0 / float64(n)
+		// 5 sigma for a binomial.
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 5*sigma+1e-12 {
+			t.Errorf("OneIn(%d): rate %v, want %v (±%v)", n, got, want, 5*sigma)
+		}
+	}
+}
+
+func TestOneInNonPowerOfTwo(t *testing.T) {
+	r := New(42)
+	const trials = 300000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.OneIn(3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-1.0/3) > 0.01 {
+		t.Fatalf("OneIn(3): rate %v, want ~0.333", got)
+	}
+}
+
+func TestOneInOneAlwaysTrue(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if !r.OneIn(1) {
+			t.Fatal("OneIn(1) must always be true")
+		}
+	}
+}
+
+func TestWithProbabilityEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.WithProbability(0) {
+			t.Fatal("WithProbability(0) returned true")
+		}
+		if !r.WithProbability(1) {
+			t.Fatal("WithProbability(1) returned false")
+		}
+		if r.WithProbability(-0.5) {
+			t.Fatal("negative probability returned true")
+		}
+		if !r.WithProbability(1.5) {
+			t.Fatal("probability > 1 returned false")
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(77)
+	const n = 100000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Bool true fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	// Mix64 is a bijection on 64-bit values; sample-test for collisions.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 20000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestSplitMix64AdvancesState(t *testing.T) {
+	s := uint64(0)
+	a := SplitMix64(&s)
+	b := SplitMix64(&s)
+	if a == b {
+		t.Fatal("SplitMix64 produced identical consecutive outputs")
+	}
+	if s == 0 {
+		t.Fatal("SplitMix64 did not advance state")
+	}
+}
+
+func TestQuickUint64NeverSticksAtZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		zeros := 0
+		for i := 0; i < 16; i++ {
+			if r.Uint64() == 0 {
+				zeros++
+			}
+		}
+		return zeros <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 32; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkOneIn128(b *testing.B) {
+	r := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.OneIn(128) {
+			n++
+		}
+	}
+	_ = n
+}

@@ -1,0 +1,159 @@
+// Package repro is a from-scratch Go reproduction of André Seznec's
+// "Storage Free Confidence Estimation for the TAGE branch predictor"
+// (INRIA RR-7371, 2010 / HPCA 2011).
+//
+// The package is a facade over the implementation packages in internal/:
+// the TAGE predictor (internal/tage), the storage-free confidence
+// estimator (internal/core), the synthetic CBP-1/CBP-2 workload suites
+// (internal/workload), the simulation drivers (internal/sim) and the
+// paper's experiments (internal/experiments, cmd/reprotables).
+//
+// # Quickstart
+//
+//	est := repro.NewEstimator(repro.Medium64K(), repro.Options{
+//	    Mode: repro.ModeProbabilistic, // the paper's §6 automaton
+//	})
+//	for each branch {
+//	    pred, class, level := est.Predict(pc)
+//	    ...
+//	    est.Update(pc, taken)
+//	}
+//
+// Level is High, Medium or Low with the paper's headline behavior: the
+// high-confidence class mispredicts below ~1%, medium ~5-10%, low ~30%.
+// See the examples/ directory for runnable programs and cmd/reprotables
+// for regenerating every table and figure of the paper.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes a TAGE predictor instance (see tage.Config).
+type Config = tage.Config
+
+// Observation is the per-prediction component observation the storage-free
+// estimator grades (see tage.Observation).
+type Observation = tage.Observation
+
+// Predictor is the TAGE predictor (see tage.Predictor).
+type Predictor = tage.Predictor
+
+// Estimator bundles a TAGE predictor with the paper's confidence
+// classifier (see core.Estimator).
+type Estimator = core.Estimator
+
+// Options configures an Estimator (see core.Options).
+type Options = core.Options
+
+// Class is one of the paper's seven prediction classes.
+type Class = core.Class
+
+// Level is one of the three aggregate confidence levels.
+type Level = core.Level
+
+// AutomatonMode selects the tagged-counter update automaton.
+type AutomatonMode = core.AutomatonMode
+
+// Branch is one dynamic conditional branch of a trace.
+type Branch = trace.Branch
+
+// Trace is a named, replayable branch trace.
+type Trace = trace.Trace
+
+// Result carries per-class simulation statistics (see sim.Result).
+type Result = sim.Result
+
+// SuiteResult bundles per-trace results with their aggregate.
+type SuiteResult = sim.SuiteResult
+
+// The seven prediction classes (§5 of the paper).
+const (
+	LowConfBim    = core.LowConfBim
+	MediumConfBim = core.MediumConfBim
+	HighConfBim   = core.HighConfBim
+	Wtag          = core.Wtag
+	NWtag         = core.NWtag
+	NStag         = core.NStag
+	Stag          = core.Stag
+	NumClasses    = core.NumClasses
+)
+
+// The three confidence levels (§6.1).
+const (
+	Low       = core.Low
+	Medium    = core.Medium
+	High      = core.High
+	NumLevels = core.NumLevels
+)
+
+// Automaton modes.
+const (
+	// ModeStandard runs the unmodified TAGE automaton (§5).
+	ModeStandard = core.ModeStandard
+	// ModeProbabilistic installs the §6 modified automaton (probability
+	// 1/128 by default), making saturated counters high confidence.
+	ModeProbabilistic = core.ModeProbabilistic
+	// ModeAdaptive adds the §6.2 run-time probability controller.
+	ModeAdaptive = core.ModeAdaptive
+)
+
+// Small16K returns the paper's 16 Kbit configuration (1+4 tables,
+// histories 3..80).
+func Small16K() Config { return tage.Small16K() }
+
+// Medium64K returns the paper's 64 Kbit configuration (1+7 tables,
+// histories 5..130).
+func Medium64K() Config { return tage.Medium64K() }
+
+// Large256K returns the paper's 256 Kbit configuration (1+8 tables,
+// histories 5..300).
+func Large256K() Config { return tage.Large256K() }
+
+// StandardConfigs returns the three paper configurations in size order.
+func StandardConfigs() []Config { return tage.StandardConfigs() }
+
+// ConfigByName resolves "16K", "64K" or "256K".
+func ConfigByName(name string) (Config, error) { return tage.ConfigByName(name) }
+
+// NewEstimator builds a predictor plus storage-free confidence estimator.
+func NewEstimator(cfg Config, opts Options) *Estimator {
+	return core.NewEstimator(cfg, opts)
+}
+
+// NewPredictor builds a bare TAGE predictor with the standard automaton
+// (use NewEstimator for confidence estimation).
+func NewPredictor(cfg Config) *Predictor { return tage.New(cfg) }
+
+// CBP1 returns the 20-trace synthetic stand-in for the CBP-1 trace set.
+func CBP1() []Trace { return workload.CBP1() }
+
+// CBP2 returns the 20-trace synthetic stand-in for the CBP-2 trace set.
+func CBP2() []Trace { return workload.CBP2() }
+
+// Suite returns a suite by name ("cbp1" or "cbp2").
+func Suite(name string) ([]Trace, error) { return workload.Suite(name) }
+
+// TraceByName returns one of the 40 named traces.
+func TraceByName(name string) (Trace, error) { return workload.ByName(name) }
+
+// Run simulates an estimator over a trace (limit 0 = full trace),
+// collecting per-class statistics.
+func Run(est *Estimator, tr Trace, limit uint64) (Result, error) {
+	return sim.Run(est, tr, limit)
+}
+
+// RunSuite simulates a fresh estimator per trace and aggregates.
+func RunSuite(cfg Config, opts Options, traces []Trace, limit uint64) (SuiteResult, error) {
+	return sim.RunSuite(cfg, opts, traces, limit)
+}
+
+// Classes lists the seven classes in display order.
+func Classes() []Class { return core.Classes() }
+
+// Levels lists the three levels in rising-confidence order.
+func Levels() []Level { return core.Levels() }

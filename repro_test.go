@@ -1,0 +1,76 @@
+package repro
+
+import "testing"
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	est := NewEstimator(Small16K(), Options{Mode: ModeProbabilistic})
+	tr, err := TraceByName("FP-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(est, tr, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branches != 20000 {
+		t.Fatalf("branches = %d", res.Branches)
+	}
+	if res.Total.Preds != res.Branches {
+		t.Fatal("every branch must be predicted")
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	if Small16K().StorageBits() != 16384 ||
+		Medium64K().StorageBits() != 65536 ||
+		Large256K().StorageBits() != 262144 {
+		t.Fatal("storage budgets wrong through facade")
+	}
+	if len(StandardConfigs()) != 3 {
+		t.Fatal("StandardConfigs")
+	}
+	if _, err := ConfigByName("64K"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(CBP1()) != 20 || len(CBP2()) != 20 {
+		t.Fatal("suites incomplete")
+	}
+	if _, err := Suite("cbp2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TraceByName("no-such-trace"); err == nil {
+		t.Fatal("unknown trace must error")
+	}
+}
+
+func TestFacadeEnumerations(t *testing.T) {
+	if len(Classes()) != int(NumClasses) || len(Levels()) != int(NumLevels) {
+		t.Fatal("enumerations incomplete")
+	}
+	if Stag.Level() != High || Wtag.Level() != Low || NStag.Level() != Medium {
+		t.Fatal("level mapping wrong through facade")
+	}
+}
+
+func TestFacadeRunSuite(t *testing.T) {
+	traces := []Trace{CBP1()[0], CBP1()[1]}
+	sr, err := RunSuite(Small16K(), Options{}, traces, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.PerTrace) != 2 || sr.Aggregate.Branches != 10000 {
+		t.Fatalf("suite run shape: %d traces, %d branches", len(sr.PerTrace), sr.Aggregate.Branches)
+	}
+}
+
+func TestFacadePredictorDirect(t *testing.T) {
+	p := NewPredictor(Small16K())
+	obs := p.Predict(0x400100)
+	if obs.PC != 0x400100 {
+		t.Fatal("observation PC mismatch")
+	}
+	p.Update(0x400100, true)
+}
