@@ -1,0 +1,88 @@
+package repro
+
+// Zero-allocation guarantees of the simulation hot paths. The predictor's
+// Predict+Update pair and the trace decoder's per-record Next are executed
+// hundreds of millions of times per suite run; testing.AllocsPerRun pins
+// them at zero heap allocations so a regression shows up as a test
+// failure, not as a mysterious slowdown.
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestPredictUpdateZeroAllocs asserts that a warmed estimator performs no
+// heap allocations per predicted branch in any automaton mode.
+func TestPredictUpdateZeroAllocs(t *testing.T) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []AutomatonMode{ModeStandard, ModeProbabilistic, ModeAdaptive} {
+		est := NewEstimator(Small16K(), Options{Mode: mode})
+		// Warm the predictor so allocation-time growth (none is expected,
+		// but e.g. map-backed designs would hide behind a cold start) is
+		// behind us before measuring.
+		for _, br := range branches[:10_000] {
+			est.Predict(br.PC)
+			est.Update(br.PC, br.Taken)
+		}
+		i := 10_000
+		allocs := testing.AllocsPerRun(20_000, func() {
+			br := branches[i%len(branches)]
+			i++
+			est.Predict(br.PC)
+			est.Update(br.PC, br.Taken)
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: %v allocs per predicted branch, want 0", mode, allocs)
+		}
+	}
+}
+
+// TestTraceDecodeZeroAllocs asserts the chunked file decoder allocates
+// nothing per decoded record.
+func TestTraceDecodeZeroAllocs(t *testing.T) {
+	src, err := workload.ByName("FP-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/alloc.tbt"
+	if err := trace.WriteFile(path, trace.Limit(src, 60_000)); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ft.Open()
+	allocs := testing.AllocsPerRun(30_000, func() {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per decoded file record, want 0", allocs)
+	}
+
+	// The in-memory reader must also be allocation-free per record.
+	mem, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := mem.Open()
+	allocs = testing.AllocsPerRun(30_000, func() {
+		if _, err := mr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per decoded memory record, want 0", allocs)
+	}
+}

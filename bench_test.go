@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fetchgate"
 	"repro/internal/multipath"
+	"repro/internal/sim"
 	"repro/internal/smtpolicy"
 	"repro/internal/tage"
 	"repro/internal/trace"
@@ -286,6 +287,83 @@ func BenchmarkSMTPolicy(b *testing.B) {
 			thr[pi] = st.Throughput()
 		}
 		b.ReportMetric(thr[1]/thr[0], "confidence-vs-rr-throughput")
+	}
+}
+
+// BenchmarkPredictUpdate is the per-branch hot-path microbenchmark: one
+// Predict+Update pair per iteration over a preloaded in-memory branch
+// stream, reporting allocations (the hot path must stay at 0 allocs/op).
+func BenchmarkPredictUpdate(b *testing.B) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range StandardConfigs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			est := NewEstimator(cfg, Options{Mode: ModeProbabilistic})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br := branches[i%len(branches)]
+				est.Predict(br.PC)
+				est.Update(br.PC, br.Taken)
+			}
+		})
+	}
+}
+
+// BenchmarkTraceDecode measures the chunked file-trace decoder: one
+// record decoded per iteration, reporting allocations (0 allocs/op per
+// record).
+func BenchmarkTraceDecode(b *testing.B) {
+	tr, err := workload.ByName("SERV-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/bench.tbt"
+	if err := trace.WriteFile(path, trace.Limit(tr, 200_000)); err != nil {
+		b.Fatal(err)
+	}
+	ft, err := trace.OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := ft.Open()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Next(); err != nil {
+			r = ft.Open()
+			if _, err := r.Next(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteRunner compares the serial reference path with the
+// sharded worker-pool engine over the same suite workload. On a
+// multicore box the parallel case should approach a GOMAXPROCS-fold
+// speedup (the per-trace runs share nothing).
+func BenchmarkSuiteRunner(b *testing.B) {
+	traces := CBP1()
+	const limit = 30_000
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			pool := sim.SuiteRunner{Workers: bc.workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.RunSuite(Small16K(), Options{Mode: ModeProbabilistic}, traces, limit); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

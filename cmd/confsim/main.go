@@ -31,6 +31,7 @@ func main() {
 		suiteName  = flag.String("suite", "cbp1", "suite: cbp1 or cbp2")
 		traceName  = flag.String("trace", "", "single trace instead of a suite")
 		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full)")
+		parallel   = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
 		adaptive   = flag.Bool("adaptive", false, "show the adaptive controller trajectory instead")
 	)
 	flag.Parse()
@@ -53,11 +54,12 @@ func main() {
 		}
 	}
 
+	pool := sim.SuiteRunner{Workers: *parallel}
 	if *adaptive {
 		trajectory(cfg, traces, *branches)
 		return
 	}
-	compare(cfg, traces, *branches)
+	compare(pool, cfg, traces, *branches)
 }
 
 // tageAdapter lets storage-based estimators grade raw TAGE predictions.
@@ -66,7 +68,7 @@ type tageAdapter struct{ p *tage.Predictor }
 func (a tageAdapter) Predict(pc uint64) bool       { return a.p.Predict(pc).Pred }
 func (a tageAdapter) Update(pc uint64, taken bool) { a.p.Update(pc, taken) }
 
-func compare(cfg tage.Config, traces []trace.Trace, limit uint64) {
+func compare(pool sim.SuiteRunner, cfg tage.Config, traces []trace.Trace, limit uint64) {
 	type estimatorRun struct {
 		name    string
 		storage int
@@ -96,15 +98,25 @@ func compare(cfg tage.Config, traces []trace.Trace, limit uint64) {
 			},
 		},
 	}
+	// The full (estimator × trace) matrix fans out across the pool;
+	// per-cell confusions are merged in estimator-major, trace-minor
+	// order, so the table is identical at any worker count.
+	cells := make([]metrics.Binary, len(runs)*len(traces))
+	if err := pool.ForEach(len(cells), func(i int) error {
+		conf, err := runs[i/len(traces)].run(traces[i%len(traces)])
+		if err != nil {
+			return err
+		}
+		cells[i] = conf
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
 	var rows [][]string
-	for _, er := range runs {
+	for ei, er := range runs {
 		var total metrics.Binary
-		for _, tr := range traces {
-			conf, err := er.run(tr)
-			if err != nil {
-				fatal(err)
-			}
-			total.Add(conf)
+		for ti := range traces {
+			total.Add(cells[ei*len(traces)+ti])
 		}
 		rows = append(rows, []string{
 			er.name, fmt.Sprintf("%d bits", er.storage),

@@ -31,6 +31,7 @@ func main() {
 		modeName   = flag.String("mode", "standard", "automaton mode: standard, probabilistic or adaptive")
 		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
 		window     = flag.Int("window", 0, "medium-conf-bim window (0 = default 8, -1 = disabled)")
+		parallel   = flag.Int("parallel", 0, "simulation workers for suite runs (0 = GOMAXPROCS, 1 = serial)")
 		list       = flag.Bool("list", false, "list available traces and exit")
 	)
 	flag.Parse()
@@ -68,7 +69,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sr, err := sim.RunSuite(cfg, opts, traces, *branches)
+		pool := sim.SuiteRunner{Workers: *parallel}
+		sr, err := pool.RunSuite(cfg, opts, traces, *branches)
 		if err != nil {
 			fatal(err)
 		}

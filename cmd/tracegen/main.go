@@ -38,11 +38,13 @@ func main() {
 	var tr trace.Trace
 	switch {
 	case *inFile != "":
-		m, err := trace.ReadFile(*inFile)
+		// Stream the file through the chunked decoder instead of loading
+		// it into memory: stats and re-export are single passes.
+		t, err := trace.OpenFile(*inFile)
 		if err != nil {
 			fatal(err)
 		}
-		tr = m
+		tr = trace.Limit(t, *branches)
 	case *traceName != "":
 		t, err := workload.ByName(*traceName)
 		if err != nil {

@@ -223,32 +223,46 @@ func (r *Runner) RunEstimatorComparison() (EstimatorComparison, error) {
 		return out, err
 	}
 
-	var free metrics.Binary
-	for _, tr := range traces {
+	// Per-trace runs fan out across the pool; confusions are merged in
+	// trace order so the totals match the serial reference exactly.
+	perTrace := make([]metrics.Binary, len(traces))
+	if err := r.Pool.ForEach(len(traces), func(i int) error {
 		est := core.NewEstimator(tage.Small16K(), modifiedOpts())
-		res, err := sim.RunTAGEBinary(est, tr, r.Limit)
+		res, err := sim.RunTAGEBinary(est, traces[i], r.Limit)
 		if err != nil {
-			return out, err
+			return err
 		}
-		free.Add(res.Confusion)
+		perTrace[i] = res.Confusion
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	var free metrics.Binary
+	for _, c := range perTrace {
+		free.Add(c)
 	}
 	out.Rows = append(out.Rows, EstimatorRow{Name: "storage-free (high level)", StorageBits: 0, Confusion: free})
 
 	for _, enhanced := range []bool{false, true} {
-		var conf metrics.Binary
-		var bits int
-		for _, tr := range traces {
+		bits := jrs.NewDefault(10, 10).StorageBits() // 1K 4-bit counters = 4 Kbits extra
+		if err := r.Pool.ForEach(len(traces), func(i int) error {
 			p := tagePredictorAdapter{tage.New(tage.Small16K())}
-			e := jrs.NewDefault(10, 10) // 1K 4-bit counters = 4 Kbits extra
+			e := jrs.NewDefault(10, 10)
 			if enhanced {
 				e = e.Enhanced()
 			}
-			bits = e.StorageBits()
-			res, err := sim.RunBinary(p, e, tr, r.Limit)
+			res, err := sim.RunBinary(p, e, traces[i], r.Limit)
 			if err != nil {
-				return out, err
+				return err
 			}
-			conf.Add(res.Confusion)
+			perTrace[i] = res.Confusion
+			return nil
+		}); err != nil {
+			return out, err
+		}
+		var conf metrics.Binary
+		for _, c := range perTrace {
+			conf.Add(c)
 		}
 		name := "JRS 4-bit"
 		if enhanced {

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEveryExperimentDeterministicUnderParallelism renders every
+// registered experiment once through a serial runner and once through a
+// multi-worker runner and requires byte-identical output: the parallel
+// sharded engine must not change a single digit of any table or figure.
+func TestEveryExperimentDeterministicUnderParallelism(t *testing.T) {
+	const limit = 12000
+	serial := NewWorkers(limit, 1)
+	parallel := NewWorkers(limit, 4)
+	for _, name := range Names() {
+		if name == "all" {
+			continue // covered by its parts; running it would only redo them
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sr, err := serial.Run(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, err := parallel.Run(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sr) != len(pr) {
+				t.Fatalf("renderer counts differ: %d vs %d", len(sr), len(pr))
+			}
+			for i := range sr {
+				var sb, pb bytes.Buffer
+				sr[i].Render(&sb)
+				pr[i].Render(&pb)
+				if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+					t.Fatalf("experiment %s renders differently in parallel:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						name, sb.String(), pb.String())
+				}
+			}
+		})
+	}
+}

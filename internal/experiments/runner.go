@@ -34,16 +34,32 @@ import (
 // (600k) is used for the committed EXPERIMENTS.md numbers.
 const DefaultLimit = workload.SuiteLength
 
-// Runner executes and caches suite simulations.
+// Runner executes and caches suite simulations. Simulations fan out
+// across Pool's workers; results (and therefore the memoized cache) are
+// bit-identical to a serial run regardless of the worker count.
 type Runner struct {
 	// Limit is the per-trace record budget (0 = full trace).
 	Limit uint64
+	// Pool is the simulation worker pool (zero value = GOMAXPROCS
+	// workers; Workers=1 forces the serial reference path).
+	Pool sim.SuiteRunner
 	cache map[string]sim.SuiteResult
 }
 
-// New returns a Runner with the given per-trace record budget.
+// New returns a Runner with the given per-trace record budget, running
+// simulations across GOMAXPROCS workers.
 func New(limit uint64) *Runner {
-	return &Runner{Limit: limit, cache: make(map[string]sim.SuiteResult)}
+	return NewWorkers(limit, 0)
+}
+
+// NewWorkers returns a Runner with an explicit worker count (<= 0 =
+// GOMAXPROCS, 1 = serial).
+func NewWorkers(limit uint64, workers int) *Runner {
+	return &Runner{
+		Limit: limit,
+		Pool:  sim.SuiteRunner{Workers: workers},
+		cache: make(map[string]sim.SuiteResult),
+	}
 }
 
 func (r *Runner) key(cfg tage.Config, opts core.Options, suiteName string) string {
@@ -63,7 +79,7 @@ func (r *Runner) Suite(cfg tage.Config, opts core.Options, suiteName string) (si
 	if err != nil {
 		return sim.SuiteResult{}, err
 	}
-	res, err := sim.RunSuite(cfg, opts, traces, r.Limit)
+	res, err := r.Pool.RunSuite(cfg, opts, traces, r.Limit)
 	if err != nil {
 		return sim.SuiteResult{}, err
 	}
@@ -71,21 +87,10 @@ func (r *Runner) Suite(cfg tage.Config, opts core.Options, suiteName string) (si
 	return res, nil
 }
 
-// Traces runs specific traces (used by the figure-4/6 experiments).
+// Traces runs specific traces (used by the figure-4/6 experiments),
+// fanning them out across the pool.
 func (r *Runner) Traces(cfg tage.Config, opts core.Options, names []string) ([]sim.Result, error) {
-	out := make([]sim.Result, 0, len(names))
-	for _, name := range names {
-		tr, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.RunConfig(cfg, opts, tr, r.Limit)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return r.Pool.RunTraces(cfg, opts, workload.ByName, names, r.Limit)
 }
 
 // standardOpts is the §5 estimator (unmodified automaton).

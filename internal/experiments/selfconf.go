@@ -104,18 +104,35 @@ func (r *Runner) RunSelfConfidence() (SelfConfidence, error) {
 		},
 	}
 
-	for _, s := range schemes {
+	// Every (scheme, trace) run is independent: fan the whole matrix out
+	// across the pool, then merge in scheme-major, trace-minor order so
+	// the totals match the serial reference exactly.
+	type cell struct {
+		conf         metrics.Binary
+		misps, instr uint64
+	}
+	cells := make([]cell, len(schemes)*len(traces))
+	if err := r.Pool.ForEach(len(cells), func(i int) error {
+		s := schemes[i/len(traces)]
+		tr := traces[i%len(traces)]
+		p := s.build()
+		c, m, in, err := runSelfConfidence(p, tr, r.Limit)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{conf: c, misps: m, instr: in}
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	for si, s := range schemes {
 		var conf metrics.Binary
 		var misps, instr uint64
-		for _, tr := range traces {
-			p := s.build()
-			c, m, in, err := runSelfConfidence(p, tr, r.Limit)
-			if err != nil {
-				return out, err
-			}
-			conf.Add(c)
-			misps += m
-			instr += in
+		for ti := range traces {
+			c := cells[si*len(traces)+ti]
+			conf.Add(c.conf)
+			misps += c.misps
+			instr += c.instr
 		}
 		out.Rows = append(out.Rows, SelfConfidenceRow{
 			Name:      s.name,
@@ -129,14 +146,21 @@ func (r *Runner) RunSelfConfidence() (SelfConfidence, error) {
 	// size class of the O-GEHL configuration above). Its misp/KI column is
 	// rendered as "-": the binary driver tallies predictions, not
 	// instructions.
-	var conf metrics.Binary
-	for _, tr := range traces {
+	perTrace := make([]metrics.Binary, len(traces))
+	if err := r.Pool.ForEach(len(traces), func(i int) error {
 		est := core.NewEstimator(tage.Medium64K(), modifiedOpts())
-		res, err := sim.RunTAGEBinary(est, tr, r.Limit)
+		res, err := sim.RunTAGEBinary(est, traces[i], r.Limit)
 		if err != nil {
-			return out, err
+			return err
 		}
-		conf.Add(res.Confusion)
+		perTrace[i] = res.Confusion
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	var conf metrics.Binary
+	for _, c := range perTrace {
+		conf.Add(c)
 	}
 	out.Rows = append(out.Rows, SelfConfidenceRow{
 		Name:      "TAGE storage-free (this paper)",

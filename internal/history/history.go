@@ -73,13 +73,21 @@ type Folded struct {
 // compressed into compLen bits. compLen must be in (0, 32]; origLen must be
 // non-negative.
 func NewFolded(origLen, compLen int) *Folded {
+	f := MakeFolded(origLen, compLen)
+	return &f
+}
+
+// MakeFolded is NewFolded as a value constructor: predictors that keep
+// their fold state in one contiguous slice (cache-friendly flat storage)
+// embed Folded by value instead of chasing per-table pointers.
+func MakeFolded(origLen, compLen int) Folded {
 	if compLen <= 0 || compLen > 32 {
 		panic(fmt.Sprintf("history: invalid folded compression length %d", compLen))
 	}
 	if origLen < 0 {
 		panic(fmt.Sprintf("history: invalid folded original length %d", origLen))
 	}
-	return &Folded{
+	return Folded{
 		origLen:  origLen,
 		compLen:  compLen,
 		outPoint: uint(origLen % compLen),

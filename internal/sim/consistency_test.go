@@ -64,6 +64,36 @@ func TestSuiteAggregateEqualsManualSum(t *testing.T) {
 	}
 }
 
+// TestHeterogeneousJobsParallelMatchesSerial drives the sharded engine
+// with a mixed (trace × config × mode) job list — the shape composite
+// experiments produce — and requires slot-for-slot identical results
+// between one worker and many.
+func TestHeterogeneousJobsParallelMatchesSerial(t *testing.T) {
+	traces := workload.CBP1()[:3]
+	var jobs []Job
+	for _, cfg := range []func() tage.Config{tage.Small16K, tage.Medium64K} {
+		for _, mode := range []core.AutomatonMode{core.ModeStandard, core.ModeProbabilistic} {
+			for _, tr := range traces {
+				jobs = append(jobs, Job{Cfg: cfg(), Opts: core.Options{Mode: mode}, Trace: tr, Limit: 12000})
+			}
+		}
+	}
+	serial, err := Serial.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SuiteRunner{Workers: 6}.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("job %d diverges under parallel execution:\nserial:   %+v\nparallel: %+v",
+				i, serial[i], par[i])
+		}
+	}
+}
+
 // TestFreshEstimatorPerTrace verifies that suite runs do not leak state
 // across traces: running trace B alone equals running it after trace A in
 // a suite.

@@ -18,17 +18,16 @@ func checkStateInvariants(t *testing.T, p *Predictor) {
 	ctrMin, ctrMax := counter.SignedMin(cfg.CtrBits), counter.SignedMax(cfg.CtrBits)
 	uMax := uint8(1<<cfg.UBits) - 1
 	tagMax := uint16(1<<cfg.TagBits) - 1
-	for ti := range p.tables {
-		for _, e := range p.tables[ti].entries {
-			if e.ctr < ctrMin || e.ctr > ctrMax {
-				t.Fatalf("table %d: ctr %d out of [%d,%d]", ti, e.ctr, ctrMin, ctrMax)
-			}
-			if e.u > uMax {
-				t.Fatalf("table %d: u %d out of range", ti, e.u)
-			}
-			if e.tag > tagMax {
-				t.Fatalf("table %d: tag %#x exceeds %d bits", ti, e.tag, cfg.TagBits)
-			}
+	for j := range p.ctr {
+		ti := j >> p.taggedLog
+		if p.ctr[j] < ctrMin || p.ctr[j] > ctrMax {
+			t.Fatalf("table %d: ctr %d out of [%d,%d]", ti, p.ctr[j], ctrMin, ctrMax)
+		}
+		if p.u[j] > uMax {
+			t.Fatalf("table %d: u %d out of range", ti, p.u[j])
+		}
+		if p.tag[j] > tagMax {
+			t.Fatalf("table %d: tag %#x exceeds %d bits", ti, p.tag[j], cfg.TagBits)
 		}
 	}
 	if v := p.UseAltOnNA(); v < -8 || v > 7 {
@@ -52,11 +51,9 @@ func TestQuickStateInvariantsUnderRandomStreams(t *testing.T) {
 		}
 		cfg := p.Config()
 		ctrMin, ctrMax := counter.SignedMin(cfg.CtrBits), counter.SignedMax(cfg.CtrBits)
-		for ti := range p.tables {
-			for _, e := range p.tables[ti].entries {
-				if e.ctr < ctrMin || e.ctr > ctrMax || e.u > 3 {
-					return false
-				}
+		for j := range p.ctr {
+			if p.ctr[j] < ctrMin || p.ctr[j] > ctrMax || p.u[j] > 3 {
+				return false
 			}
 		}
 		return true
@@ -89,7 +86,7 @@ func TestIndicesAndTagsWithinRange(t *testing.T) {
 	// Push random history and verify index/tag ranges at every step.
 	for i := 0; i < 3000; i++ {
 		pc := uint64(r.Uint32()) &^ 3
-		for bank := 1; bank <= len(p.tables); bank++ {
+		for bank := 1; bank <= p.numTables; bank++ {
 			idx := p.tableIndex(pc, bank)
 			if idx >= uint32(1)<<p.cfg.TaggedLog {
 				t.Fatalf("index %d out of range for bank %d", idx, bank)

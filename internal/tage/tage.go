@@ -72,26 +72,36 @@ func (o Observation) Strength() int {
 	return counter.Strength(o.ProviderCtr)
 }
 
-type entry struct {
-	ctr int8
-	tag uint16
-	u   uint8
-}
-
-type table struct {
-	entries   []entry
-	histLen   int
-	indexFold *history.Folded
-	tagFold1  *history.Folded
-	tagFold2  *history.Folded
-}
-
 // Predictor is a TAGE predictor instance. It is not safe for concurrent
 // use; simulate one stream per Predictor.
+//
+// The tagged tables are stored structure-of-arrays style in three flat
+// slices (ctr/tag/u) spanning every table, with per-table offsets that are
+// multiples of the power-of-two table size. All per-prediction scratch is
+// preallocated, so the Predict+Update hot path performs no heap
+// allocations.
 type Predictor struct {
-	cfg    Config
-	base   *bimodal.Predictor
-	tables []table
+	cfg  Config
+	base *bimodal.Predictor
+
+	// Flattened tagged-table storage. Entry row r of table t (0-based)
+	// lives at index t<<taggedLog | r in each slice.
+	ctr []int8
+	tag []uint16
+	u   []uint8
+
+	numTables int
+	taggedLog uint
+	rowMask   uint32
+	tagMask   uint32
+
+	histLens  []int
+	pathSizes []uint // min(histLen, PathBits) per table, for pathHash
+
+	// folds holds the three folded-history registers of each table
+	// contiguously: index fold, tag fold 1, tag fold 2 for table t at
+	// folds[3t], folds[3t+1], folds[3t+2].
+	folds []history.Folded
 
 	ghist *history.Buffer
 	phist *history.Path
@@ -106,10 +116,10 @@ type Predictor struct {
 	// Per-prediction scratch captured by Predict for the paired Update.
 	lastObs      Observation
 	havePred     bool
-	indices      []uint32
-	tags         []uint16
-	hitBank      int // 1-based; 0 = none
-	altBank      int // 1-based; 0 = none
+	pos          []uint32 // absolute flat-storage position per bank (1-based)
+	tagc         []uint16 // computed partial tag per bank (1-based)
+	hitBank      int      // 1-based; 0 = none
+	altBank      int      // 1-based; 0 = none
 	longestPred  bool
 	allocScratch []int
 }
@@ -129,33 +139,45 @@ func NewWithAutomaton(cfg Config, auto counter.Automaton) *Predictor {
 		panic(err)
 	}
 	maxHist := cfg.HistLengths[len(cfg.HistLengths)-1]
+	m := len(cfg.HistLengths)
+	rows := 1 << cfg.TaggedLog
 	p := &Predictor{
-		cfg:     cfg,
-		base:    bimodal.New(cfg.BimodalLog),
-		tables:  make([]table, len(cfg.HistLengths)),
-		ghist:   history.NewBuffer(maxHist + 2),
-		phist:   history.NewPath(cfg.PathBits),
-		auto:    auto,
-		rng:     xrand.New(xrand.Mix64(cfg.Seed ^ 0x7A6E)),
-		indices: make([]uint32, len(cfg.HistLengths)+1),
-		tags:    make([]uint16, len(cfg.HistLengths)+1),
+		cfg:       cfg,
+		base:      bimodal.New(cfg.BimodalLog),
+		ctr:       make([]int8, m*rows),
+		tag:       make([]uint16, m*rows),
+		u:         make([]uint8, m*rows),
+		numTables: m,
+		taggedLog: cfg.TaggedLog,
+		rowMask:   uint32(rows - 1),
+		tagMask:   (uint32(1) << cfg.TagBits) - 1,
+		histLens:  append([]int(nil), cfg.HistLengths...),
+		pathSizes: make([]uint, m),
+		folds:     make([]history.Folded, 3*m),
+		ghist:     history.NewBuffer(maxHist + 2),
+		phist:     history.NewPath(cfg.PathBits),
+		auto:      auto,
+		rng:       xrand.New(xrand.Mix64(cfg.Seed ^ 0x7A6E)),
+		pos:       make([]uint32, m+1),
+		tagc:      make([]uint16, m+1),
 
-		allocScratch: make([]int, 0, len(cfg.HistLengths)),
+		allocScratch: make([]int, 0, m),
 	}
 	tagBits := int(cfg.TagBits)
-	for i := range p.tables {
+	for i := 0; i < m; i++ {
 		hl := cfg.HistLengths[i]
 		t2 := tagBits - 1
 		if t2 < 1 {
 			t2 = 1
 		}
-		p.tables[i] = table{
-			entries:   make([]entry, 1<<cfg.TaggedLog),
-			histLen:   hl,
-			indexFold: history.NewFolded(hl, int(cfg.TaggedLog)),
-			tagFold1:  history.NewFolded(hl, tagBits),
-			tagFold2:  history.NewFolded(hl, t2),
+		ps := uint(hl)
+		if ps > cfg.PathBits {
+			ps = cfg.PathBits
 		}
+		p.pathSizes[i] = ps
+		p.folds[3*i] = history.MakeFolded(hl, int(cfg.TaggedLog))
+		p.folds[3*i+1] = history.MakeFolded(hl, tagBits)
+		p.folds[3*i+2] = history.MakeFolded(hl, t2)
 	}
 	return p
 }
@@ -169,13 +191,10 @@ func (p *Predictor) Automaton() counter.Automaton { return p.auto }
 // pathHash implements the F() path-history mixing function of the
 // reference TAGE simulator for table bank (1-based).
 func (p *Predictor) pathHash(bank int) uint32 {
-	logg := uint(p.cfg.TaggedLog)
-	size := p.tables[bank-1].histLen
-	if size > int(p.cfg.PathBits) {
-		size = int(p.cfg.PathBits)
-	}
-	a := p.phist.Value() & ((1 << uint(size)) - 1)
-	mask := (uint32(1) << logg) - 1
+	logg := p.taggedLog
+	size := p.pathSizes[bank-1]
+	a := p.phist.Value() & ((1 << size) - 1)
+	mask := p.rowMask
 	a1 := a & mask
 	a2 := a >> logg
 	sh := uint(bank) % logg
@@ -185,33 +204,37 @@ func (p *Predictor) pathHash(bank int) uint32 {
 	return a & mask
 }
 
-// tableIndex computes the index into tagged table bank (1-based).
+// tableIndex computes the index (row within the table) into tagged table
+// bank (1-based), folding the index compression of the bank's global
+// history with the PC and path-history hash.
 func (p *Predictor) tableIndex(pc uint64, bank int) uint32 {
-	t := &p.tables[bank-1]
-	logg := uint(p.cfg.TaggedLog)
-	idx := uint32(pc>>2) ^ uint32(pc>>(2+logg)) ^ t.indexFold.Value() ^ p.pathHash(bank)
-	return idx & ((1 << logg) - 1)
+	idx := uint32(pc>>2) ^ uint32(pc>>(2+p.taggedLog)) ^ p.folds[3*(bank-1)].Value() ^ p.pathHash(bank)
+	return idx & p.rowMask
 }
 
 // tableTag computes the partial tag for table bank (1-based).
 func (p *Predictor) tableTag(pc uint64, bank int) uint16 {
-	t := &p.tables[bank-1]
-	tag := uint32(pc>>2) ^ t.tagFold1.Value() ^ (t.tagFold2.Value() << 1)
-	return uint16(tag & ((1 << p.cfg.TagBits) - 1))
+	fi := 3 * (bank - 1)
+	tag := uint32(pc>>2) ^ p.folds[fi+1].Value() ^ (p.folds[fi+2].Value() << 1)
+	return uint16(tag & p.tagMask)
 }
 
 // Predict computes the prediction for pc and returns the component
 // observation. Each Predict must be followed by exactly one Update for the
 // same pc before predicting the next branch.
 func (p *Predictor) Predict(pc uint64) Observation {
-	m := len(p.tables)
+	m := p.numTables
+	logg := p.taggedLog
 	p.hitBank, p.altBank = 0, 0
+	// One pass computes each bank's absolute flat-storage position and
+	// partial tag, reading the bank's three folded-history registers from
+	// one contiguous cache line.
 	for bank := 1; bank <= m; bank++ {
-		p.indices[bank] = p.tableIndex(pc, bank)
-		p.tags[bank] = p.tableTag(pc, bank)
+		p.pos[bank] = uint32(bank-1)<<logg | p.tableIndex(pc, bank)
+		p.tagc[bank] = p.tableTag(pc, bank)
 	}
 	for bank := m; bank >= 1; bank-- {
-		if p.tables[bank-1].entries[p.indices[bank]].tag == p.tags[bank] {
+		if p.tag[p.pos[bank]] == p.tagc[bank] {
 			if p.hitBank == 0 {
 				p.hitBank = bank
 			} else {
@@ -238,25 +261,26 @@ func (p *Predictor) Predict(pc uint64) Observation {
 		return obs
 	}
 
-	provider := &p.tables[p.hitBank-1].entries[p.indices[p.hitBank]]
-	p.longestPred = counter.TakenSigned(provider.ctr)
+	providerPos := p.pos[p.hitBank]
+	providerCtr := p.ctr[providerPos]
+	p.longestPred = counter.TakenSigned(providerCtr)
 
 	altPred := basePred
 	if p.altBank > 0 {
-		alt := &p.tables[p.altBank-1].entries[p.indices[p.altBank]]
-		altPred = counter.TakenSigned(alt.ctr)
+		altCtr := p.ctr[p.pos[p.altBank]]
+		altPred = counter.TakenSigned(altCtr)
 		obs.AltProvider = p.altBank - 1
-		obs.AltCtr = alt.ctr
+		obs.AltCtr = altCtr
 	}
 
 	obs.Provider = p.hitBank - 1
-	obs.ProviderCtr = provider.ctr
-	obs.ProviderU = provider.u
+	obs.ProviderCtr = providerCtr
+	obs.ProviderU = p.u[providerPos]
 	obs.AltPred = altPred
 
 	// Prediction selection (paper §3.1): use the provider counter unless it
 	// is weak and USE_ALT_ON_NA is non-negative.
-	if p.cfg.DisableUseAltOnNA || p.useAltOnNA < 0 || !counter.WeakSigned(provider.ctr) {
+	if p.cfg.DisableUseAltOnNA || p.useAltOnNA < 0 || !counter.WeakSigned(providerCtr) {
 		obs.Pred = p.longestPred
 	} else {
 		obs.Pred = altPred
@@ -277,7 +301,7 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	}
 	p.havePred = false
 	obs := p.lastObs
-	m := len(p.tables)
+	m := p.numTables
 	ctrBits := p.cfg.CtrBits
 
 	// Allocation on misprediction when a longer-history table exists.
@@ -286,11 +310,11 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	}
 
 	if p.hitBank > 0 {
-		provider := &p.tables[p.hitBank-1].entries[p.indices[p.hitBank]]
+		providerPos := p.pos[p.hitBank]
 
 		// USE_ALT_ON_NA monitors whether the alternate prediction beats a
 		// weak ("newly allocated") provider.
-		if counter.WeakSigned(provider.ctr) && p.longestPred != obs.AltPred {
+		if counter.WeakSigned(p.ctr[providerPos]) && p.longestPred != obs.AltPred {
 			if obs.AltPred == taken {
 				if p.useAltOnNA < 7 {
 					p.useAltOnNA++
@@ -302,24 +326,24 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 
 		// When the provider entry is not yet established (u == 0), also
 		// train the alternate prediction source.
-		if provider.u == 0 {
+		if p.u[providerPos] == 0 {
 			if p.altBank > 0 {
-				alt := &p.tables[p.altBank-1].entries[p.indices[p.altBank]]
-				alt.ctr = p.auto.Update(alt.ctr, ctrBits, taken)
+				altPos := p.pos[p.altBank]
+				p.ctr[altPos] = p.auto.Update(p.ctr[altPos], ctrBits, taken)
 			} else {
 				p.base.Update(pc, taken)
 			}
 		}
 
-		provider.ctr = p.auto.Update(provider.ctr, ctrBits, taken)
+		p.ctr[providerPos] = p.auto.Update(p.ctr[providerPos], ctrBits, taken)
 
 		// Useful counter: credit the provider when it disagreed with the
 		// alternate prediction and was right; debit when wrong.
 		if p.longestPred != obs.AltPred {
 			if p.longestPred == taken {
-				provider.u = counter.IncUnsigned(provider.u, p.cfg.UBits)
+				p.u[providerPos] = counter.IncUnsigned(p.u[providerPos], p.cfg.UBits)
 			} else {
-				provider.u = counter.DecUnsigned(provider.u)
+				p.u[providerPos] = counter.DecUnsigned(p.u[providerPos])
 			}
 		}
 	} else {
@@ -327,25 +351,21 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	}
 
 	// Graceful aging of useful counters: a one-bit right shift of every u
-	// every UResetPeriod updates.
+	// every UResetPeriod updates — one pass over the flat array.
 	p.tick++
 	if p.tick&(p.cfg.UResetPeriod-1) == 0 {
-		for i := range p.tables {
-			es := p.tables[i].entries
-			for j := range es {
-				es[j].u >>= 1
-			}
+		for j := range p.u {
+			p.u[j] >>= 1
 		}
 	}
 
-	// Advance histories.
+	// Advance histories: push the outcome and path bits, then run every
+	// folded-history register in one pass over the contiguous fold slice.
 	p.ghist.Push(taken)
 	p.phist.Push(pc)
-	for i := range p.tables {
-		t := &p.tables[i]
-		t.indexFold.Update(p.ghist)
-		t.tagFold1.Update(p.ghist)
-		t.tagFold2.Update(p.ghist)
+	folds := p.folds
+	for i := range folds {
+		folds[i].Update(p.ghist)
 	}
 }
 
@@ -356,17 +376,17 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 // skew); if every candidate is useful, their u counters are decremented
 // instead (the anti-ping-pong rule of the TAGE paper).
 func (p *Predictor) allocate(taken bool) {
-	m := len(p.tables)
+	m := p.numTables
 	p.allocScratch = p.allocScratch[:0]
 	for bank := p.hitBank + 1; bank <= m; bank++ {
-		if p.tables[bank-1].entries[p.indices[bank]].u == 0 {
+		if p.u[p.pos[bank]] == 0 {
 			p.allocScratch = append(p.allocScratch, bank)
 		}
 	}
 	if len(p.allocScratch) == 0 {
 		for bank := p.hitBank + 1; bank <= m; bank++ {
-			e := &p.tables[bank-1].entries[p.indices[bank]]
-			e.u = counter.DecUnsigned(e.u)
+			pos := p.pos[bank]
+			p.u[pos] = counter.DecUnsigned(p.u[pos])
 		}
 		return
 	}
@@ -377,13 +397,13 @@ func (p *Predictor) allocate(taken bool) {
 			break
 		}
 	}
-	e := &p.tables[chosen-1].entries[p.indices[chosen]]
-	e.tag = p.tags[chosen]
-	e.u = 0
+	pos := p.pos[chosen]
+	p.tag[pos] = p.tagc[chosen]
+	p.u[pos] = 0
 	if taken {
-		e.ctr = 0
+		p.ctr[pos] = 0
 	} else {
-		e.ctr = -1
+		p.ctr[pos] = -1
 	}
 }
 
@@ -411,18 +431,19 @@ type TableStats struct {
 // capacity analysis (which tables hold established state, how much of it
 // is protected, how much has saturated).
 func (p *Predictor) Stats() []TableStats {
-	out := make([]TableStats, len(p.tables))
-	for i := range p.tables {
-		t := &p.tables[i]
-		s := TableStats{HistLen: t.histLen}
-		for _, e := range t.entries {
-			if !counter.WeakSigned(e.ctr) {
+	out := make([]TableStats, p.numTables)
+	rows := 1 << p.taggedLog
+	for i := 0; i < p.numTables; i++ {
+		s := TableStats{HistLen: p.histLens[i]}
+		lo := i * rows
+		for j := lo; j < lo+rows; j++ {
+			if !counter.WeakSigned(p.ctr[j]) {
 				s.LiveEntries++
 			}
-			if e.u > 0 {
+			if p.u[j] > 0 {
 				s.UsefulEntries++
 			}
-			if counter.SaturatedSigned(e.ctr, p.cfg.CtrBits) {
+			if counter.SaturatedSigned(p.ctr[j], p.cfg.CtrBits) {
 				s.SaturatedEntries++
 			}
 		}

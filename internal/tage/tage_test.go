@@ -406,11 +406,9 @@ func TestUResetAges(t *testing.T) {
 		p.Update(b.PC, b.Taken)
 	}
 	// After the run, u values must be within the 2-bit range.
-	for _, tb := range p.tables {
-		for _, e := range tb.entries {
-			if e.u > 3 {
-				t.Fatalf("u counter %d escaped 2-bit range", e.u)
-			}
+	for _, u := range p.u {
+		if u > 3 {
+			t.Fatalf("u counter %d escaped 2-bit range", u)
 		}
 	}
 }

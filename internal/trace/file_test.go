@@ -127,3 +127,62 @@ func TestOpenFileWorksWithLimit(t *testing.T) {
 		t.Fatalf("limited stream = %d records", len(got))
 	}
 }
+
+func TestOpenFileErrorSticky(t *testing.T) {
+	// After a decode error closes the reader, further Next calls must
+	// repeat the error — not panic on the released chunk buffer.
+	path, _ := writeSample(t, 300)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.tbt")
+	if err := os.WriteFile(cut, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := OpenFile(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ft.Open()
+	var lastErr error
+	for {
+		if _, lastErr = r.Next(); lastErr != nil {
+			break
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("retry %d: want sticky ErrBadFormat, got %v", i, err)
+		}
+	}
+}
+
+func TestLimitReleasesTruncatedFileReader(t *testing.T) {
+	// Draining a limited file trace must release the inner reader's file
+	// descriptor and pooled buffer even though the file was not read to
+	// its natural EOF.
+	path, _ := writeSample(t, 100)
+	ft, _ := OpenFile(path)
+	lt := Limit(ft, 10)
+	r := lt.Open()
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+	}
+	lr, ok := r.(*limitReader)
+	if !ok {
+		t.Fatalf("limited reader has type %T", r)
+	}
+	fr, ok := lr.inner.(*fileReader)
+	if !ok {
+		t.Fatalf("inner reader has type %T", lr.inner)
+	}
+	if !fr.closed {
+		t.Fatal("inner fileReader still open after limited drain")
+	}
+	if fr.bufp != nil {
+		t.Fatal("pooled buffer not returned after limited drain")
+	}
+}

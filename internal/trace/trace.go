@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // Branch is one dynamic conditional branch.
@@ -339,81 +340,183 @@ func (t *fileTrace) Open() Reader {
 	return r
 }
 
+// fileBufSize is the chunk size of the streaming file decoder. 64 KiB
+// amortizes syscalls well while staying cache-resident.
+const fileBufSize = 64 * 1024
+
+// fileBufPool recycles decode chunks across Opens, so repeated passes over
+// file traces (suite re-runs, parallel workers) allocate no new buffers in
+// steady state.
+var fileBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, fileBufSize)
+		return &b
+	},
+}
+
 func (t *fileTrace) open() (*fileReader, error) {
 	f, err := os.Open(t.path)
 	if err != nil {
 		return nil, err
 	}
-	br := bufio.NewReader(f)
+	bp := fileBufPool.Get().(*[]byte)
+	r := &fileReader{f: f, bufp: bp, buf: *bp}
+	fail := func(err error) (*fileReader, error) {
+		r.close()
+		return nil, err
+	}
 	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	if err := r.readFull(m[:]); err != nil {
+		return fail(fmt.Errorf("%w: %v", ErrBadFormat, err))
 	}
 	if m != magic {
-		f.Close()
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:])
+		return fail(fmt.Errorf("%w: bad magic %q", ErrBadFormat, m[:]))
 	}
-	nameLen, err := binary.ReadUvarint(br)
+	nameLen, err := r.uvarint()
 	if err != nil || nameLen > 1<<16 {
-		f.Close()
-		return nil, fmt.Errorf("%w: name length", ErrBadFormat)
+		return fail(fmt.Errorf("%w: name length", ErrBadFormat))
 	}
 	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	if err := r.readFull(nameBuf); err != nil {
+		return fail(fmt.Errorf("%w: name: %v", ErrBadFormat, err))
 	}
-	count, err := binary.ReadUvarint(br)
+	count, err := r.uvarint()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+		return fail(fmt.Errorf("%w: count: %v", ErrBadFormat, err))
 	}
-	return &fileReader{f: f, br: br, name: string(nameBuf), left: count}, nil
+	r.name = string(nameBuf)
+	r.left = count
+	return r, nil
 }
 
 type errReader struct{ err error }
 
 func (e errReader) Next() (Branch, error) { return Branch{}, e.err }
 
+// fileReader streams records out of a trace file through a reusable chunk
+// buffer, decoding varints directly from the chunk (no per-byte interface
+// calls, no per-record allocations).
 type fileReader struct {
 	f      *os.File
-	br     *bufio.Reader
 	name   string
 	left   uint64
 	prevPC uint64
-	closed bool
+
+	buf      []byte
+	bufp     *[]byte // pooled backing array, returned on close
+	pos, end int
+	eof      bool
+	closed   bool
+	err      error // sticky result returned by every Next after close
+}
+
+// refill slides the unread tail to the front of the chunk and fills the
+// rest from the file.
+func (r *fileReader) refill() error {
+	if r.pos > 0 {
+		copy(r.buf, r.buf[r.pos:r.end])
+		r.end -= r.pos
+		r.pos = 0
+	}
+	for r.end < len(r.buf) && !r.eof {
+		n, err := r.f.Read(r.buf[r.end:])
+		r.end += n
+		if err == io.EOF || (err == nil && n == 0) {
+			r.eof = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFull copies len(p) bytes out of the stream (header fields only).
+func (r *fileReader) readFull(p []byte) error {
+	for len(p) > 0 {
+		if r.pos == r.end {
+			if r.eof {
+				return io.ErrUnexpectedEOF
+			}
+			if err := r.refill(); err != nil {
+				return err
+			}
+			continue
+		}
+		n := copy(p, r.buf[r.pos:r.end])
+		r.pos += n
+		p = p[n:]
+	}
+	return nil
+}
+
+// uvarint decodes one unsigned varint from the chunk, refilling if the
+// remaining window could truncate it.
+func (r *fileReader) uvarint() (uint64, error) {
+	if r.end-r.pos < binary.MaxVarintLen64 && !r.eof {
+		if err := r.refill(); err != nil {
+			return 0, err
+		}
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:r.end])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
 }
 
 // Next implements Reader, decoding one record; the underlying file closes
-// automatically at EOF or on the first decode error.
+// automatically at EOF or on the first decode error, and every later Next
+// repeats that final result.
 func (r *fileReader) Next() (Branch, error) {
+	if r.closed {
+		return Branch{}, r.err
+	}
 	if r.left == 0 {
-		r.close()
+		r.fail(io.EOF)
 		return Branch{}, io.EOF
 	}
-	delta, err := binary.ReadVarint(r.br)
-	if err != nil {
-		r.close()
-		return Branch{}, fmt.Errorf("%w: pc: %v", ErrBadFormat, err)
+	// One refill check covers both varints of the record.
+	if r.end-r.pos < 2*binary.MaxVarintLen64 && !r.eof {
+		if err := r.refill(); err != nil {
+			return Branch{}, r.fail(fmt.Errorf("%w: read: %v", ErrBadFormat, err))
+		}
 	}
-	packed, err := binary.ReadUvarint(r.br)
-	if err != nil {
-		r.close()
-		return Branch{}, fmt.Errorf("%w: packed: %v", ErrBadFormat, err)
+	delta, n := binary.Varint(r.buf[r.pos:r.end])
+	if n <= 0 {
+		return Branch{}, r.fail(fmt.Errorf("%w: pc: truncated varint", ErrBadFormat))
 	}
+	r.pos += n
+	packed, n2 := binary.Uvarint(r.buf[r.pos:r.end])
+	if n2 <= 0 {
+		return Branch{}, r.fail(fmt.Errorf("%w: packed: truncated varint", ErrBadFormat))
+	}
+	r.pos += n2
 	r.left--
 	pc := uint64(int64(r.prevPC) + delta)
 	r.prevPC = pc
 	return Branch{PC: pc, Taken: packed&1 == 1, Instr: uint32(packed>>1) + 1}, nil
 }
 
-func (r *fileReader) close() {
+// fail closes the reader with a sticky result and returns it.
+func (r *fileReader) fail(err error) error {
 	if !r.closed {
 		r.closed = true
+		r.err = err
+		r.pos, r.end = 0, 0
 		r.f.Close()
+		if r.bufp != nil {
+			fileBufPool.Put(r.bufp)
+			r.buf, r.bufp = nil, nil
+		}
 	}
+	return r.err
 }
+
+// close releases the reader early (limit truncation); later Nexts see EOF.
+func (r *fileReader) close() { r.fail(io.EOF) }
 
 // Limit wraps a trace, truncating every pass after max records. A max of 0
 // means no limit. It is how experiment harnesses run shortened simulations.
@@ -440,6 +543,12 @@ type limitReader struct {
 
 func (r *limitReader) Next() (Branch, error) {
 	if r.left == 0 {
+		// Release resources held by truncated inner readers (file
+		// descriptor, pooled decode buffer) that would otherwise only be
+		// freed when drained to their natural EOF.
+		if c, ok := r.inner.(interface{ close() }); ok {
+			c.close()
+		}
 		return Branch{}, io.EOF
 	}
 	b, err := r.inner.Next()
