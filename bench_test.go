@@ -367,6 +367,29 @@ func BenchmarkSuiteRunner(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentAxis measures the experiment-axis fan-out: a fresh
+// Runner per iteration executes the sweep (7 operating points over the
+// same suite) serially and through the pool. Unlike BenchmarkSuiteRunner
+// it exercises the arm-level ForEach, the singleflight memo and the
+// nested (arm × trace) parallelism, so it is the scaling number for
+// composite invocations like `reprotables -experiment all`.
+func BenchmarkExperimentAxis(b *testing.B) {
+	const limit = 30_000
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewWorkers(limit, bc.workers)
+				if _, err := r.RunSweep(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPredictorSpeed measures raw predict+update throughput of the
 // three configurations through the facade (complementing the per-package
 // micro-benchmarks).

@@ -8,6 +8,12 @@
 //
 //	confsim -config 16K -suite cbp1
 //	confsim -config 64K -trace 300.twolf -adaptive
+//
+// -parallel sets the simulation worker count (0 = GOMAXPROCS, 1 = serial)
+// for both modes: the comparison fans the (estimator × trace) matrix out
+// across the pool, and the -adaptive trajectory fans its per-trace runs
+// out with order-preserving output. Results are byte-identical at every
+// worker count.
 package main
 
 import (
@@ -56,7 +62,7 @@ func main() {
 
 	pool := sim.SuiteRunner{Workers: *parallel}
 	if *adaptive {
-		trajectory(cfg, traces, *branches)
+		trajectory(pool, cfg, traces, *branches)
 		return
 	}
 	compare(pool, cfg, traces, *branches)
@@ -131,17 +137,28 @@ func compare(pool sim.SuiteRunner, cfg tage.Config, traces []trace.Trace, limit 
 		[]string{"estimator", "extra storage", "SENS", "PVP", "SPEC", "PVN"}, rows)
 }
 
-func trajectory(cfg tage.Config, traces []trace.Trace, limit uint64) {
-	for _, tr := range traces {
+// trajectory fans the independent per-trace adaptive runs out across the
+// pool, collecting each trace's line into its own slot so output order
+// (and content) is identical to a serial loop at any worker count.
+func trajectory(pool sim.SuiteRunner, cfg tage.Config, traces []trace.Trace, limit uint64) {
+	lines := make([]string, len(traces))
+	if err := pool.ForEach(len(traces), func(i int) error {
+		tr := traces[i]
 		est := core.NewEstimator(cfg, core.Options{Mode: core.ModeAdaptive})
 		res, err := sim.Run(est, tr, limit)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		hi := res.Level(core.High)
-		fmt.Printf("%-14s final probability 1/%.0f  adjustments %d  high: Pcov %.3f MPrate %.1f MKP\n",
+		lines[i] = fmt.Sprintf("%-14s final probability 1/%.0f  adjustments %d  high: Pcov %.3f MPrate %.1f MKP\n",
 			tr.Name(), 1/res.FinalProbability, est.Controller().Adjustments(),
 			metrics.Pcov(hi, res.Total), hi.MKP())
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	for _, line := range lines {
+		fmt.Print(line)
 	}
 }
 

@@ -6,11 +6,18 @@
 //
 //	reprotables -experiment table1
 //	reprotables -experiment all -branches 600000
+//	reprotables -experiment all -parallel 4
 //	reprotables -listnames
 //
 // Experiments (see DESIGN.md §5 for the index): table1, fig2, fig3, fig4,
 // fig5, fig6, table2, table3, sweep, ablation-window, ablation-usealt,
 // ablation-ctr, estimators, all.
+//
+// -parallel sets the simulation worker count (0 = GOMAXPROCS, 1 = serial).
+// Both the experiment axis (sweep points, ablation arms, figure panels,
+// the experiments of -experiment all) and the trace axis fan out across
+// the same pool, and shared (config, options, suite) combinations are
+// simulated exactly once; output is byte-identical at every worker count.
 package main
 
 import (
@@ -28,6 +35,7 @@ func main() {
 	var (
 		name     = flag.String("experiment", "all", "experiment to regenerate (see -listnames)")
 		branches = flag.Uint64("branches", experiments.DefaultLimit, "branch records per trace (0 = full trace)")
+		parallel = flag.Int("parallel", 0, "simulation workers for the experiment and trace axes (0 = GOMAXPROCS, 1 = serial)")
 		list     = flag.Bool("listnames", false, "list experiment names and exit")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	)
@@ -38,7 +46,7 @@ func main() {
 		return
 	}
 
-	runner := experiments.New(*branches)
+	runner := experiments.NewWorkers(*branches, *parallel)
 	start := time.Now()
 	out, err := runner.Run(*name)
 	if err != nil {

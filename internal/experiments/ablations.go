@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tage"
 	"repro/internal/textplot"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -27,22 +28,25 @@ type BimWindowRow struct {
 }
 
 // RunBimWindowAblation runs the sweep on the 16 Kbit predictor over CBP-1
-// with the modified automaton.
+// with the modified automaton. Window arms fan out across the pool; rows
+// merge in arm order.
 func (r *Runner) RunBimWindowAblation() (BimWindowAblation, error) {
-	var out BimWindowAblation
-	for _, win := range []int{-1, 4, 8, 16, 32} {
+	windows := []int{-1, 4, 8, 16, 32}
+	rows := make([]BimWindowRow, len(windows))
+	err := r.Pool.ForEach(len(windows), func(i int) error {
+		win := windows[i]
 		opts := modifiedOpts()
 		opts.BimWindow = win
 		sr, err := r.Suite(tage.Small16K(), opts, "cbp1")
 		if err != nil {
-			return out, err
+			return err
 		}
 		agg := sr.Aggregate
 		shown := win
 		if win < 0 {
 			shown = 0
 		}
-		out.Rows = append(out.Rows, BimWindowRow{
+		rows[i] = BimWindowRow{
 			Window: shown,
 			MediumBim: LevelCell{
 				Pcov:   agg.Pcov(core.MediumConfBim),
@@ -50,9 +54,13 @@ func (r *Runner) RunBimWindowAblation() (BimWindowAblation, error) {
 				MPrate: agg.MPrate(core.MediumConfBim),
 			},
 			HighBimMPrate: agg.MPrate(core.HighConfBim),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return BimWindowAblation{}, err
 	}
-	return out, nil
+	return BimWindowAblation{Rows: rows}, nil
 }
 
 // Render writes the window ablation table.
@@ -87,26 +95,35 @@ type UseAltRow struct {
 }
 
 // RunUseAltAblation compares CBP-1 accuracy with and without the
-// heuristic across the three sizes.
+// heuristic across the three sizes. The flat (config × on/off) job list
+// fans out across the pool; rows merge in config order.
 func (r *Runner) RunUseAltAblation() (UseAltAblation, error) {
+	cfgs := tage.StandardConfigs()
+	aggs := make([]sim.Result, 2*len(cfgs)) // [2i] with, [2i+1] without
+	err := r.Pool.ForEach(len(aggs), func(i int) error {
+		cfg := cfgs[i/2]
+		if i%2 == 1 {
+			cfg.DisableUseAltOnNA = true
+		}
+		sr, err := r.Suite(cfg, standardOpts(), "cbp1")
+		if err != nil {
+			return err
+		}
+		aggs[i] = sr.Aggregate
+		return nil
+	})
+	if err != nil {
+		return UseAltAblation{}, err
+	}
 	var out UseAltAblation
-	for _, cfg := range tage.StandardConfigs() {
-		with, err := r.Suite(cfg, standardOpts(), "cbp1")
-		if err != nil {
-			return out, err
-		}
-		cfgOff := cfg
-		cfgOff.DisableUseAltOnNA = true
-		without, err := r.Suite(cfgOff, standardOpts(), "cbp1")
-		if err != nil {
-			return out, err
-		}
+	for i, cfg := range cfgs {
+		with, without := aggs[2*i], aggs[2*i+1]
 		out.Rows = append(out.Rows, UseAltRow{
 			Config:      cfg.Name,
-			WithMPKI:    with.Aggregate.MPKI(),
-			WithoutMPKI: without.Aggregate.MPKI(),
-			WtagWith:    with.Aggregate.MPrate(core.Wtag),
-			WtagWithout: without.Aggregate.MPrate(core.Wtag),
+			WithMPKI:    with.MPKI(),
+			WithoutMPKI: without.MPKI(),
+			WtagWith:    with.MPrate(core.Wtag),
+			WtagWithout: without.MPrate(core.Wtag),
 		})
 	}
 	return out, nil
@@ -147,28 +164,35 @@ type CtrWidthRow struct {
 
 // RunCtrWidthAblation compares 3-bit and 4-bit counters on the 16 and
 // 64 Kbit predictors over CBP-1 (standard automaton, so the comparison
-// isolates the widening itself).
+// isolates the widening itself). The flat (config × width) grid fans out
+// across the pool; rows merge in grid order.
 func (r *Runner) RunCtrWidthAblation() (CtrWidthAblation, error) {
-	var out CtrWidthAblation
-	for _, base := range []tage.Config{tage.Small16K(), tage.Medium64K()} {
-		for _, bits := range []uint{3, 4} {
-			cfg := base
-			cfg.CtrBits = bits
-			sr, err := r.Suite(cfg, standardOpts(), "cbp1")
-			if err != nil {
-				return out, err
-			}
-			agg := sr.Aggregate
-			out.Rows = append(out.Rows, CtrWidthRow{
-				Config:     base.Name,
-				CtrBits:    bits,
-				MPKI:       agg.MPKI(),
-				StagPcov:   agg.Pcov(core.Stag),
-				StagMPrate: agg.MPrate(core.Stag),
-			})
+	bases := []tage.Config{tage.Small16K(), tage.Medium64K()}
+	widths := []uint{3, 4}
+	rows := make([]CtrWidthRow, len(bases)*len(widths))
+	err := r.Pool.ForEach(len(rows), func(i int) error {
+		base := bases[i/len(widths)]
+		bits := widths[i%len(widths)]
+		cfg := base
+		cfg.CtrBits = bits
+		sr, err := r.Suite(cfg, standardOpts(), "cbp1")
+		if err != nil {
+			return err
 		}
+		agg := sr.Aggregate
+		rows[i] = CtrWidthRow{
+			Config:     base.Name,
+			CtrBits:    bits,
+			MPKI:       agg.MPKI(),
+			StagPcov:   agg.Pcov(core.Stag),
+			StagMPrate: agg.MPrate(core.Stag),
+		}
+		return nil
+	})
+	if err != nil {
+		return CtrWidthAblation{}, err
 	}
-	return out, nil
+	return CtrWidthAblation{Rows: rows}, nil
 }
 
 // Render writes the counter-width ablation table.
@@ -216,6 +240,9 @@ type EstimatorRow struct {
 // RunEstimatorComparison runs all estimators over CBP-1 on the 16 Kbit
 // predictor with the modified automaton (storage-free) and the standard
 // predictor for the JRS pairs (JRS does not need the automaton change).
+// The full flat (estimator × trace) matrix fans out across the pool in
+// one pass; confusions merge in estimator-major, trace-minor order so the
+// totals match the serial reference exactly.
 func (r *Runner) RunEstimatorComparison() (EstimatorComparison, error) {
 	var out EstimatorComparison
 	traces, err := workload.Suite("cbp1")
@@ -223,52 +250,46 @@ func (r *Runner) RunEstimatorComparison() (EstimatorComparison, error) {
 		return out, err
 	}
 
-	// Per-trace runs fan out across the pool; confusions are merged in
-	// trace order so the totals match the serial reference exactly.
-	perTrace := make([]metrics.Binary, len(traces))
-	if err := r.Pool.ForEach(len(traces), func(i int) error {
-		est := core.NewEstimator(tage.Small16K(), modifiedOpts())
-		res, err := sim.RunTAGEBinary(est, traces[i], r.Limit)
+	jrsBits := jrs.NewDefault(10, 10).StorageBits() // 1K 4-bit counters = 4 Kbits extra
+	estimators := []struct {
+		name string
+		bits int
+		run  func(tr trace.Trace) (metrics.Binary, error)
+	}{
+		{"storage-free (high level)", 0, func(tr trace.Trace) (metrics.Binary, error) {
+			est := core.NewEstimator(tage.Small16K(), modifiedOpts())
+			res, err := sim.RunTAGEBinary(est, tr, r.Limit)
+			return res.Confusion, err
+		}},
+		{"JRS 4-bit", jrsBits, func(tr trace.Trace) (metrics.Binary, error) {
+			p := tagePredictorAdapter{tage.New(tage.Small16K())}
+			res, err := sim.RunBinary(p, jrs.NewDefault(10, 10), tr, r.Limit)
+			return res.Confusion, err
+		}},
+		{"JRS 4-bit enhanced", jrsBits, func(tr trace.Trace) (metrics.Binary, error) {
+			p := tagePredictorAdapter{tage.New(tage.Small16K())}
+			res, err := sim.RunBinary(p, jrs.NewDefault(10, 10).Enhanced(), tr, r.Limit)
+			return res.Confusion, err
+		}},
+	}
+
+	cells := make([]metrics.Binary, len(estimators)*len(traces))
+	if err := r.Pool.ForEach(len(cells), func(i int) error {
+		conf, err := estimators[i/len(traces)].run(traces[i%len(traces)])
 		if err != nil {
 			return err
 		}
-		perTrace[i] = res.Confusion
+		cells[i] = conf
 		return nil
 	}); err != nil {
 		return out, err
 	}
-	var free metrics.Binary
-	for _, c := range perTrace {
-		free.Add(c)
-	}
-	out.Rows = append(out.Rows, EstimatorRow{Name: "storage-free (high level)", StorageBits: 0, Confusion: free})
-
-	for _, enhanced := range []bool{false, true} {
-		bits := jrs.NewDefault(10, 10).StorageBits() // 1K 4-bit counters = 4 Kbits extra
-		if err := r.Pool.ForEach(len(traces), func(i int) error {
-			p := tagePredictorAdapter{tage.New(tage.Small16K())}
-			e := jrs.NewDefault(10, 10)
-			if enhanced {
-				e = e.Enhanced()
-			}
-			res, err := sim.RunBinary(p, e, traces[i], r.Limit)
-			if err != nil {
-				return err
-			}
-			perTrace[i] = res.Confusion
-			return nil
-		}); err != nil {
-			return out, err
-		}
+	for ei, e := range estimators {
 		var conf metrics.Binary
-		for _, c := range perTrace {
-			conf.Add(c)
+		for ti := range traces {
+			conf.Add(cells[ei*len(traces)+ti])
 		}
-		name := "JRS 4-bit"
-		if enhanced {
-			name = "JRS 4-bit enhanced"
-		}
-		out.Rows = append(out.Rows, EstimatorRow{Name: name, StorageBits: bits, Confusion: conf})
+		out.Rows = append(out.Rows, EstimatorRow{Name: e.name, StorageBits: e.bits, Confusion: conf})
 	}
 	return out, nil
 }

@@ -58,7 +58,9 @@ func (r *Runner) RunApplications() (Applications, error) {
 	opts := core.Options{Mode: core.ModeProbabilistic}
 	cfg := tage.Small16K()
 
-	// Pipeline gating and throttling.
+	// Pipeline gating and throttling: the flat (trace × policy) matrix
+	// fans out across the pool; rows merge in trace-major, policy-minor
+	// order, matching the serial reference.
 	policies := []struct {
 		name string
 		cfg  fetchgate.Config
@@ -71,27 +73,36 @@ func (r *Runner) RunApplications() (Applications, error) {
 			return c
 		}()},
 	}
-	for _, name := range ApplicationTraces {
+	gatingTraces := make([]trace.Trace, len(ApplicationTraces))
+	for i, name := range ApplicationTraces {
 		tr, err := workload.ByName(name)
 		if err != nil {
 			return out, err
 		}
-		for _, p := range policies {
-			gated, base, err := fetchgate.Compare(cfg, opts, p.cfg, tr, r.Limit)
-			if err != nil {
-				return out, err
-			}
-			s := fetchgate.Evaluate(gated, base)
-			out.Gating = append(out.Gating, GatingRow{
-				Trace:     name,
-				Policy:    p.name,
-				Reduction: s.WrongPathReduction,
-				Slowdown:  s.Slowdown,
-			})
-		}
+		gatingTraces[i] = tr
 	}
+	gating := make([]GatingRow, len(gatingTraces)*len(policies))
+	if err := r.Pool.ForEach(len(gating), func(i int) error {
+		ti, pi := i/len(policies), i%len(policies)
+		gated, base, err := fetchgate.Compare(cfg, opts, policies[pi].cfg, gatingTraces[ti], r.Limit)
+		if err != nil {
+			return err
+		}
+		s := fetchgate.Evaluate(gated, base)
+		gating[i] = GatingRow{
+			Trace:     ApplicationTraces[ti],
+			Policy:    policies[pi].name,
+			Reduction: s.WrongPathReduction,
+			Slowdown:  s.Slowdown,
+		}
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	out.Gating = gating
 
-	// SMT fetch policies on a predictable/unpredictable thread pair.
+	// SMT fetch policies on a predictable/unpredictable thread pair; the
+	// policy arms are independent co-run simulations.
 	var pair []trace.Trace
 	for _, n := range []string{"255.vortex", "300.twolf"} {
 		tr, err := workload.ByName(n)
@@ -100,19 +111,25 @@ func (r *Runner) RunApplications() (Applications, error) {
 		}
 		pair = append(pair, tr)
 	}
-	for _, p := range []smtpolicy.Policy{smtpolicy.RoundRobin, smtpolicy.ICount, smtpolicy.ConfidenceThrottle} {
+	smtPolicies := []smtpolicy.Policy{smtpolicy.RoundRobin, smtpolicy.ICount, smtpolicy.ConfidenceThrottle}
+	smt := make([]SMTRow, len(smtPolicies))
+	if err := r.Pool.ForEach(len(smtPolicies), func(i int) error {
 		sc := smtpolicy.DefaultConfig()
-		sc.Policy = p
+		sc.Policy = smtPolicies[i]
 		st, err := smtpolicy.Run(cfg, opts, sc, pair, r.Limit)
 		if err != nil {
-			return out, err
+			return err
 		}
-		out.SMT = append(out.SMT, SMTRow{
-			Policy:     p.String(),
+		smt[i] = SMTRow{
+			Policy:     smtPolicies[i].String(),
 			Throughput: st.Throughput(),
 			WrongPath:  st.WrongPathFraction(),
-		})
+		}
+		return nil
+	}); err != nil {
+		return out, err
 	}
+	out.SMT = smt
 
 	// Dual-path fork policies on the misprediction-bound trace.
 	tw, err := workload.ByName("300.twolf")

@@ -29,14 +29,17 @@ type FamilyCensusRow struct {
 }
 
 // RunFamilyCensus aggregates the cached CBP-1 suite run by family prefix.
+// The per-family reductions are independent arms over the shared suite
+// result, so they fan out across the pool; rows merge in family order.
 func (r *Runner) RunFamilyCensus() (FamilyCensus, error) {
-	var out FamilyCensus
 	sr, err := r.Suite(tage.Small16K(), modifiedOpts(), "cbp1")
 	if err != nil {
-		return out, err
+		return FamilyCensus{}, err
 	}
 	families := []string{"FP", "INT", "MM", "SERV"}
-	for _, fam := range families {
+	rows := make([]FamilyCensusRow, len(families))
+	err = r.Pool.ForEach(len(families), func(i int) error {
+		fam := families[i]
 		var agg struct {
 			misps, instr, preds uint64
 			bim, high           uint64
@@ -59,7 +62,7 @@ func (r *Runner) RunFamilyCensus() (FamilyCensus, error) {
 			agg.lowMisps += lo.Misps
 		}
 		if agg.preds == 0 {
-			return out, fmt.Errorf("experiments: family %s matched no traces", fam)
+			return fmt.Errorf("experiments: family %s matched no traces", fam)
 		}
 		row := FamilyCensusRow{
 			Family:   fam,
@@ -70,9 +73,13 @@ func (r *Runner) RunFamilyCensus() (FamilyCensus, error) {
 		if agg.lowPreds > 0 {
 			row.LowMKP = 1000 * float64(agg.lowMisps) / float64(agg.lowPreds)
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return FamilyCensus{}, err
 	}
-	return out, nil
+	return FamilyCensus{Rows: rows}, nil
 }
 
 // Render writes the census.

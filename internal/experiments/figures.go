@@ -78,20 +78,27 @@ type panelSpec struct {
 	suite string
 }
 
+// distribution computes one panel per spec; panels are independent arms,
+// so they fan out across the pool and merge in spec order.
 func (r *Runner) distribution(title string, opts core.Options, specs []panelSpec) (DistributionFigure, error) {
-	fig := DistributionFigure{Title: title}
-	for _, s := range specs {
+	panels := make([]DistPanel, len(specs))
+	err := r.Pool.ForEach(len(specs), func(i int) error {
+		s := specs[i]
 		sr, err := r.Suite(s.cfg, opts, s.suite)
 		if err != nil {
-			return fig, err
+			return err
 		}
-		fig.Panels = append(fig.Panels, DistPanel{
+		panels[i] = DistPanel{
 			Config: s.cfg.Name,
 			Suite:  s.suite,
 			Traces: sr.PerTrace,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return DistributionFigure{Title: title}, err
 	}
-	return fig, nil
+	return DistributionFigure{Title: title, Panels: panels}, nil
 }
 
 // Render draws each panel as a pair of stacked-bar charts mirroring the

@@ -70,37 +70,63 @@ func (r *Runner) RunLTAGE() (LTAGEComparison, error) {
 	return out, nil
 }
 
+// ltageCell is the per-trace partial of one L-TAGE comparison.
+type ltageCell struct {
+	tageMiss, ltageMiss, instr, loopProvided, branches uint64
+}
+
+func (c *ltageCell) add(o ltageCell) {
+	c.tageMiss += o.tageMiss
+	c.ltageMiss += o.ltageMiss
+	c.instr += o.instr
+	c.loopProvided += o.loopProvided
+	c.branches += o.branches
+}
+
+// compareLTAGE runs the side-by-side TAGE / L-TAGE simulation. Each trace
+// is an independent job (both predictors are freshly built per trace), so
+// the traces fan out across the pool; partials merge in trace order.
 func (r *Runner) compareLTAGE(cfg tage.Config, loopCfg looppred.Config, label string, traces []trace.Trace) (LTAGERow, error) {
 	row := LTAGERow{Config: cfg.Name, Workload: label}
-	var tageMiss, ltageMiss, instr, loopProvided, branches uint64
-	for _, tr := range traces {
+	cells := make([]ltageCell, len(traces))
+	err := r.Pool.ForEach(len(traces), func(i int) error {
 		tg := tage.New(cfg)
 		lt := looppred.NewLTAGE(cfg, loopCfg)
-		reader := trace.Limit(tr, r.Limit).Open()
+		reader := trace.Limit(traces[i], r.Limit).Open()
+		var c ltageCell
 		for {
 			b, err := reader.Next()
 			if err != nil {
 				break
 			}
 			if tg.Predict(b.PC).Pred != b.Taken {
-				tageMiss++
+				c.tageMiss++
 			}
 			tg.Update(b.PC, b.Taken)
 			if lt.Predict(b.PC) != b.Taken {
-				ltageMiss++
+				c.ltageMiss++
 			}
 			if lt.UsedLoop() {
-				loopProvided++
+				c.loopProvided++
 			}
 			lt.Update(b.PC, b.Taken)
-			instr += uint64(b.Instr)
-			branches++
+			c.instr += uint64(b.Instr)
+			c.branches++
 		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return row, err
 	}
-	row.TageMPKI = metrics.MPKI(tageMiss, instr)
-	row.LtageMPKI = metrics.MPKI(ltageMiss, instr)
-	if branches > 0 {
-		row.LoopProvided = float64(loopProvided) / float64(branches)
+	var total ltageCell
+	for _, c := range cells {
+		total.add(c)
+	}
+	row.TageMPKI = metrics.MPKI(total.tageMiss, total.instr)
+	row.LtageMPKI = metrics.MPKI(total.ltageMiss, total.instr)
+	if total.branches > 0 {
+		row.LoopProvided = float64(total.loopProvided) / float64(total.branches)
 	}
 	row.ExtraBits = loopCfg.StorageBits() + 7
 	return row, nil

@@ -5,6 +5,43 @@ import (
 	"testing"
 )
 
+// renderAll runs the composite "all" experiment on a fresh runner with
+// the given worker count and returns the concatenated renders.
+func renderAll(t *testing.T, limit uint64, workers int) (*Runner, []byte) {
+	t.Helper()
+	r := NewWorkers(limit, workers)
+	out, err := r.Run("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, v := range out {
+		v.Render(&buf)
+		buf.WriteByte('\n')
+	}
+	return r, buf.Bytes()
+}
+
+// TestCompositeAllByteIdenticalAcrossWorkers runs the full `-experiment
+// all` composite — the path where concurrent experiments hammer one
+// shared Runner cache — serially and with 4 workers, and requires (a)
+// byte-identical renders and (b) the same number of distinct suite
+// simulations on both sides: the singleflight memo must collapse every
+// shared (config, options, suite) triple to exactly one simulation even
+// when the arms race for it. Run with -race to check the memo for data
+// races.
+func TestCompositeAllByteIdenticalAcrossWorkers(t *testing.T) {
+	const limit = 4000
+	serial, sb := renderAll(t, limit, 1)
+	parallel, pb := renderAll(t, limit, 4)
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("composite all renders differently in parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sb, pb)
+	}
+	if s, p := serial.Simulations(), parallel.Simulations(); s != p {
+		t.Fatalf("serial ran %d suite simulations, parallel ran %d — concurrent arms duplicated or lost work", s, p)
+	}
+}
+
 // TestEveryExperimentDeterministicUnderParallelism renders every
 // registered experiment once through a serial runner and once through a
 // multi-worker runner and requires byte-identical output: the parallel

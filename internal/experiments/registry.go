@@ -74,16 +74,30 @@ func (r *Runner) Run(name string) ([]Renderer, error) {
 		},
 	}
 	if name == "all" {
-		var out []Renderer
+		// The experiments themselves are the outermost parallel axis: they
+		// fan out across the pool (each one fanning its own arms and traces
+		// out in turn), with renderers merged in presentation order. The
+		// Runner's singleflight memo guarantees every (config, options,
+		// suite) triple shared between concurrent experiments — table2 and
+		// the sweep both want the modified 16K/CBP-1 run, say — is
+		// simulated exactly once.
+		var names []string
 		for _, n := range Names() {
-			if n == "all" {
-				continue
+			if n != "all" {
+				names = append(names, n)
 			}
-			v, err := single[n]()
+		}
+		out := make([]Renderer, len(names))
+		err := r.Pool.ForEach(len(names), func(i int) error {
+			v, err := single[names[i]]()
 			if err != nil {
-				return nil, fmt.Errorf("experiment %s: %w", n, err)
+				return fmt.Errorf("experiment %s: %w", names[i], err)
 			}
-			out = append(out, v)
+			out[i] = v
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return out, nil
 	}

@@ -21,6 +21,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -37,13 +39,30 @@ const DefaultLimit = workload.SuiteLength
 // Runner executes and caches suite simulations. Simulations fan out
 // across Pool's workers; results (and therefore the memoized cache) are
 // bit-identical to a serial run regardless of the worker count.
+//
+// A Runner is safe for concurrent use: the memo is a singleflight — when
+// several experiment arms ask for the same (config, options, suite)
+// triple concurrently, one of them simulates and the rest block on the
+// result, so every distinct triple is simulated exactly once per Runner
+// lifetime no matter how the arms are scheduled.
 type Runner struct {
 	// Limit is the per-trace record budget (0 = full trace).
 	Limit uint64
 	// Pool is the simulation worker pool (zero value = GOMAXPROCS
 	// workers; Workers=1 forces the serial reference path).
 	Pool sim.SuiteRunner
-	cache map[string]sim.SuiteResult
+
+	mu    sync.Mutex
+	cache map[string]*suiteEntry
+	sims  atomic.Uint64 // distinct suite simulations actually executed
+}
+
+// suiteEntry is one memoized suite simulation; once gates the single
+// execution, after which res/err are immutable.
+type suiteEntry struct {
+	once sync.Once
+	res  sim.SuiteResult
+	err  error
 }
 
 // New returns a Runner with the given per-trace record budget, running
@@ -58,34 +77,55 @@ func NewWorkers(limit uint64, workers int) *Runner {
 	return &Runner{
 		Limit: limit,
 		Pool:  sim.SuiteRunner{Workers: workers},
-		cache: make(map[string]sim.SuiteResult),
 	}
 }
 
+// key covers every field of the configuration and options that can affect
+// a simulation result. Formats must be lossless: TargetMKP uses %g (a
+// truncating format once collapsed targets 10.12 and 10.14 into one cache
+// slot) and the structural Config fields are all spelled out (ablations
+// vary CtrBits and HistLengths under an unchanged Name).
 func (r *Runner) key(cfg tage.Config, opts core.Options, suiteName string) string {
-	return fmt.Sprintf("%s|%s|%v|%d|%d|%.1f|%d|%v",
-		cfg.Name, suiteName, opts.Mode, opts.DenomLog, opts.BimWindow,
-		opts.TargetMKP, cfg.CtrBits, cfg.DisableUseAltOnNA)
+	return fmt.Sprintf("%s|bl%d|tl%d|tb%d|h%v|c%d|u%d|p%d|ur%d|s%#x|na%v|%s|m%d|dl%d|bw%d|tm%g|aw%d",
+		cfg.Name, cfg.BimodalLog, cfg.TaggedLog, cfg.TagBits, cfg.HistLengths,
+		cfg.CtrBits, cfg.UBits, cfg.PathBits, cfg.UResetPeriod, cfg.Seed,
+		cfg.DisableUseAltOnNA,
+		suiteName, opts.Mode, opts.DenomLog, opts.BimWindow,
+		opts.TargetMKP, opts.AdaptiveWindow)
 }
 
 // Suite runs (or returns the cached) simulation of every trace in the
 // named suite under the given configuration and estimator options.
+// Concurrent callers sharing a key wait for one simulation.
 func (r *Runner) Suite(cfg tage.Config, opts core.Options, suiteName string) (sim.SuiteResult, error) {
 	k := r.key(cfg, opts, suiteName)
-	if res, ok := r.cache[k]; ok {
-		return res, nil
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*suiteEntry)
 	}
-	traces, err := workload.Suite(suiteName)
-	if err != nil {
-		return sim.SuiteResult{}, err
+	e, ok := r.cache[k]
+	if !ok {
+		e = &suiteEntry{}
+		r.cache[k] = e
 	}
-	res, err := r.Pool.RunSuite(cfg, opts, traces, r.Limit)
-	if err != nil {
-		return sim.SuiteResult{}, err
-	}
-	r.cache[k] = res
-	return res, nil
+	r.mu.Unlock()
+	e.once.Do(func() {
+		r.sims.Add(1)
+		traces, err := workload.Suite(suiteName)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = r.Pool.RunSuite(cfg, opts, traces, r.Limit)
+	})
+	return e.res, e.err
 }
+
+// Simulations returns the number of distinct suite simulations this
+// Runner has executed (cache misses). Tests use it to prove that a shared
+// (config, options, suite) triple simulates exactly once under concurrent
+// experiment arms — and that distinct triples never collide.
+func (r *Runner) Simulations() uint64 { return r.sims.Load() }
 
 // Traces runs specific traces (used by the figure-4/6 experiments),
 // fanning them out across the pool.

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tage"
+)
+
+// TestRunnerKeyCoversAllResultAffectingFields is the regression test for
+// the cache-collision bug: the old memoization key omitted
+// Options.AdaptiveWindow entirely and truncated TargetMKP to one decimal,
+// so option sets differing only in those fields silently shared one
+// cached SuiteResult. Every pair below used to collide; each must now
+// simulate independently (two cache misses, not one).
+func TestRunnerKeyCoversAllResultAffectingFields(t *testing.T) {
+	base := adaptiveOpts()
+	cases := []struct {
+		name string
+		a, b core.Options
+	}{
+		{
+			name: "AdaptiveWindow",
+			a:    func() core.Options { o := base; o.AdaptiveWindow = 4096; return o }(),
+			b:    func() core.Options { o := base; o.AdaptiveWindow = 16384; return o }(),
+		},
+		{
+			name: "TargetMKP full precision",
+			a:    func() core.Options { o := base; o.TargetMKP = 10.12; return o }(),
+			b:    func() core.Options { o := base; o.TargetMKP = 10.14; return o }(),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := NewWorkers(2000, 1)
+			if _, err := r.Suite(tage.Small16K(), c.a, "cbp1"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Suite(tage.Small16K(), c.b, "cbp1"); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Simulations(); got != 2 {
+				t.Fatalf("distinct option sets ran %d simulations, want 2 (cache collision)", got)
+			}
+			// And the genuinely identical request must still hit the cache.
+			if _, err := r.Suite(tage.Small16K(), c.a, "cbp1"); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Simulations(); got != 2 {
+				t.Fatalf("repeat request re-simulated: %d simulations, want 2", got)
+			}
+		})
+	}
+
+	// Config-side coverage: ablations vary structural fields under (mostly)
+	// unchanged names — every mutation below must occupy its own cache slot.
+	r := NewWorkers(2000, 1)
+	variants := []tage.Config{
+		tage.Small16K(),
+		func() tage.Config { c := tage.Small16K(); c.CtrBits = 4; return c }(),
+		func() tage.Config { c := tage.Small16K(); c.DisableUseAltOnNA = true; return c }(),
+		func() tage.Config { c := tage.Small16K(); c.UBits = 3; return c }(),
+		func() tage.Config { c := tage.Small16K(); c.Seed = 0xDEAD; return c }(),
+	}
+	for _, cfg := range variants {
+		if _, err := r.Suite(cfg, standardOpts(), "cbp1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Simulations(); got != uint64(len(variants)) {
+		t.Fatalf("%d config variants ran %d simulations, want %d", len(variants), got, len(variants))
+	}
+}
+
+// TestRunnerSingleflightSimulatesOnce drives many goroutines at one
+// (config, options, suite) triple concurrently: exactly one simulation
+// must execute, every caller must observe the identical result, and (with
+// -race) the memo must be data-race free.
+func TestRunnerSingleflightSimulatesOnce(t *testing.T) {
+	r := NewWorkers(2000, 2)
+	const callers = 8
+	results := make([]float64, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sr, err := r.Suite(tage.Small16K(), modifiedOpts(), "cbp1")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = sr.Aggregate.MPKI()
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Simulations(); got != 1 {
+		t.Fatalf("%d concurrent callers ran %d simulations, want exactly 1", callers, got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw MPKI %v, caller 0 saw %v", i, results[i], results[0])
+		}
+	}
+}

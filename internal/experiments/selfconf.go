@@ -104,23 +104,37 @@ func (r *Runner) RunSelfConfidence() (SelfConfidence, error) {
 		},
 	}
 
-	// Every (scheme, trace) run is independent: fan the whole matrix out
-	// across the pool, then merge in scheme-major, trace-minor order so
-	// the totals match the serial reference exactly.
+	// Every (scheme, trace) run is independent, and so is each trace of
+	// the paper's TAGE storage-free estimator in binary mode (64 Kbit, the
+	// size class of the O-GEHL configuration above; its misp/KI column is
+	// rendered as "-" because the binary driver tallies predictions, not
+	// instructions). The whole flat matrix — schemes plus the TAGE tail
+	// rows — fans out across the pool in one pass, then merges in
+	// scheme-major, trace-minor order so the totals match the serial
+	// reference exactly.
 	type cell struct {
 		conf         metrics.Binary
 		misps, instr uint64
 	}
-	cells := make([]cell, len(schemes)*len(traces))
+	nt := len(traces)
+	cells := make([]cell, (len(schemes)+1)*nt)
 	if err := r.Pool.ForEach(len(cells), func(i int) error {
-		s := schemes[i/len(traces)]
-		tr := traces[i%len(traces)]
-		p := s.build()
-		c, m, in, err := runSelfConfidence(p, tr, r.Limit)
+		tr := traces[i%nt]
+		if si := i / nt; si < len(schemes) {
+			p := schemes[si].build()
+			c, m, in, err := runSelfConfidence(p, tr, r.Limit)
+			if err != nil {
+				return err
+			}
+			cells[i] = cell{conf: c, misps: m, instr: in}
+			return nil
+		}
+		est := core.NewEstimator(tage.Medium64K(), modifiedOpts())
+		res, err := sim.RunTAGEBinary(est, tr, r.Limit)
 		if err != nil {
 			return err
 		}
-		cells[i] = cell{conf: c, misps: m, instr: in}
+		cells[i] = cell{conf: res.Confusion}
 		return nil
 	}); err != nil {
 		return out, err
@@ -128,8 +142,8 @@ func (r *Runner) RunSelfConfidence() (SelfConfidence, error) {
 	for si, s := range schemes {
 		var conf metrics.Binary
 		var misps, instr uint64
-		for ti := range traces {
-			c := cells[si*len(traces)+ti]
+		for ti := 0; ti < nt; ti++ {
+			c := cells[si*nt+ti]
 			conf.Add(c.conf)
 			misps += c.misps
 			instr += c.instr
@@ -141,26 +155,9 @@ func (r *Runner) RunSelfConfidence() (SelfConfidence, error) {
 			Confusion: conf,
 		})
 	}
-
-	// The paper's TAGE storage-free estimator in binary mode (64 Kbit, the
-	// size class of the O-GEHL configuration above). Its misp/KI column is
-	// rendered as "-": the binary driver tallies predictions, not
-	// instructions.
-	perTrace := make([]metrics.Binary, len(traces))
-	if err := r.Pool.ForEach(len(traces), func(i int) error {
-		est := core.NewEstimator(tage.Medium64K(), modifiedOpts())
-		res, err := sim.RunTAGEBinary(est, traces[i], r.Limit)
-		if err != nil {
-			return err
-		}
-		perTrace[i] = res.Confusion
-		return nil
-	}); err != nil {
-		return out, err
-	}
 	var conf metrics.Binary
-	for _, c := range perTrace {
-		conf.Add(c)
+	for ti := 0; ti < nt; ti++ {
+		conf.Add(cells[len(schemes)*nt+ti].conf)
 	}
 	out.Rows = append(out.Rows, SelfConfidenceRow{
 		Name:      "TAGE storage-free (this paper)",

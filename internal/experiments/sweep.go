@@ -33,10 +33,14 @@ type Sweep struct {
 // (probability 1 down to 1/1024).
 var SweepDenomLogs = []uint{0, 2, 4, 6, 7, 9, 10}
 
-// RunSweep runs the sweep on the 16 Kbit configuration over CBP-1.
+// RunSweep runs the sweep on the 16 Kbit configuration over CBP-1. The
+// operating points are independent arms, so they fan out across the pool
+// (each arm's traces fan out in turn); rows land in sweep order, keeping
+// the table bit-identical to a serial run.
 func (r *Runner) RunSweep() (Sweep, error) {
-	var s Sweep
-	for _, dl := range SweepDenomLogs {
+	rows := make([]SweepRow, len(SweepDenomLogs))
+	err := r.Pool.ForEach(len(SweepDenomLogs), func(i int) error {
+		dl := SweepDenomLogs[i]
 		opts := core.Options{Mode: core.ModeProbabilistic, DenomLog: dl}
 		if dl == 0 {
 			// Probability 1 is exactly the standard automaton (the
@@ -46,7 +50,7 @@ func (r *Runner) RunSweep() (Sweep, error) {
 		}
 		sr, err := r.Suite(tage.Small16K(), opts, "cbp1")
 		if err != nil {
-			return s, err
+			return err
 		}
 		agg := sr.Aggregate
 		row := SweepRow{
@@ -70,9 +74,13 @@ func (r *Runner) RunSweep() (Sweep, error) {
 				row.High = cell
 			}
 		}
-		s.Rows = append(s.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return Sweep{}, err
 	}
-	return s, nil
+	return Sweep{Rows: rows}, nil
 }
 
 // Render writes the sweep as a table.

@@ -37,27 +37,34 @@ var PaperTable1 = map[string][2]float64{
 }
 
 // RunTable1 simulates both suites under the three standard configurations.
+// The flat (config × suite) grid fans out across the pool; rows merge in
+// config order.
 func (r *Runner) RunTable1() (Table1, error) {
+	cfgs := tage.StandardConfigs()
+	suites := workload.SuiteNames()
+	mpkis := make([]float64, len(cfgs)*len(suites))
+	err := r.Pool.ForEach(len(mpkis), func(i int) error {
+		sr, err := r.Suite(cfgs[i/len(suites)], standardOpts(), suites[i%len(suites)])
+		if err != nil {
+			return err
+		}
+		mpkis[i] = sr.Aggregate.MPKI()
+		return nil
+	})
+	if err != nil {
+		return Table1{}, err
+	}
 	var t Table1
-	for _, cfg := range tage.StandardConfigs() {
-		row := Table1Row{
+	for ci, cfg := range cfgs {
+		t.Rows = append(t.Rows, Table1Row{
 			Config:    cfg,
 			TotalBits: cfg.StorageBits(),
 			NumTables: cfg.NumTables(),
 			MinHist:   cfg.HistLengths[0],
 			MaxHist:   cfg.HistLengths[len(cfg.HistLengths)-1],
-		}
-		s1, err := r.Suite(cfg, standardOpts(), "cbp1")
-		if err != nil {
-			return t, err
-		}
-		s2, err := r.Suite(cfg, standardOpts(), "cbp2")
-		if err != nil {
-			return t, err
-		}
-		row.CBP1MPKI = s1.Aggregate.MPKI()
-		row.CBP2MPKI = s2.Aggregate.MPKI()
-		t.Rows = append(t.Rows, row)
+			CBP1MPKI:  mpkis[ci*len(suites)],
+			CBP2MPKI:  mpkis[ci*len(suites)+1],
+		})
 	}
 	return t, nil
 }
@@ -138,45 +145,52 @@ var PaperTable3 = map[string][3]LevelCell{
 }
 
 // RunThreeClass produces Table 2 (adaptive=false) or Table 3
-// (adaptive=true).
+// (adaptive=true). The flat (config × suite) grid fans out across the
+// pool; rows merge in grid order.
 func (r *Runner) RunThreeClass(adaptive bool) (ThreeClassTable, error) {
-	t := ThreeClassTable{Adaptive: adaptive}
 	opts := modifiedOpts()
 	if adaptive {
 		opts = adaptiveOpts()
 	}
-	for _, cfg := range tage.StandardConfigs() {
-		for _, suite := range workload.SuiteNames() {
-			sr, err := r.Suite(cfg, opts, suite)
-			if err != nil {
-				return t, err
-			}
-			agg := sr.Aggregate
-			row := ThreeClassRow{
-				Config:           cfg.Name,
-				Suite:            suite,
-				FinalProbability: agg.FinalProbability,
-			}
-			for _, l := range core.Levels() {
-				lc := agg.Level(l)
-				cell := LevelCell{
-					Pcov:   metrics.Pcov(lc, agg.Total),
-					MPcov:  metrics.MPcov(lc, agg.Total),
-					MPrate: lc.MKP(),
-				}
-				switch l {
-				case core.Low:
-					row.Low = cell
-				case core.Medium:
-					row.Medium = cell
-				default:
-					row.High = cell
-				}
-			}
-			t.Rows = append(t.Rows, row)
+	cfgs := tage.StandardConfigs()
+	suites := workload.SuiteNames()
+	rows := make([]ThreeClassRow, len(cfgs)*len(suites))
+	err := r.Pool.ForEach(len(rows), func(i int) error {
+		cfg := cfgs[i/len(suites)]
+		suite := suites[i%len(suites)]
+		sr, err := r.Suite(cfg, opts, suite)
+		if err != nil {
+			return err
 		}
+		agg := sr.Aggregate
+		row := ThreeClassRow{
+			Config:           cfg.Name,
+			Suite:            suite,
+			FinalProbability: agg.FinalProbability,
+		}
+		for _, l := range core.Levels() {
+			lc := agg.Level(l)
+			cell := LevelCell{
+				Pcov:   metrics.Pcov(lc, agg.Total),
+				MPcov:  metrics.MPcov(lc, agg.Total),
+				MPrate: lc.MKP(),
+			}
+			switch l {
+			case core.Low:
+				row.Low = cell
+			case core.Medium:
+				row.Medium = cell
+			default:
+				row.High = cell
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return ThreeClassTable{Adaptive: adaptive}, err
 	}
-	return t, nil
+	return ThreeClassTable{Adaptive: adaptive, Rows: rows}, nil
 }
 
 // Render writes the table in the paper's layout with the paper's values.

@@ -52,6 +52,13 @@ func (b *Buffer) Bit(i int) uint8 {
 	return b.bits[(b.head+i)&b.mask]
 }
 
+// Reset clears the buffer to its freshly-constructed state (all bits zero)
+// without reallocating, so pooled readers can recycle their history.
+func (b *Buffer) Reset() {
+	clear(b.bits)
+	b.head = 0
+}
+
 // Len returns the number of bits the buffer can address.
 func (b *Buffer) Len() int { return len(b.bits) }
 

@@ -166,11 +166,6 @@ func TestLimitReleasesTruncatedFileReader(t *testing.T) {
 	ft, _ := OpenFile(path)
 	lt := Limit(ft, 10)
 	r := lt.Open()
-	for {
-		if _, err := r.Next(); err != nil {
-			break
-		}
-	}
 	lr, ok := r.(*limitReader)
 	if !ok {
 		t.Fatalf("limited reader has type %T", r)
@@ -179,10 +174,21 @@ func TestLimitReleasesTruncatedFileReader(t *testing.T) {
 	if !ok {
 		t.Fatalf("inner reader has type %T", lr.inner)
 	}
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+	}
 	if !fr.closed {
 		t.Fatal("inner fileReader still open after limited drain")
 	}
 	if fr.bufp != nil {
 		t.Fatal("pooled buffer not returned after limited drain")
+	}
+	// The wrapper must drop its reference after the one release: a
+	// released reader may be recycled into another Open of the same trace,
+	// and a retained pointer would let a stale wrapper corrupt it.
+	if lr.inner != nil {
+		t.Fatalf("limitReader retained inner reader %T after release", lr.inner)
 	}
 }

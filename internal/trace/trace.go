@@ -36,6 +36,13 @@ type Branch struct {
 
 // Reader yields the records of one pass over a trace. Next returns io.EOF
 // after the last record.
+//
+// A Reader holding releasable resources (an open file, pooled decode or
+// generator state) may additionally implement Close(); Limit probes for
+// it so truncated passes release those resources immediately instead of
+// holding them until their natural EOF. A Reader must not be used again
+// after Close or after it has returned io.EOF — its state may be
+// recycled into the next Open of the same trace.
 type Reader interface {
 	Next() (Branch, error)
 }
@@ -518,6 +525,11 @@ func (r *fileReader) fail(err error) error {
 // close releases the reader early (limit truncation); later Nexts see EOF.
 func (r *fileReader) close() { r.fail(io.EOF) }
 
+// Close implements the exported release hook Limit probes for. (The
+// unexported close above remains for package-internal error paths; an
+// unexported method could never satisfy a cross-package interface probe.)
+func (r *fileReader) Close() { r.close() }
+
 // Limit wraps a trace, truncating every pass after max records. A max of 0
 // means no limit. It is how experiment harnesses run shortened simulations.
 func Limit(t Trace, max uint64) Trace {
@@ -539,20 +551,30 @@ func (l *limited) Open() Reader { return &limitReader{inner: l.inner.Open(), lef
 type limitReader struct {
 	inner Reader
 	left  uint64
+	err   error // sticky result repeated once the inner reader is released
 }
 
 func (r *limitReader) Next() (Branch, error) {
+	if r.inner == nil {
+		return Branch{}, r.err
+	}
 	if r.left == 0 {
 		// Release resources held by truncated inner readers (file
-		// descriptor, pooled decode buffer) that would otherwise only be
-		// freed when drained to their natural EOF.
-		if c, ok := r.inner.(interface{ close() }); ok {
-			c.close()
+		// descriptor, pooled decode buffer, recycled generator state) that
+		// would otherwise only be freed when drained to their natural EOF.
+		if c, ok := r.inner.(interface{ Close() }); ok {
+			c.Close()
 		}
+		r.inner, r.err = nil, io.EOF
 		return Branch{}, io.EOF
 	}
 	b, err := r.inner.Next()
 	if err != nil {
+		// The inner reader finished on its own (natural EOF or a sticky
+		// decode error) and may already have recycled itself into another
+		// Open of the same trace; drop the reference on this path too so
+		// the wrapper can never touch a reader live in another pass.
+		r.inner, r.err = nil, err
 		return b, err
 	}
 	r.left--

@@ -49,6 +49,15 @@ type Instance interface {
 	Next(env *Env) bool
 }
 
+// Resettable is an optional Instance extension: Reset(r) must leave the
+// instance in exactly the state Behavior.New(r) would have produced, given
+// an identically-seeded r. Pooled trace readers use it to replay a trace
+// without reallocating per-site state; instances that do not implement it
+// are rebuilt through Behavior.New on every pass.
+type Resettable interface {
+	Reset(r *xrand.Rand)
+}
+
 // Const is a branch that always resolves in the same direction
 // (loop-closing unconditional-like branches, guards that never fire).
 type Const struct{ Taken bool }
@@ -59,6 +68,8 @@ func (c Const) New(*xrand.Rand) Instance { return constInst{c.Taken} }
 type constInst struct{ taken bool }
 
 func (c constInst) Next(*Env) bool { return c.taken }
+
+func (c constInst) Reset(*xrand.Rand) {}
 
 // Loop models a loop back-edge with a fixed trip count: taken Trip-1 times,
 // then not-taken once, repeatedly. Trip must be at least 1; Trip == 1 is a
@@ -87,6 +98,8 @@ func (l *loopInst) Next(*Env) bool {
 	}
 	return true
 }
+
+func (l *loopInst) Reset(*xrand.Rand) { l.count = 0 }
 
 // VarLoop is a loop whose trip count is redrawn uniformly in [Min, Max] for
 // each loop instance — predictable within an instance, unpredictable at the
@@ -128,6 +141,12 @@ func (v *varLoopInst) Next(*Env) bool {
 	return true
 }
 
+func (v *varLoopInst) Reset(r *xrand.Rand) {
+	v.r = r
+	v.count = 0
+	v.redraw()
+}
+
 // Biased is a branch taken with independent probability P per execution —
 // the intrinsically unpredictable archetype. P near 0 or 1 gives an easy
 // branch; P near 0.5 gives a ~50% misprediction floor for any predictor.
@@ -139,6 +158,8 @@ func (b Biased) New(*xrand.Rand) Instance { return biasedInst{p: b.P} }
 type biasedInst struct{ p float64 }
 
 func (b biasedInst) Next(env *Env) bool { return env.Rand.WithProbability(b.p) }
+
+func (b biasedInst) Reset(*xrand.Rand) {}
 
 // Pattern replays a fixed periodic outcome sequence, optionally flipping
 // each outcome with independent probability Noise. A predictor whose
@@ -178,6 +199,8 @@ func (p *patternInst) Next(env *Env) bool {
 	}
 	return v
 }
+
+func (p *patternInst) Reset(*xrand.Rand) { p.pos = 0 }
 
 // Correlated resolves as the XOR of earlier global branch outcomes at the
 // given lags (in branches), optionally inverted, with independent noise
@@ -219,6 +242,8 @@ func (c *correlatedInst) Next(env *Env) bool {
 	return v
 }
 
+func (c *correlatedInst) Reset(*xrand.Rand) {}
+
 // Phased cycles through sub-behaviors, switching every Period executions.
 // It models program phases: each switch invalidates what the predictor
 // learned, producing the warmup / burst mispredictions behind the paper's
@@ -237,15 +262,23 @@ func (p Phased) New(r *xrand.Rand) Instance {
 	if len(p.Phases) == 0 {
 		return constInst{true}
 	}
-	insts := make([]Instance, len(p.Phases))
-	for i, b := range p.Phases {
-		insts[i] = b.New(r.Derive(uint64(i)))
+	inst := &phasedInst{
+		specs:  p.Phases,
+		phases: make([]Instance, len(p.Phases)),
+		rands:  make([]xrand.Rand, len(p.Phases)),
+		period: period,
 	}
-	return &phasedInst{phases: insts, period: period}
+	for i, b := range p.Phases {
+		r.DeriveInto(uint64(i), &inst.rands[i])
+		inst.phases[i] = b.New(&inst.rands[i])
+	}
+	return inst
 }
 
 type phasedInst struct {
+	specs  []Behavior
 	phases []Instance
+	rands  []xrand.Rand // per-phase derived streams, recycled by Reset
 	period int
 	count  int
 	cur    int
@@ -262,6 +295,18 @@ func (p *phasedInst) Next(env *Env) bool {
 		}
 	}
 	return v
+}
+
+func (p *phasedInst) Reset(r *xrand.Rand) {
+	p.count, p.cur = 0, 0
+	for i, b := range p.specs {
+		r.DeriveInto(uint64(i), &p.rands[i])
+		if res, ok := p.phases[i].(Resettable); ok {
+			res.Reset(&p.rands[i])
+		} else {
+			p.phases[i] = b.New(&p.rands[i])
+		}
+	}
 }
 
 // Markov is a two-state burst process: the branch alternates between a
@@ -307,6 +352,8 @@ func (m *markovInst) Next(env *Env) bool {
 	return env.Rand.WithProbability(p)
 }
 
+func (m *markovInst) Reset(*xrand.Rand) { m.hot = true }
+
 // LocalPattern is a branch whose outcome depends on its own last k
 // outcomes through a fixed boolean rule (an LFSR-style recurrence),
 // yielding long pseudo-periodic local patterns that global-history
@@ -331,20 +378,22 @@ func (l LocalPattern) New(*xrand.Rand) Instance {
 			max = t
 		}
 	}
-	inst := &localPatternInst{taps: taps, hist: make([]bool, max)}
-	for i := range inst.hist {
+	inst := &localPatternInst{taps: taps, hist: make([]bool, max), init: make([]bool, max)}
+	for i := range inst.init {
 		if i < len(l.SeedBits) {
-			inst.hist[i] = l.SeedBits[i]
+			inst.init[i] = l.SeedBits[i]
 		} else {
-			inst.hist[i] = i%3 == 0
+			inst.init[i] = i%3 == 0
 		}
 	}
+	copy(inst.hist, inst.init)
 	return inst
 }
 
 type localPatternInst struct {
 	taps []int
 	hist []bool // hist[0] = most recent own outcome
+	init []bool // seed state restored by Reset
 }
 
 func (l *localPatternInst) Next(*Env) bool {
@@ -358,3 +407,5 @@ func (l *localPatternInst) Next(*Env) bool {
 	l.hist[0] = v
 	return v
 }
+
+func (l *localPatternInst) Reset(*xrand.Rand) { copy(l.hist, l.init) }

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/history"
 	"repro/internal/trace"
@@ -39,6 +40,13 @@ type Block struct {
 
 // Program is a synthetic workload implementing trace.Trace. All randomness
 // derives from Seed, so every Open replays the identical stream.
+//
+// Exhausted readers are recycled through an internal pool: a reader returns
+// itself when it reports io.EOF (or is released early by trace.Limit), and
+// the next Open reuses its site/instance storage after a deterministic
+// reset, so repeated passes over the same Program allocate nothing in
+// steady state. A Program must not be copied after its first Open, and a
+// Reader must not be used again once it has returned io.EOF.
 type Program struct {
 	ProgName string
 	Seed     uint64
@@ -46,6 +54,8 @@ type Program struct {
 	Blocks   []Block
 	// Length is the number of branch records per pass (DefaultLength if 0).
 	Length uint64
+
+	readers sync.Pool // recycled *progReader state
 }
 
 // Name implements trace.Trace.
@@ -98,24 +108,31 @@ func (p *Program) Open() trace.Reader {
 		// the suite tests; fail loudly rather than emit a corrupt stream.
 		panic(err)
 	}
+	if v := p.readers.Get(); v != nil {
+		r := v.(*progReader)
+		r.reset()
+		return r
+	}
 	root := xrand.New(p.Seed)
 	r := &progReader{
-		prog:  p,
-		sched: root.Derive(0xB10C),
+		prog: p,
+		root: *root,
 		env: Env{
 			hist: history.NewBuffer(histCapacity),
 		},
 		length: p.Length,
 	}
+	root.DeriveInto(0xB10C, &r.sched)
 	if r.length == 0 {
 		r.length = DefaultLength
 	}
 	r.instances = make([]Instance, len(p.Sites))
-	r.siteRands = make([]*xrand.Rand, len(p.Sites))
+	r.siteRands = make([]xrand.Rand, len(p.Sites))
+	r.instRands = make([]xrand.Rand, len(p.Sites))
 	for i, s := range p.Sites {
-		sr := root.Derive(0x517E0000 + uint64(i))
-		r.siteRands[i] = sr
-		r.instances[i] = s.Behavior.New(sr.Derive(1))
+		root.DeriveInto(0x517E0000+uint64(i), &r.siteRands[i])
+		r.siteRands[i].DeriveInto(1, &r.instRands[i])
+		r.instances[i] = s.Behavior.New(&r.instRands[i])
 	}
 	r.cumWeights = make([]int, len(p.Blocks))
 	sum := 0
@@ -129,10 +146,12 @@ func (p *Program) Open() trace.Reader {
 
 type progReader struct {
 	prog        *Program
-	sched       *xrand.Rand
+	root        xrand.Rand // seeded from Program.Seed; never advanced
+	sched       xrand.Rand
 	env         Env
 	instances   []Instance
-	siteRands   []*xrand.Rand
+	siteRands   []xrand.Rand // per-site streams handed to Env.Rand
+	instRands   []xrand.Rand // per-site streams handed to Behavior.New/Reset
 	cumWeights  []int
 	totalWeight int
 
@@ -143,7 +162,45 @@ type progReader struct {
 
 	emitted uint64
 	length  uint64
+	closed  bool // returned to the pool; every later Next is io.EOF
 }
+
+// reset restores a recycled reader to the state a fresh Open constructs,
+// re-deriving every random stream in place (root never advances, so the
+// derivations are bit-identical to construction) and resetting or — for
+// behaviors that do not implement Resettable — rebuilding site instances.
+func (r *progReader) reset() {
+	p := r.prog
+	r.root.DeriveInto(0xB10C, &r.sched)
+	r.env.hist.Reset()
+	r.env.Rand = nil
+	for i, s := range p.Sites {
+		r.root.DeriveInto(0x517E0000+uint64(i), &r.siteRands[i])
+		r.siteRands[i].DeriveInto(1, &r.instRands[i])
+		if res, ok := r.instances[i].(Resettable); ok {
+			res.Reset(&r.instRands[i])
+		} else {
+			r.instances[i] = s.Behavior.New(&r.instRands[i])
+		}
+	}
+	r.curBlock, r.queuePos, r.inBlock, r.repsLeft = 0, 0, false, 0
+	r.emitted = 0
+	r.closed = false
+}
+
+// release returns the reader to its Program's pool. Later Nexts on this
+// handle report io.EOF; the handle must not be retained past that point.
+func (r *progReader) release() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.prog.readers.Put(r)
+}
+
+// Close implements the early-release hook trace.Limit probes for, so
+// truncated passes recycle their reader state too.
+func (r *progReader) Close() { r.release() }
 
 func (r *progReader) pickBlock() int {
 	w := r.sched.Intn(r.totalWeight)
@@ -158,7 +215,11 @@ func (r *progReader) pickBlock() int {
 }
 
 func (r *progReader) Next() (trace.Branch, error) {
+	if r.closed {
+		return trace.Branch{}, io.EOF
+	}
 	if r.emitted >= r.length {
+		r.release()
 		return trace.Branch{}, io.EOF
 	}
 	if !r.inBlock {
@@ -179,7 +240,7 @@ func (r *progReader) Next() (trace.Branch, error) {
 		r.inBlock = false
 	}
 	site := &r.prog.Sites[siteIdx]
-	r.env.Rand = r.siteRands[siteIdx]
+	r.env.Rand = &r.siteRands[siteIdx]
 	taken := r.instances[siteIdx].Next(&r.env)
 	r.env.hist.Push(taken)
 	r.emitted++

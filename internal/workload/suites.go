@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -508,13 +509,32 @@ func buildSuite(specs []spec) []trace.Trace {
 	return out
 }
 
+// The standard suites are built once and shared: Programs are immutable
+// after construction (every Open derives a fresh deterministic stream), and
+// sharing the instances lets their exhausted-reader pools recycle state
+// across suite runs — without it every Runner.Suite call would rebuild 20
+// Programs and every Open would reallocate all per-site state.
+var (
+	suiteOnce [2]sync.Once
+	suiteMem  [2][]trace.Trace
+)
+
+func cachedSuite(i int, specs func() []spec) []trace.Trace {
+	suiteOnce[i].Do(func() { suiteMem[i] = buildSuite(specs()) })
+	// Callers get a fresh slice header so appends/sorts cannot corrupt the
+	// shared suite; the Trace instances themselves are shared.
+	out := make([]trace.Trace, len(suiteMem[i]))
+	copy(out, suiteMem[i])
+	return out
+}
+
 // CBP1 returns the 20-trace synthetic stand-in for the first Championship
 // Branch Prediction trace set.
-func CBP1() []trace.Trace { return buildSuite(cbp1Specs()) }
+func CBP1() []trace.Trace { return cachedSuite(0, cbp1Specs) }
 
 // CBP2 returns the 20-trace synthetic stand-in for the second Championship
 // Branch Prediction trace set.
-func CBP2() []trace.Trace { return buildSuite(cbp2Specs()) }
+func CBP2() []trace.Trace { return cachedSuite(1, cbp2Specs) }
 
 // SuiteNames lists the available suite identifiers.
 func SuiteNames() []string { return []string{"cbp1", "cbp2"} }

@@ -56,7 +56,16 @@ func New(seed uint64) *Rand {
 // Derive returns a new generator whose stream is decorrelated from r's,
 // keyed by id. It does not disturb r's own stream.
 func (r *Rand) Derive(id uint64) *Rand {
-	return New(Mix64(r.state ^ Mix64(id+0x9E3779B97F4A7C15)))
+	d := &Rand{}
+	r.DeriveInto(id, d)
+	return d
+}
+
+// DeriveInto reseeds dst to the exact stream Derive(id) would return,
+// without allocating. It lets callers that recycle generator storage
+// (pooled trace readers) re-derive per-component streams in place.
+func (r *Rand) DeriveInto(id uint64, dst *Rand) {
+	dst.Seed(Mix64(r.state ^ Mix64(id+0x9E3779B97F4A7C15)))
 }
 
 // Seed resets the generator state.

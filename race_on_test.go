@@ -1,0 +1,9 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this test binary was built with -race. The
+// race detector makes sync.Pool intentionally drop a fraction of Puts to
+// surface reuse races, so allocation pins that depend on pool recycling
+// cannot hold under it.
+const raceEnabled = true
