@@ -9,6 +9,12 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/bimodal"
+	"repro/internal/gshare"
+	"repro/internal/jrs"
+	"repro/internal/looppred"
+	"repro/internal/ogehl"
+	"repro/internal/perceptron"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -43,6 +49,109 @@ func TestPredictUpdateZeroAllocs(t *testing.T) {
 		if allocs != 0 {
 			t.Fatalf("mode %v: %v allocs per predicted branch, want 0", mode, allocs)
 		}
+	}
+}
+
+// TestAllPredictorHotPathsZeroAllocs pins the predict+update hot path of
+// every predictor package at zero heap allocations per branch — not just
+// TAGE: the baseline predictors (bimodal, gshare, ogehl, perceptron),
+// the loop predictor and the JRS confidence estimator all run inside the
+// estimator-comparison and extension experiments, where a stray per-
+// branch allocation would quietly dominate a suite pass.
+func TestAllPredictorHotPathsZeroAllocs(t *testing.T) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		step func(i int) // one predict+update pair over branches[i]
+	}{
+		{name: "bimodal", step: func() func(int) {
+			p := bimodal.New(12)
+			return func(i int) {
+				br := branches[i]
+				p.Predict(br.PC)
+				p.Update(br.PC, br.Taken)
+			}
+		}()},
+		{name: "bimodal-packed", step: func() func(int) {
+			p := bimodal.NewPacked(12)
+			return func(i int) {
+				br := branches[i]
+				p.Predict(br.PC)
+				p.Update(br.PC, br.Taken)
+			}
+		}()},
+		{name: "gshare", step: func() func(int) {
+			p := gshare.New(14, 12)
+			return func(i int) {
+				br := branches[i]
+				p.Predict(br.PC)
+				p.Update(br.PC, br.Taken)
+			}
+		}()},
+		{name: "ogehl", step: func() func(int) {
+			p := ogehl.New(ogehl.DefaultConfig())
+			return func(i int) {
+				br := branches[i]
+				p.Predict(br.PC)
+				p.Update(br.PC, br.Taken)
+			}
+		}()},
+		{name: "perceptron", step: func() func(int) {
+			p := perceptron.New(12, 32)
+			return func(i int) {
+				br := branches[i]
+				p.Predict(br.PC)
+				p.Update(br.PC, br.Taken)
+			}
+		}()},
+		{name: "looppred", step: func() func(int) {
+			p := looppred.New(looppred.DefaultConfig())
+			return func(i int) {
+				br := branches[i]
+				pred := p.Predict(br.PC)
+				// Allocation is gated on a main-predictor miss; report a
+				// miss whenever the loop predictor itself was wrong or
+				// silent, so the allocation path is exercised constantly.
+				tageMiss := !pred.Valid || pred.Pred != br.Taken
+				p.Update(br.PC, br.Taken, tageMiss)
+			}
+		}()},
+		{name: "jrs-over-gshare", step: func() func(int) {
+			p := gshare.New(14, 12)
+			e := jrs.NewDefault(10, 10).Enhanced()
+			return func(i int) {
+				br := branches[i]
+				pred := p.Predict(br.PC)
+				e.HighConfidence(br.PC, pred)
+				e.Update(br.PC, pred, br.Taken)
+				p.Update(br.PC, br.Taken)
+			}
+		}()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Warm up (table growth would be a design bug, but warming keeps
+			// the measurement about the steady-state hot path).
+			for i := 0; i < 10_000; i++ {
+				c.step(i % len(branches))
+			}
+			i := 10_000
+			allocs := testing.AllocsPerRun(20_000, func() {
+				c.step(i % len(branches))
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: %v allocs per predicted branch, want 0", c.name, allocs)
+			}
+		})
 	}
 }
 

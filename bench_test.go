@@ -390,6 +390,30 @@ func BenchmarkExperimentAxis(b *testing.B) {
 	}
 }
 
+// BenchmarkCompositeAll measures the full `-experiment all` composite on
+// a fresh Runner per iteration: wall-clock per composite pass plus the
+// trace-level simulation economy of the (config, options, trace) memo as
+// custom metrics. trace-sims is the number of distinct per-trace
+// simulations actually executed (720 at this limit; before trace-granular
+// sharing the composite executed 732 — the suite-level memo re-simulated
+// the figure-4/6 trace subsets) and trace-hits the per-trace requests
+// served from cache. cmd/benchjson records both in BENCH_<date>.json.
+func BenchmarkCompositeAll(b *testing.B) {
+	const limit = 4000
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewWorkers(limit, 0)
+		out, err := r.Run("all")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range out {
+			v.Render(io.Discard)
+		}
+		b.ReportMetric(float64(r.Simulations()), "trace-sims")
+		b.ReportMetric(float64(r.TraceHits()), "trace-hits")
+	}
+}
+
 // BenchmarkPredictorSpeed measures raw predict+update throughput of the
 // three configurations through the facade (complementing the per-package
 // micro-benchmarks).

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is the BENCH_<date>.json schema.
+type Record struct {
+	Date       string      `json:"date"`
+	Host       Host        `json:"host"`
+	Command    string      `json:"command,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Note       string      `json:"note,omitempty"`
+}
+
+// Host describes the measurement machine.
+type Host struct {
+	CPU        string `json:"cpu"`
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	Go         string `json:"go,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+}
+
+// Benchmark is one parsed result line. Repeated -count runs of the same
+// benchmark appear as repeated entries, in input order.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// procSuffix strips the trailing "-<GOMAXPROCS>" go test appends to
+// benchmark names on multiprocessor runs, so records from hosts with
+// different core counts share names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchLine matches "BenchmarkName-4   12345   67.8 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` output: goos/goarch/pkg/cpu header lines
+// and benchmark result lines. Unrecognized lines (PASS, ok, test log
+// output) are skipped.
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Host.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Host.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rec.Host.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", line, err)
+		}
+		b := Benchmark{Name: procSuffix.ReplaceAllString(m[1], ""), Iterations: iters}
+		if err := b.parseMeasurements(m[3]); err != nil {
+			return nil, fmt.Errorf("line %q: %v", line, err)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return rec, nil
+}
+
+// parseMeasurements consumes the "<value> <unit>" pairs after the
+// iteration count: ns/op, -benchmem's B/op and allocs/op, and any custom
+// b.ReportMetric units (recorded under Metrics).
+func (b *Benchmark) parseMeasurements(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields)%2 != 0 {
+		return fmt.Errorf("odd measurement field count in %q", rest)
+	}
+	for i := 0; i < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("bad measurement value %q: %v", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			v := int64(val)
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := int64(val)
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return nil
+}
+
+// Write marshals the record as indented JSON.
+func (r *Record) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a committed BENCH_<date>.json.
+func Load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rec, nil
+}
+
+// bestNs reduces repeated runs to the per-name minimum ns/op — the
+// standard way to compare on machines with background noise.
+func bestNs(benchmarks []Benchmark) map[string]float64 {
+	best := make(map[string]float64)
+	for _, b := range benchmarks {
+		if cur, ok := best[b.Name]; !ok || b.NsPerOp < cur {
+			best[b.Name] = b.NsPerOp
+		}
+	}
+	return best
+}
+
+// Gate compares current against baseline for every benchmark name
+// matching pattern and present in both records, allowing ns/op to grow
+// by at most tolerance (fractional). It returns a human-readable report
+// and whether the gate failed. Comparing zero matching names is an error
+// rather than a pass, so a renamed benchmark cannot silently disarm the
+// gate.
+//
+// Cross-host comparisons are only advisory by default: ns/op measured on
+// different CPU models routinely differs by more than any useful
+// tolerance in either direction (CI runners land on varying hardware),
+// so when the two records' host CPUs differ the report flags every
+// would-be regression but the gate passes unless strictHost is set.
+// Same-host comparisons always enforce.
+func Gate(current, baseline *Record, pattern string, tolerance float64, strictHost bool) (report string, failed bool, err error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return "", false, err
+	}
+	cur := bestNs(current.Benchmarks)
+	base := bestNs(baseline.Benchmarks)
+	var names []string
+	for name := range cur {
+		if re.MatchString(name) {
+			if _, ok := base[name]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return "", false, fmt.Errorf("no benchmark matching %q present in both current output and baseline", pattern)
+	}
+	sort.Strings(names)
+	crossHost := current.Host.CPU != baseline.Host.CPU
+	var sb strings.Builder
+	if crossHost {
+		mode := "advisory only (pass); re-baseline on this host or use -strict-host to enforce"
+		if strictHost {
+			mode = "enforced (-strict-host)"
+		}
+		fmt.Fprintf(&sb, "warning: baseline measured on %q, current on %q — cross-host ns/op comparison, %s\n",
+			baseline.Host.CPU, current.Host.CPU, mode)
+	}
+	for _, name := range names {
+		c, b := cur[name], base[name]
+		delta := (c - b) / b
+		verdict := "ok"
+		if c > b*(1+tolerance) {
+			verdict = "REGRESSION"
+			if !crossHost || strictHost {
+				failed = true
+			} else {
+				verdict = "REGRESSION (advisory, cross-host)"
+			}
+		}
+		fmt.Fprintf(&sb, "%-50s baseline %10.1f ns/op  current %10.1f ns/op  %+6.1f%%  %s\n",
+			name, b, c, 100*delta, verdict)
+	}
+	if failed {
+		fmt.Fprintf(&sb, "gate FAILED: ns/op regressed more than %.0f%% against %s baseline\n", 100*tolerance, baseline.Date)
+	}
+	return sb.String(), failed, nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPredictUpdate/16Kbits-4         	10281337	       115.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPredictUpdate/16Kbits-4         	 9474259	       118.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPredictUpdate/64Kbits-4         	 7086292	       171.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTable1         	       1	81559832 ns/op	         4.385 cbp1-16K-mpki
+PASS
+ok  	repro	14.593s
+`
+
+func parseSample(t *testing.T) *Record {
+	t.Helper()
+	rec, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestParseHeaderAndLines(t *testing.T) {
+	rec := parseSample(t)
+	if rec.Host.CPU != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Fatalf("cpu = %q", rec.Host.CPU)
+	}
+	if rec.Host.GOOS != "linux" || rec.Host.GOARCH != "amd64" {
+		t.Fatalf("goos/goarch = %q/%q", rec.Host.GOOS, rec.Host.GOARCH)
+	}
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
+	}
+	b := rec.Benchmarks[0]
+	if b.Name != "BenchmarkPredictUpdate/16Kbits" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.Iterations != 10281337 || b.NsPerOp != 115.9 {
+		t.Fatalf("iterations/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 || b.BytesPerOp == nil || *b.BytesPerOp != 0 {
+		t.Fatalf("benchmem columns not parsed: %+v", b)
+	}
+	// Custom ReportMetric units land in Metrics.
+	t1 := rec.Benchmarks[3]
+	if t1.Metrics["cbp1-16K-mpki"] != 4.385 {
+		t.Fatalf("custom metric not parsed: %+v", t1.Metrics)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	baseline := parseSample(t)
+	baseline.Date = "2026-07-29"
+
+	// Identical numbers pass.
+	report, failed, err := Gate(parseSample(t), baseline, "BenchmarkPredictUpdate", 0.10, false)
+	if err != nil || failed {
+		t.Fatalf("identical gate failed: %v\n%s", err, report)
+	}
+
+	// Within tolerance (best-of-count absorbs one noisy run).
+	cur := parseSample(t)
+	cur.Benchmarks[1].NsPerOp = 400 // second 16K run noisy; best run unchanged
+	if _, failed, _ := Gate(cur, baseline, "BenchmarkPredictUpdate", 0.10, false); failed {
+		t.Fatal("gate must compare best-of-count, not any single run")
+	}
+
+	// Beyond tolerance fails.
+	cur = parseSample(t)
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].NsPerOp *= 1.25
+	}
+	report, failed, err = Gate(cur, baseline, "BenchmarkPredictUpdate", 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("25%% regression must fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("report does not flag the regression:\n%s", report)
+	}
+
+	// A pattern matching nothing is an error, not a silent pass.
+	if _, _, err := Gate(parseSample(t), baseline, "BenchmarkDoesNotExist", 0.10, false); err == nil {
+		t.Fatal("gate with zero matches must error")
+	}
+}
+
+func TestGateCrossHostAdvisory(t *testing.T) {
+	baseline := parseSample(t)
+	baseline.Date = "2026-07-29"
+
+	// Same regression magnitude, but measured on a different CPU model:
+	// advisory by default (report flags it, gate passes), enforced with
+	// strictHost.
+	cur := parseSample(t)
+	cur.Host.CPU = "AMD EPYC 7763 64-Core Processor"
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].NsPerOp *= 1.25
+	}
+	report, failed, err := Gate(cur, baseline, "BenchmarkPredictUpdate", 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("cross-host regression must be advisory by default:\n%s", report)
+	}
+	if !strings.Contains(report, "warning: baseline measured on") || !strings.Contains(report, "advisory") {
+		t.Fatalf("cross-host report missing advisory warning:\n%s", report)
+	}
+	if _, failed, _ = Gate(cur, baseline, "BenchmarkPredictUpdate", 0.10, true); !failed {
+		t.Fatal("-strict-host must enforce the cross-host comparison")
+	}
+
+	// A cross-host run without regressions passes either way.
+	ok := parseSample(t)
+	ok.Host.CPU = cur.Host.CPU
+	if _, failed, _ = Gate(ok, baseline, "BenchmarkPredictUpdate", 0.10, true); failed {
+		t.Fatal("cross-host gate failed without a regression")
+	}
+}

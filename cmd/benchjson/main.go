@@ -1,0 +1,94 @@
+// Command benchjson is the gobench2json converter the PERF.md
+// methodology references: it parses `go test -bench` output from stdin
+// (header lines plus benchmark result lines, including -benchmem's B/op
+// and allocs/op columns and any custom ReportMetric units) and emits the
+// BENCH_<date>.json schema used for committed benchmark records.
+//
+//	go test -run NONE -bench . -benchmem . | go run ./cmd/benchjson \
+//	    -command "go test -run NONE -bench . -benchmem ." > BENCH_2026-07-29.json
+//
+// With -gate it additionally acts as a benchstat-style regression gate:
+// the parsed results are compared against a committed baseline JSON and
+// the process exits non-zero if any benchmark selected by -match is
+// slower than the baseline by more than -tolerance (fractional). The
+// best (minimum) ns/op among repeated -count runs of a name is compared,
+// so a single noisy run does not fail the gate; when baseline and
+// current were measured on different CPU models the comparison is
+// advisory unless -strict-host is set (cross-host ns/op deltas say more
+// about the hardware than the code).
+//
+//	go test -run NONE -bench PredictUpdate -count 3 . | \
+//	    go run ./cmd/benchjson -gate BENCH_2026-07-29.json -match BenchmarkPredictUpdate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		date       = flag.String("date", time.Now().Format("2006-01-02"), "date recorded in the JSON")
+		command    = flag.String("command", "", "benchmark command recorded in the JSON")
+		note       = flag.String("note", "", "free-form note recorded in the JSON")
+		out        = flag.String("out", "", "output file (default stdout)")
+		gate       = flag.String("gate", "", "baseline JSON to gate against (no JSON is emitted in gate mode)")
+		match      = flag.String("match", "BenchmarkPredictUpdate", "regexp selecting the benchmarks the gate compares")
+		tolerance  = flag.Float64("tolerance", 0.10, "fractional ns/op regression allowed by the gate")
+		strictHost = flag.Bool("strict-host", false, "enforce the gate even when baseline and current host CPUs differ (default: cross-host regressions are advisory)")
+	)
+	flag.Parse()
+
+	rec, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	rec.Date = *date
+	rec.Command = *command
+	rec.Note = *note
+	if rec.Host.Cores == 0 {
+		rec.Host.Cores = runtime.NumCPU()
+	}
+	rec.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	if rec.Host.Go == "" {
+		rec.Host.Go = runtime.Version()
+	}
+
+	if *gate != "" {
+		baseline, err := Load(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: loading baseline: %v\n", err)
+			os.Exit(2)
+		}
+		report, failed, err := Gate(rec, baseline, *match, *tolerance, *strictHost)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(report)
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -68,3 +68,78 @@ func (p *Predictor) Entries() int { return len(p.table) }
 // StorageBits returns the predictor's storage budget in bits
 // (2 bits per entry, hysteresis unshared).
 func (p *Predictor) StorageBits() int { return 2 * len(p.table) }
+
+// Packed is the arena-backed bimodal variant: the same 2-bit-counter
+// table stored 16 counters per uint32 word, over a word slice the caller
+// may carve out of a larger backing allocation. The TAGE predictor uses
+// it to keep its base table and tagged tables in one arena (hardware
+// implementations hold the whole predictor in one SRAM macro for the
+// same locality reason); predictions are bit-identical to Predictor's.
+type Packed struct {
+	words   []uint32
+	mask    uint64
+	logSize uint
+}
+
+// packedPerWord is the number of 2-bit counters per backing word.
+const packedPerWord = 16
+
+// weakNotTakenWord is a backing word with every counter at
+// BimodalWeakNotTaken (0b01 repeated), the conventional cold state.
+const weakNotTakenWord = 0x5555_5555
+
+// PackedWords returns the backing-slice length (in uint32 words) a
+// Packed table of 2^logSize entries requires.
+func PackedWords(logSize uint) int {
+	return (1<<logSize + packedPerWord - 1) / packedPerWord
+}
+
+// NewPackedIn initializes a Packed table of 2^logSize entries over the
+// given backing words (length must be exactly PackedWords(logSize)),
+// resetting every counter to weak not-taken.
+func NewPackedIn(words []uint32, logSize uint) *Packed {
+	if logSize == 0 || logSize > 28 {
+		panic(fmt.Sprintf("bimodal: unreasonable logSize %d", logSize))
+	}
+	if len(words) != PackedWords(logSize) {
+		panic(fmt.Sprintf("bimodal: backing slice has %d words, want %d", len(words), PackedWords(logSize)))
+	}
+	for i := range words {
+		words[i] = weakNotTakenWord
+	}
+	return &Packed{words: words, mask: uint64(1<<logSize) - 1, logSize: logSize}
+}
+
+// NewPacked returns a self-backed Packed table with 2^logSize entries.
+func NewPacked(logSize uint) *Packed {
+	return NewPackedIn(make([]uint32, PackedWords(logSize)), logSize)
+}
+
+// index maps a branch PC to a table slot (same mapping as Predictor).
+func (p *Packed) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Counter returns the raw 2-bit counter state for pc.
+func (p *Packed) Counter(pc uint64) counter.Bimodal {
+	i := p.index(pc)
+	return counter.Bimodal(p.words[i/packedPerWord] >> (i % packedPerWord * 2) & 3)
+}
+
+// Predict returns the predicted direction for pc.
+func (p *Packed) Predict(pc uint64) bool { return p.Counter(pc).Taken() }
+
+// Weak reports whether pc's counter is in a weak state.
+func (p *Packed) Weak(pc uint64) bool { return p.Counter(pc).Weak() }
+
+// Update trains the counter for pc toward the resolved direction.
+func (p *Packed) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	w, sh := i/packedPerWord, i%packedPerWord*2
+	c := counter.Bimodal(p.words[w] >> sh & 3).Update(taken)
+	p.words[w] = p.words[w]&^(3<<sh) | uint32(c)<<sh
+}
+
+// Entries returns the number of table entries.
+func (p *Packed) Entries() int { return 1 << p.logSize }
+
+// StorageBits returns the table's storage budget in bits (2 per entry).
+func (p *Packed) StorageBits() int { return 2 << p.logSize }

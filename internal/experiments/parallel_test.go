@@ -25,9 +25,9 @@ func renderAll(t *testing.T, limit uint64, workers int) (*Runner, []byte) {
 // TestCompositeAllByteIdenticalAcrossWorkers runs the full `-experiment
 // all` composite — the path where concurrent experiments hammer one
 // shared Runner cache — serially and with 4 workers, and requires (a)
-// byte-identical renders and (b) the same number of distinct suite
+// byte-identical renders and (b) the same number of distinct per-trace
 // simulations on both sides: the singleflight memo must collapse every
-// shared (config, options, suite) triple to exactly one simulation even
+// shared (config, options, trace) triple to exactly one simulation even
 // when the arms race for it. Run with -race to check the memo for data
 // races.
 func TestCompositeAllByteIdenticalAcrossWorkers(t *testing.T) {
@@ -38,7 +38,35 @@ func TestCompositeAllByteIdenticalAcrossWorkers(t *testing.T) {
 		t.Fatalf("composite all renders differently in parallel:\n--- serial ---\n%s\n--- parallel ---\n%s", sb, pb)
 	}
 	if s, p := serial.Simulations(), parallel.Simulations(); s != p {
-		t.Fatalf("serial ran %d suite simulations, parallel ran %d — concurrent arms duplicated or lost work", s, p)
+		t.Fatalf("serial ran %d trace simulations, parallel ran %d — concurrent arms duplicated or lost work", s, p)
+	}
+	if s, p := serial.TraceHits(), parallel.TraceHits(); s != p {
+		t.Fatalf("serial recorded %d trace hits, parallel %d — concurrent arms duplicated or lost work", s, p)
+	}
+}
+
+// TestCompositeAllTraceCacheSavings pins the exact simulation economy of
+// `-experiment all` under the trace-granular memo. Before trace-granular
+// sharing the composite executed 732 per-trace simulations: 36 distinct
+// (config, options, suite) runs of 20 traces each, plus 12 Runner.Traces
+// runs (figures 4 and 6) that bypassed the suite-level memo entirely.
+// The per-trace memo serves every one of the 1032 per-trace requests
+// from 720 distinct simulations — the figure 4/6 subsets are now cache
+// hits against the table-1/table-2 suite runs — so a regression in
+// either direction (a new collision or lost sharing) shows up as an
+// exact-count mismatch here.
+func TestCompositeAllTraceCacheSavings(t *testing.T) {
+	const limit = 4000
+	r, _ := renderAll(t, limit, 4)
+	const (
+		wantSims = 720 // 36 distinct (config, options) x 20-trace suites
+		wantHits = 312 // incl. the 12 figure-4/6 runs previously re-simulated
+	)
+	if got := r.Simulations(); got != wantSims {
+		t.Fatalf("composite all executed %d trace simulations, want exactly %d", got, wantSims)
+	}
+	if got := r.TraceHits(); got != wantHits {
+		t.Fatalf("composite all recorded %d trace hits, want exactly %d", got, wantHits)
 	}
 }
 

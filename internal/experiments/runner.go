@@ -14,9 +14,10 @@
 // plus the ablation studies DESIGN.md calls out (USE_ALT_ON_NA, the
 // medium-conf-bim window, counter width, storage-free vs JRS estimation).
 //
-// A Runner caches suite simulations so composite invocations (`-experiment
-// all`, the benchmark harness) run each (configuration, suite, automaton)
-// combination exactly once.
+// A Runner caches simulations at (configuration, options, trace)
+// granularity, so composite invocations (`-experiment all`, the
+// benchmark harness) run each shared trace simulation exactly once —
+// including across suites and trace subsets that overlap.
 package experiments
 
 import (
@@ -36,15 +37,20 @@ import (
 // (600k) is used for the committed EXPERIMENTS.md numbers.
 const DefaultLimit = workload.SuiteLength
 
-// Runner executes and caches suite simulations. Simulations fan out
-// across Pool's workers; results (and therefore the memoized cache) are
-// bit-identical to a serial run regardless of the worker count.
+// Runner executes and caches simulations at (config, options, trace)
+// granularity. Simulations fan out across Pool's workers; results (and
+// therefore the memoized cache) are bit-identical to a serial run
+// regardless of the worker count.
 //
-// A Runner is safe for concurrent use: the memo is a singleflight — when
-// several experiment arms ask for the same (config, options, suite)
-// triple concurrently, one of them simulates and the rest block on the
-// result, so every distinct triple is simulated exactly once per Runner
-// lifetime no matter how the arms are scheduled.
+// A Runner is safe for concurrent use: the memo is a per-trace
+// singleflight — when several experiment arms ask for the same (config,
+// options, trace) triple concurrently, one of them simulates and the
+// rest block on the result, so every distinct triple is simulated
+// exactly once per Runner lifetime no matter how the arms are scheduled.
+// Because the unit of sharing is the trace rather than the whole suite,
+// suites that overlap (a full-suite table row and a figure's trace
+// subset, say) share the overlapping runs too: Suite and Traces assemble
+// their results from the same per-trace entries.
 type Runner struct {
 	// Limit is the per-trace record budget (0 = full trace).
 	Limit uint64
@@ -53,15 +59,19 @@ type Runner struct {
 	Pool sim.SuiteRunner
 
 	mu    sync.Mutex
-	cache map[string]*suiteEntry
-	sims  atomic.Uint64 // distinct suite simulations actually executed
+	cache map[string]*traceEntry
+	sims  atomic.Uint64 // distinct per-trace simulations actually executed
+	hits  atomic.Uint64 // per-trace requests served from the memo
 }
 
-// suiteEntry is one memoized suite simulation; once gates the single
-// execution, after which res/err are immutable.
-type suiteEntry struct {
+// traceEntry is one memoized (config, options, trace) simulation; once
+// gates the single execution, after which res/err are immutable. done
+// lets lookups distinguish a completed entry (a cache hit that need not
+// be submitted to the pool) from one still in flight.
+type traceEntry struct {
 	once sync.Once
-	res  sim.SuiteResult
+	done atomic.Bool
+	res  sim.Result
 	err  error
 }
 
@@ -80,57 +90,135 @@ func NewWorkers(limit uint64, workers int) *Runner {
 	}
 }
 
-// key covers every field of the configuration and options that can affect
-// a simulation result. Formats must be lossless: TargetMKP uses %g (a
-// truncating format once collapsed targets 10.12 and 10.14 into one cache
-// slot) and the structural Config fields are all spelled out (ablations
-// vary CtrBits and HistLengths under an unchanged Name).
-func (r *Runner) key(cfg tage.Config, opts core.Options, suiteName string) string {
-	return fmt.Sprintf("%s|bl%d|tl%d|tb%d|h%v|c%d|u%d|p%d|ur%d|s%#x|na%v|%s|m%d|dl%d|bw%d|tm%g|aw%d",
+// keyPrefix covers every field of the configuration and options that can
+// affect a simulation result; a trace's cache key is this prefix plus
+// the trace name (appended once per trace, so a suite lookup formats the
+// config exactly once). Formats must be lossless: TargetMKP uses %g (a
+// truncating format once collapsed targets 10.12 and 10.14 into one
+// cache slot) and the structural Config fields are all spelled out
+// (ablations vary CtrBits and HistLengths under an unchanged Name).
+func (r *Runner) keyPrefix(cfg tage.Config, opts core.Options) string {
+	return fmt.Sprintf("%s|bl%d|tl%d|tb%d|h%v|c%d|u%d|p%d|ur%d|s%#x|na%v|m%d|dl%d|bw%d|tm%g|aw%d|",
 		cfg.Name, cfg.BimodalLog, cfg.TaggedLog, cfg.TagBits, cfg.HistLengths,
 		cfg.CtrBits, cfg.UBits, cfg.PathBits, cfg.UResetPeriod, cfg.Seed,
 		cfg.DisableUseAltOnNA,
-		suiteName, opts.Mode, opts.DenomLog, opts.BimWindow,
+		opts.Mode, opts.DenomLog, opts.BimWindow,
 		opts.TargetMKP, opts.AdaptiveWindow)
 }
 
-// Suite runs (or returns the cached) simulation of every trace in the
-// named suite under the given configuration and estimator options.
-// Concurrent callers sharing a key wait for one simulation.
-func (r *Runner) Suite(cfg tage.Config, opts core.Options, suiteName string) (sim.SuiteResult, error) {
-	k := r.key(cfg, opts, suiteName)
+// results returns the per-trace results for (cfg, opts) over traces, in
+// trace order, simulating only the traces the memo has not seen. The
+// cache misses are submitted to the pool as a sparse index set
+// (sim.SuiteRunner.ForEachAt); completed entries are served without
+// touching the pool at all. An entry another arm is concurrently
+// simulating is joined via its sync.Once — the worker blocks until the
+// owner finishes, exactly one execution ever happens, and both arms see
+// the identical result.
+func (r *Runner) results(cfg tage.Config, opts core.Options, traces []trace.Trace) ([]sim.Result, error) {
+	entries := make([]*traceEntry, len(traces))
+	miss := make([]int, 0, len(traces))
+	prefix := r.keyPrefix(cfg, opts)
 	r.mu.Lock()
 	if r.cache == nil {
-		r.cache = make(map[string]*suiteEntry)
+		r.cache = make(map[string]*traceEntry)
 	}
-	e, ok := r.cache[k]
-	if !ok {
-		e = &suiteEntry{}
-		r.cache[k] = e
+	for i, tr := range traces {
+		k := prefix + tr.Name()
+		e, ok := r.cache[k]
+		if !ok {
+			e = &traceEntry{}
+			r.cache[k] = e
+		}
+		entries[i] = e
+		if e.done.Load() {
+			r.hits.Add(1)
+		} else {
+			miss = append(miss, i)
+		}
 	}
 	r.mu.Unlock()
-	e.once.Do(func() {
-		r.sims.Add(1)
-		traces, err := workload.Suite(suiteName)
-		if err != nil {
-			e.err = err
-			return
+	err := r.Pool.ForEachAt(miss, func(i int) error {
+		e := entries[i]
+		ran := false
+		e.once.Do(func() {
+			ran = true
+			r.sims.Add(1)
+			e.res, e.err = sim.RunConfig(cfg, opts, traces[i], r.Limit)
+			e.done.Store(true)
+		})
+		if !ran {
+			// The entry was simulated (or is being simulated) by a
+			// concurrent arm; once.Do returning means it is complete.
+			r.hits.Add(1)
 		}
-		e.res, e.err = r.Pool.RunSuite(cfg, opts, traces, r.Limit)
+		return e.err
 	})
-	return e.res, e.err
+	// Return the error a serial loop over the traces would hit first —
+	// which may live in an entry that was already cached (and therefore
+	// never submitted), so scan in trace order rather than trusting the
+	// pool's lowest-miss-index error. After an early stop some entries
+	// may still be mid-simulation in a concurrent arm, so e.err is only
+	// read behind the done acquire (on the success path below every
+	// entry is complete: hits were done at lookup, and misses completed
+	// under our own once.Do).
+	for _, e := range entries {
+		if e.done.Load() && e.err != nil {
+			return nil, e.err
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sim.Result, len(entries))
+	for i, e := range entries {
+		out[i] = e.res
+	}
+	return out, nil
 }
 
-// Simulations returns the number of distinct suite simulations this
-// Runner has executed (cache misses). Tests use it to prove that a shared
-// (config, options, suite) triple simulates exactly once under concurrent
-// experiment arms — and that distinct triples never collide.
+// Suite runs the named suite under the given configuration and estimator
+// options, assembling the SuiteResult from individually memoized
+// per-trace results (in deterministic trace order, so the assembly is
+// bit-identical to a fresh whole-suite simulation). Only traces the memo
+// has not seen are simulated.
+func (r *Runner) Suite(cfg tage.Config, opts core.Options, suiteName string) (sim.SuiteResult, error) {
+	traces, err := workload.Suite(suiteName)
+	if err != nil {
+		return sim.SuiteResult{}, err
+	}
+	per, err := r.results(cfg, opts, traces)
+	if err != nil {
+		return sim.SuiteResult{}, err
+	}
+	return sim.AssembleSuite(cfg.Name, opts.Mode, per), nil
+}
+
+// Simulations returns the number of distinct per-trace simulations this
+// Runner has executed (trace-level cache misses). Tests use it to prove
+// that a shared (config, options, trace) triple simulates exactly once
+// under concurrent experiment arms — and that distinct triples never
+// collide.
 func (r *Runner) Simulations() uint64 { return r.sims.Load() }
 
-// Traces runs specific traces (used by the figure-4/6 experiments),
-// fanning them out across the pool.
+// TraceHits returns the number of per-trace requests served from the
+// memo without a simulation — the work trace-granular sharing saves
+// across overlapping suites, repeated arms and composite invocations.
+func (r *Runner) TraceHits() uint64 { return r.hits.Load() }
+
+// Traces runs specific traces (used by the figure-4/6 experiments)
+// through the same per-trace memo as Suite: a trace already simulated as
+// part of a full-suite run under the same (config, options) is a cache
+// hit here, and vice versa.
 func (r *Runner) Traces(cfg tage.Config, opts core.Options, names []string) ([]sim.Result, error) {
-	return r.Pool.RunTraces(cfg, opts, workload.ByName, names, r.Limit)
+	traces := make([]trace.Trace, len(names))
+	for i, name := range names {
+		tr, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+	return r.results(cfg, opts, traces)
 }
 
 // standardOpts is the §5 estimator (unmodified automaton).

@@ -31,6 +31,9 @@ func TestRunnerKeyCoversAllResultAffectingFields(t *testing.T) {
 			b:    func() core.Options { o := base; o.TargetMKP = 10.14; return o }(),
 		},
 	}
+	// Simulations now counts trace-level misses: one cbp1 suite run is 20
+	// distinct (config, options, trace) simulations.
+	const suiteTraces = 20
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			r := NewWorkers(2000, 1)
@@ -40,15 +43,18 @@ func TestRunnerKeyCoversAllResultAffectingFields(t *testing.T) {
 			if _, err := r.Suite(tage.Small16K(), c.b, "cbp1"); err != nil {
 				t.Fatal(err)
 			}
-			if got := r.Simulations(); got != 2 {
-				t.Fatalf("distinct option sets ran %d simulations, want 2 (cache collision)", got)
+			if got := r.Simulations(); got != 2*suiteTraces {
+				t.Fatalf("distinct option sets ran %d simulations, want %d (cache collision)", got, 2*suiteTraces)
 			}
 			// And the genuinely identical request must still hit the cache.
 			if _, err := r.Suite(tage.Small16K(), c.a, "cbp1"); err != nil {
 				t.Fatal(err)
 			}
-			if got := r.Simulations(); got != 2 {
-				t.Fatalf("repeat request re-simulated: %d simulations, want 2", got)
+			if got := r.Simulations(); got != 2*suiteTraces {
+				t.Fatalf("repeat request re-simulated: %d simulations, want %d", got, 2*suiteTraces)
+			}
+			if got := r.TraceHits(); got != suiteTraces {
+				t.Fatalf("repeat request recorded %d trace hits, want %d", got, suiteTraces)
 			}
 		})
 	}
@@ -68,15 +74,72 @@ func TestRunnerKeyCoversAllResultAffectingFields(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := r.Simulations(); got != uint64(len(variants)) {
-		t.Fatalf("%d config variants ran %d simulations, want %d", len(variants), got, len(variants))
+	if got, want := r.Simulations(), uint64(len(variants)*suiteTraces); got != want {
+		t.Fatalf("%d config variants ran %d simulations, want %d", len(variants), got, want)
+	}
+}
+
+// TestRunnerTraceGranularSharing pins the tentpole property of the
+// per-trace memo: a Traces request overlapping an already simulated
+// suite (or vice versa) is served entirely from cache, across different
+// suite/subset shapes, with bit-identical results.
+func TestRunnerTraceGranularSharing(t *testing.T) {
+	r := NewWorkers(2000, 2)
+	sub := []string{"164.gzip", "176.gcc", "181.mcf"}
+
+	// Subset first: 3 simulations.
+	first, err := r.Traces(tage.Medium64K(), standardOpts(), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Simulations(); got != 3 {
+		t.Fatalf("3-trace subset ran %d simulations, want 3", got)
+	}
+
+	// The full suite then only simulates the 17 traces not yet seen.
+	sr, err := r.Suite(tage.Medium64K(), standardOpts(), "cbp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Simulations(); got != 20 {
+		t.Fatalf("suite after subset ran %d total simulations, want 20", got)
+	}
+	if got := r.TraceHits(); got != 3 {
+		t.Fatalf("suite after subset recorded %d trace hits, want 3", got)
+	}
+
+	// And the shared entries are the same results, bit for bit.
+	byName := make(map[string]int)
+	for i, res := range sr.PerTrace {
+		byName[res.Trace] = i
+	}
+	for i, name := range sub {
+		j, ok := byName[name]
+		if !ok {
+			t.Fatalf("suite result missing trace %s", name)
+		}
+		if first[i] != sr.PerTrace[j] {
+			t.Fatalf("trace %s: subset and suite results differ", name)
+		}
+	}
+
+	// A repeated subset request under the same key is all hits.
+	if _, err := r.Traces(tage.Medium64K(), standardOpts(), sub); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Simulations(); got != 20 {
+		t.Fatalf("repeat subset re-simulated: %d simulations, want 20", got)
+	}
+	if got := r.TraceHits(); got != 6 {
+		t.Fatalf("repeat subset recorded %d trace hits, want 6", got)
 	}
 }
 
 // TestRunnerSingleflightSimulatesOnce drives many goroutines at one
-// (config, options, suite) triple concurrently: exactly one simulation
-// must execute, every caller must observe the identical result, and (with
-// -race) the memo must be data-race free.
+// (config, options, suite) request concurrently: each of the suite's 20
+// (config, options, trace) triples must simulate exactly once, every
+// caller must observe the identical result, and (with -race) the memo
+// must be data-race free.
 func TestRunnerSingleflightSimulatesOnce(t *testing.T) {
 	r := NewWorkers(2000, 2)
 	const callers = 8
@@ -95,8 +158,11 @@ func TestRunnerSingleflightSimulatesOnce(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if got := r.Simulations(); got != 1 {
-		t.Fatalf("%d concurrent callers ran %d simulations, want exactly 1", callers, got)
+	if got := r.Simulations(); got != 20 {
+		t.Fatalf("%d concurrent callers ran %d trace simulations, want exactly 20 (one per suite trace)", callers, got)
+	}
+	if got := r.TraceHits(); got != uint64(callers-1)*20 {
+		t.Fatalf("%d concurrent callers recorded %d trace hits, want %d", callers, got, (callers-1)*20)
 	}
 	for i := 1; i < callers; i++ {
 		if results[i] != results[0] {

@@ -105,8 +105,16 @@ func MakeFolded(origLen, compLen int) Folded {
 // Update folds the newest history bit in and the bit leaving the origLen
 // window out. It must be called once per Buffer.Push, after the push.
 func (f *Folded) Update(b *Buffer) {
-	f.comp = (f.comp << 1) | uint32(b.Bit(0))
-	f.comp ^= uint32(b.Bit(f.origLen)) << f.outPoint
+	f.UpdateBits(b.Bit(0), b.Bit(f.origLen))
+}
+
+// UpdateBits is Update with the two boundary bits supplied by the caller:
+// predictors that maintain several folds over the same history window
+// (TAGE keeps three per table) load the newest and leaving bit once and
+// feed every fold of the window from registers.
+func (f *Folded) UpdateBits(newest, leaving uint8) {
+	f.comp = (f.comp << 1) | uint32(newest)
+	f.comp ^= uint32(leaving) << f.outPoint
 	f.comp ^= f.comp >> f.compLen
 	f.comp &= f.mask
 }

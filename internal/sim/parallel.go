@@ -101,6 +101,15 @@ func (s SuiteRunner) ForEach(n int, fn func(i int) error) error {
 	return nil
 }
 
+// ForEachAt runs fn(idx[k]) for every k in [0, len(idx)) across the
+// pool: the sparse-index counterpart of ForEach, for callers that submit
+// only a subset of a larger job list (e.g. the cache misses of a
+// memoized suite). Error semantics follow ForEach over positions in idx:
+// the error returned is the one a serial loop over idx would hit first.
+func (s SuiteRunner) ForEachAt(idx []int, fn func(i int) error) error {
+	return s.ForEach(len(idx), func(k int) error { return fn(idx[k]) })
+}
+
 // RunJobs executes every job and returns the results in job order.
 func (s SuiteRunner) RunJobs(jobs []Job) ([]Result, error) {
 	out := make([]Result, len(jobs))
@@ -131,27 +140,5 @@ func (s SuiteRunner) RunSuite(cfg tage.Config, opts core.Options, traces []trace
 	if err != nil {
 		return SuiteResult{}, err
 	}
-	var out SuiteResult
-	out.PerTrace = per
-	out.Aggregate.Config = cfg.Name
-	for _, res := range per {
-		out.Aggregate.Add(res)
-	}
-	out.Aggregate.Trace = "aggregate"
-	out.Aggregate.Mode = opts.Mode
-	return out, nil
-}
-
-// RunTraces executes one (cfg, opts) run per named trace through the
-// pool, resolving names with lookup, and returns results in name order.
-func (s SuiteRunner) RunTraces(cfg tage.Config, opts core.Options, lookup func(name string) (trace.Trace, error), names []string, limit uint64) ([]Result, error) {
-	jobs := make([]Job, len(names))
-	for i, name := range names {
-		tr, err := lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		jobs[i] = Job{Cfg: cfg, Opts: opts, Trace: tr, Limit: limit}
-	}
-	return s.RunJobs(jobs)
+	return AssembleSuite(cfg.Name, opts.Mode, per), nil
 }

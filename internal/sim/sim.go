@@ -133,19 +133,36 @@ type SuiteResult struct {
 // RunSuite runs a fresh estimator per trace (predictor state never leaks
 // across traces, as in the championship framework).
 func RunSuite(cfg tage.Config, opts core.Options, traces []trace.Trace, limit uint64) (SuiteResult, error) {
-	var out SuiteResult
-	out.Aggregate.Config = cfg.Name
+	per := make([]Result, 0, len(traces))
 	for _, tr := range traces {
 		res, err := RunConfig(cfg, opts, tr, limit)
 		if err != nil {
+			var out SuiteResult
+			out.Aggregate.Config = cfg.Name
+			out.PerTrace = per
 			return out, err
 		}
-		out.PerTrace = append(out.PerTrace, res)
+		per = append(per, res)
+	}
+	return AssembleSuite(cfg.Name, opts.Mode, per), nil
+}
+
+// AssembleSuite builds a SuiteResult from per-trace results, accumulating
+// the aggregate in slice order — the single definition of suite
+// aggregation shared by the serial path, the worker pool, and callers
+// that assemble suites from individually cached trace results. The
+// assembly is deterministic, so a suite built from memoized per-trace
+// results is bit-identical to a freshly simulated one.
+func AssembleSuite(configName string, mode core.AutomatonMode, per []Result) SuiteResult {
+	var out SuiteResult
+	out.PerTrace = per
+	out.Aggregate.Config = configName
+	for _, res := range per {
 		out.Aggregate.Add(res)
 	}
 	out.Aggregate.Trace = "aggregate"
-	out.Aggregate.Mode = opts.Mode
-	return out, nil
+	out.Aggregate.Mode = mode
+	return out
 }
 
 // BinaryEstimator is a two-way confidence estimator over an arbitrary

@@ -108,6 +108,14 @@ func TestRunSuiteAggregates(t *testing.T) {
 	if sr.Aggregate.Trace != "aggregate" || sr.Aggregate.Config != "16Kbits" {
 		t.Fatalf("aggregate metadata: %+v", sr.Aggregate)
 	}
+
+	// AssembleSuite over the same per-trace results must reproduce the
+	// suite bit for bit — it is the single aggregation definition the
+	// serial path, the pool and the per-trace memo all share.
+	rebuilt := AssembleSuite("16Kbits", core.Options{}.Mode, sr.PerTrace)
+	if rebuilt.Aggregate != sr.Aggregate {
+		t.Fatalf("AssembleSuite aggregate differs:\n%+v\n%+v", rebuilt.Aggregate, sr.Aggregate)
+	}
 }
 
 func TestRunDeterministic(t *testing.T) {

@@ -1,0 +1,462 @@
+package tage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bimodal"
+	"repro/internal/counter"
+	"repro/internal/history"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TestEntryFieldRoundTrip exhausts the packed-entry accessors over the
+// full cross product of the extreme field widths Config.Validate admits:
+// 16-bit tags, 6-bit two's-complement prediction counters (the widest
+// CtrBits, saturating at -32 and 31) and 4-bit useful counters. Every
+// combination must round-trip exactly, and every setter must leave the
+// other two fields untouched.
+func TestEntryFieldRoundTrip(t *testing.T) {
+	tags := []uint16{0, 1, 0x5555, 0xAAAA, 1<<16 - 1}
+	for _, tag := range tags {
+		for ctr := int(counter.SignedMin(entryCtrBits)); ctr <= int(counter.SignedMax(entryCtrBits)); ctr++ {
+			for u := 0; u < 1<<entryUBits; u++ {
+				e := packEntry(tag, int8(ctr), uint8(u))
+				if got := entryTag(e); got != tag {
+					t.Fatalf("tag %#x ctr %d u %d: tag round-trip %#x", tag, ctr, u, got)
+				}
+				if got := entryCtr(e); got != int8(ctr) {
+					t.Fatalf("tag %#x ctr %d u %d: ctr round-trip %d", tag, ctr, u, got)
+				}
+				if got := entryU(e); got != uint8(u) {
+					t.Fatalf("tag %#x ctr %d u %d: u round-trip %d", tag, ctr, u, got)
+				}
+
+				// Setters must be surgical: replace one field, keep the rest.
+				for c2 := int(counter.SignedMin(entryCtrBits)); c2 <= int(counter.SignedMax(entryCtrBits)); c2 += 9 {
+					e2 := entrySetCtr(e, int8(c2))
+					if entryCtr(e2) != int8(c2) || entryTag(e2) != tag || entryU(e2) != uint8(u) {
+						t.Fatalf("entrySetCtr(%d) disturbed neighbors: %#x -> %#x", c2, e, e2)
+					}
+				}
+				for u2 := 0; u2 < 1<<entryUBits; u2 += 3 {
+					e2 := entrySetU(e, uint8(u2))
+					if entryU(e2) != uint8(u2) || entryTag(e2) != tag || entryCtr(e2) != int8(ctr) {
+						t.Fatalf("entrySetU(%d) disturbed neighbors: %#x -> %#x", u2, e, e2)
+					}
+				}
+
+				// Aging is u >>= 1 and nothing else — in particular the top u
+				// bit must not leak into ctr, nor ctr's top bit into u.
+				aged := entryAgeU(e)
+				if entryU(aged) != uint8(u)>>1 || entryTag(aged) != tag || entryCtr(aged) != int8(ctr) {
+					t.Fatalf("entryAgeU broke fields: %#x -> %#x (tag %#x ctr %d u %d)", e, aged, tag, ctr, u)
+				}
+			}
+		}
+	}
+}
+
+// TestEntryCtrSaturationBothDirections drives the packed counter through
+// the standard automaton at the maximum width: repeated taken updates
+// must saturate at SignedMax(6)=31 and stay there, repeated not-taken at
+// SignedMin(6)=-32, with every intermediate value surviving the
+// pack/unpack round trip.
+func TestEntryCtrSaturationBothDirections(t *testing.T) {
+	const bits = entryCtrBits
+	e := packEntry(0x1F2F, 0, 0xF)
+	for i := 0; i < 100; i++ {
+		e = entrySetCtr(e, counter.UpdateSigned(entryCtr(e), bits, true))
+		if c := entryCtr(e); c > counter.SignedMax(bits) {
+			t.Fatalf("ctr %d escaped positive saturation", c)
+		}
+	}
+	if c := entryCtr(e); c != counter.SignedMax(bits) {
+		t.Fatalf("ctr saturated at %d, want %d", c, counter.SignedMax(bits))
+	}
+	for i := 0; i < 100; i++ {
+		e = entrySetCtr(e, counter.UpdateSigned(entryCtr(e), bits, false))
+		if c := entryCtr(e); c < counter.SignedMin(bits) {
+			t.Fatalf("ctr %d escaped negative saturation", c)
+		}
+	}
+	if c := entryCtr(e); c != counter.SignedMin(bits) {
+		t.Fatalf("ctr saturated at %d, want %d", c, counter.SignedMin(bits))
+	}
+	if entryTag(e) != 0x1F2F || entryU(e) != 0xF {
+		t.Fatal("saturation walk disturbed tag/u fields")
+	}
+}
+
+// TestEntryQuickRoundTrip property-checks the accessors over random
+// field values (masked into range), complementing the exhaustive
+// extreme-width walk above.
+func TestEntryQuickRoundTrip(t *testing.T) {
+	f := func(tag uint16, rawCtr int8, rawU uint8) bool {
+		ctr := rawCtr % (counter.SignedMax(entryCtrBits) + 1)
+		u := rawU & (1<<entryUBits - 1)
+		e := packEntry(tag, ctr, u)
+		return entryTag(e) == tag && entryCtr(e) == ctr && entryU(e) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// soaPredictor is the pre-packing reference implementation: the same
+// TAGE algorithm over three structure-of-arrays slices (ctr/tag/u) and a
+// byte-per-counter bimodal base. The differential tests drive it in
+// lockstep with the packed Predictor; any divergence in any observation
+// field on any branch is a packing bug.
+type soaPredictor struct {
+	cfg  Config
+	base *bimodal.Predictor
+
+	ctr []int8
+	tag []uint16
+	u   []uint8
+
+	numTables int
+	taggedLog uint
+	rowMask   uint32
+	tagMask   uint32
+
+	histLens  []int
+	pathSizes []uint
+
+	folds []history.Folded
+
+	ghist *history.Buffer
+	phist *history.Path
+
+	useAltOnNA int8
+
+	auto counter.Automaton
+	rng  *xrand.Rand
+
+	tick uint64
+
+	lastObs     Observation
+	pos         []uint32
+	tagc        []uint16
+	hitBank     int
+	altBank     int
+	longestPred bool
+	scratch     []int
+}
+
+func newSOA(cfg Config, auto counter.Automaton) *soaPredictor {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	maxHist := cfg.HistLengths[len(cfg.HistLengths)-1]
+	m := len(cfg.HistLengths)
+	rows := 1 << cfg.TaggedLog
+	p := &soaPredictor{
+		cfg:       cfg,
+		base:      bimodal.New(cfg.BimodalLog),
+		ctr:       make([]int8, m*rows),
+		tag:       make([]uint16, m*rows),
+		u:         make([]uint8, m*rows),
+		numTables: m,
+		taggedLog: cfg.TaggedLog,
+		rowMask:   uint32(rows - 1),
+		tagMask:   (uint32(1) << cfg.TagBits) - 1,
+		histLens:  append([]int(nil), cfg.HistLengths...),
+		pathSizes: make([]uint, m),
+		folds:     make([]history.Folded, 3*m),
+		ghist:     history.NewBuffer(maxHist + 2),
+		phist:     history.NewPath(cfg.PathBits),
+		auto:      auto,
+		rng:       xrand.New(xrand.Mix64(cfg.Seed ^ 0x7A6E)),
+		pos:       make([]uint32, m+1),
+		tagc:      make([]uint16, m+1),
+		scratch:   make([]int, 0, m),
+	}
+	tagBits := int(cfg.TagBits)
+	for i := 0; i < m; i++ {
+		hl := cfg.HistLengths[i]
+		t2 := tagBits - 1
+		if t2 < 1 {
+			t2 = 1
+		}
+		ps := uint(hl)
+		if ps > cfg.PathBits {
+			ps = cfg.PathBits
+		}
+		p.pathSizes[i] = ps
+		p.folds[3*i] = history.MakeFolded(hl, int(cfg.TaggedLog))
+		p.folds[3*i+1] = history.MakeFolded(hl, tagBits)
+		p.folds[3*i+2] = history.MakeFolded(hl, t2)
+	}
+	return p
+}
+
+func (p *soaPredictor) pathHash(bank int) uint32 {
+	logg := p.taggedLog
+	size := p.pathSizes[bank-1]
+	a := p.phist.Value() & ((1 << size) - 1)
+	mask := p.rowMask
+	a1 := a & mask
+	a2 := a >> logg
+	sh := uint(bank) % logg
+	a2 = ((a2 << sh) & mask) + (a2 >> (logg - sh))
+	a = a1 ^ a2
+	a = ((a << sh) & mask) + (a >> (logg - sh))
+	return a & mask
+}
+
+func (p *soaPredictor) tableIndex(pc uint64, bank int) uint32 {
+	idx := uint32(pc>>2) ^ uint32(pc>>(2+p.taggedLog)) ^ p.folds[3*(bank-1)].Value() ^ p.pathHash(bank)
+	return idx & p.rowMask
+}
+
+func (p *soaPredictor) tableTag(pc uint64, bank int) uint16 {
+	fi := 3 * (bank - 1)
+	tag := uint32(pc>>2) ^ p.folds[fi+1].Value() ^ (p.folds[fi+2].Value() << 1)
+	return uint16(tag & p.tagMask)
+}
+
+func (p *soaPredictor) Predict(pc uint64) Observation {
+	m := p.numTables
+	logg := p.taggedLog
+	p.hitBank, p.altBank = 0, 0
+	for bank := 1; bank <= m; bank++ {
+		p.pos[bank] = uint32(bank-1)<<logg | p.tableIndex(pc, bank)
+		p.tagc[bank] = p.tableTag(pc, bank)
+	}
+	for bank := m; bank >= 1; bank-- {
+		if p.tag[p.pos[bank]] == p.tagc[bank] {
+			if p.hitBank == 0 {
+				p.hitBank = bank
+			} else {
+				p.altBank = bank
+				break
+			}
+		}
+	}
+
+	obs := Observation{
+		PC:          pc,
+		Provider:    ProviderBimodal,
+		AltProvider: ProviderBimodal,
+		BimCtr:      p.base.Counter(pc),
+	}
+	basePred := obs.BimCtr.Taken()
+
+	if p.hitBank == 0 {
+		obs.Pred = basePred
+		obs.AltPred = basePred
+		p.longestPred = basePred
+		p.lastObs = obs
+		return obs
+	}
+
+	providerPos := p.pos[p.hitBank]
+	providerCtr := p.ctr[providerPos]
+	p.longestPred = counter.TakenSigned(providerCtr)
+
+	altPred := basePred
+	if p.altBank > 0 {
+		altCtr := p.ctr[p.pos[p.altBank]]
+		altPred = counter.TakenSigned(altCtr)
+		obs.AltProvider = p.altBank - 1
+		obs.AltCtr = altCtr
+	}
+
+	obs.Provider = p.hitBank - 1
+	obs.ProviderCtr = providerCtr
+	obs.ProviderU = p.u[providerPos]
+	obs.AltPred = altPred
+
+	if p.cfg.DisableUseAltOnNA || p.useAltOnNA < 0 || !counter.WeakSigned(providerCtr) {
+		obs.Pred = p.longestPred
+	} else {
+		obs.Pred = altPred
+		obs.UsedAlt = obs.Pred != p.longestPred
+	}
+
+	p.lastObs = obs
+	return obs
+}
+
+func (p *soaPredictor) Update(pc uint64, taken bool) {
+	obs := p.lastObs
+	m := p.numTables
+	ctrBits := p.cfg.CtrBits
+
+	if obs.Pred != taken && p.hitBank < m {
+		p.allocate(taken)
+	}
+
+	if p.hitBank > 0 {
+		providerPos := p.pos[p.hitBank]
+
+		if counter.WeakSigned(p.ctr[providerPos]) && p.longestPred != obs.AltPred {
+			if obs.AltPred == taken {
+				if p.useAltOnNA < 7 {
+					p.useAltOnNA++
+				}
+			} else if p.useAltOnNA > -8 {
+				p.useAltOnNA--
+			}
+		}
+
+		if p.u[providerPos] == 0 {
+			if p.altBank > 0 {
+				altPos := p.pos[p.altBank]
+				p.ctr[altPos] = p.auto.Update(p.ctr[altPos], ctrBits, taken)
+			} else {
+				p.base.Update(pc, taken)
+			}
+		}
+
+		p.ctr[providerPos] = p.auto.Update(p.ctr[providerPos], ctrBits, taken)
+
+		if p.longestPred != obs.AltPred {
+			if p.longestPred == taken {
+				p.u[providerPos] = counter.IncUnsigned(p.u[providerPos], p.cfg.UBits)
+			} else {
+				p.u[providerPos] = counter.DecUnsigned(p.u[providerPos])
+			}
+		}
+	} else {
+		p.base.Update(pc, taken)
+	}
+
+	p.tick++
+	if p.tick&(p.cfg.UResetPeriod-1) == 0 {
+		for j := range p.u {
+			p.u[j] >>= 1
+		}
+	}
+
+	p.ghist.Push(taken)
+	p.phist.Push(pc)
+	for i := range p.folds {
+		p.folds[i].Update(p.ghist)
+	}
+}
+
+func (p *soaPredictor) allocate(taken bool) {
+	m := p.numTables
+	p.scratch = p.scratch[:0]
+	for bank := p.hitBank + 1; bank <= m; bank++ {
+		if p.u[p.pos[bank]] == 0 {
+			p.scratch = append(p.scratch, bank)
+		}
+	}
+	if len(p.scratch) == 0 {
+		for bank := p.hitBank + 1; bank <= m; bank++ {
+			pos := p.pos[bank]
+			p.u[pos] = counter.DecUnsigned(p.u[pos])
+		}
+		return
+	}
+	chosen := p.scratch[len(p.scratch)-1]
+	for _, bank := range p.scratch[:len(p.scratch)-1] {
+		if p.rng.OneIn(2) {
+			chosen = bank
+			break
+		}
+	}
+	pos := p.pos[chosen]
+	p.tag[pos] = p.tagc[chosen]
+	p.u[pos] = 0
+	if taken {
+		p.ctr[pos] = 0
+	} else {
+		p.ctr[pos] = -1
+	}
+}
+
+// diffConfigs are the differential-test configurations: the paper's
+// standard sizes plus a widest-fields config exercising every bitfield
+// at the maximum width Validate admits (16-bit tags, 6-bit counters,
+// 4-bit u).
+func diffConfigs() []Config {
+	wide := Config{
+		Name:        "wide-fields",
+		BimodalLog:  9,
+		TaggedLog:   7,
+		TagBits:     16,
+		HistLengths: history.GeometricLengths(4, 64, 4),
+		CtrBits:     6,
+		UBits:       4,
+		Seed:        0x11DE,
+	}
+	cfgs := append(StandardConfigs(), wide)
+	for i := range cfgs {
+		// A short aging period makes the graceful u reset fire thousands
+		// of times within the differential run (the default 2^18 would
+		// never trigger), so the packed aging transform is exercised too.
+		cfgs[i].UResetPeriod = 1 << 12
+	}
+	return cfgs
+}
+
+// TestPackedMatchesSOADifferential drives the packed predictor and the
+// structure-of-arrays reference in lockstep over a real workload trace
+// and over a random branch stream, under both the standard and the
+// probabilistic automaton, and requires every Observation field to match
+// on every branch: the packed one-word layout must be bit-identical to
+// the SoA layout it replaced.
+func TestPackedMatchesSOADifferential(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		for _, mode := range []string{"standard", "probabilistic"} {
+			var autoP, autoS counter.Automaton = counter.Standard{}, counter.Standard{}
+			if mode == "probabilistic" {
+				// Distinct automaton instances with identical seeds keep the
+				// two predictors' random streams in lockstep.
+				autoP = counter.NewProbabilistic(cfg.Seed, counter.DefaultDenomLog)
+				autoS = counter.NewProbabilistic(cfg.Seed, counter.DefaultDenomLog)
+			}
+			packed := NewWithAutomaton(cfg, autoP)
+			soa := newSOA(cfg, autoS)
+
+			check := func(pc uint64, taken bool, src string, i int) {
+				po := packed.Predict(pc)
+				so := soa.Predict(pc)
+				if po != so {
+					t.Fatalf("%s/%s/%s branch %d: packed %+v != soa %+v", cfg.Name, mode, src, i, po, so)
+				}
+				packed.Update(pc, taken)
+				soa.Update(pc, taken)
+			}
+
+			tr, err := workload.ByName("INT-3")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := trace.Limit(tr, 30_000).Open()
+			i := 0
+			for {
+				b, err := r.Next()
+				if err != nil {
+					break
+				}
+				check(b.PC, b.Taken, "INT-3", i)
+				i++
+			}
+
+			// Random stream over a small PC set: heavy aliasing and
+			// allocation pressure, the regime where a field-packing bug
+			// (e.g. u leaking into ctr during aging) would surface.
+			rng := xrand.New(cfg.Seed ^ 0xD1FF)
+			pcs := make([]uint64, 24)
+			for j := range pcs {
+				pcs[j] = 0x400000 + uint64(rng.Intn(1<<12))*4
+			}
+			for j := 0; j < 20_000; j++ {
+				check(pcs[rng.Intn(len(pcs))], rng.Bool(), "random", j)
+			}
+
+			if packed.UseAltOnNA() != soa.useAltOnNA {
+				t.Fatalf("%s/%s: USE_ALT_ON_NA diverged: %d vs %d", cfg.Name, mode, packed.UseAltOnNA(), soa.useAltOnNA)
+			}
+		}
+	}
+}

@@ -18,16 +18,16 @@ func checkStateInvariants(t *testing.T, p *Predictor) {
 	ctrMin, ctrMax := counter.SignedMin(cfg.CtrBits), counter.SignedMax(cfg.CtrBits)
 	uMax := uint8(1<<cfg.UBits) - 1
 	tagMax := uint16(1<<cfg.TagBits) - 1
-	for j := range p.ctr {
+	for j, e := range p.entries {
 		ti := j >> p.taggedLog
-		if p.ctr[j] < ctrMin || p.ctr[j] > ctrMax {
-			t.Fatalf("table %d: ctr %d out of [%d,%d]", ti, p.ctr[j], ctrMin, ctrMax)
+		if ctr := entryCtr(e); ctr < ctrMin || ctr > ctrMax {
+			t.Fatalf("table %d: ctr %d out of [%d,%d]", ti, ctr, ctrMin, ctrMax)
 		}
-		if p.u[j] > uMax {
-			t.Fatalf("table %d: u %d out of range", ti, p.u[j])
+		if u := entryU(e); u > uMax {
+			t.Fatalf("table %d: u %d out of range", ti, u)
 		}
-		if p.tag[j] > tagMax {
-			t.Fatalf("table %d: tag %#x exceeds %d bits", ti, p.tag[j], cfg.TagBits)
+		if tag := entryTag(e); tag > tagMax {
+			t.Fatalf("table %d: tag %#x exceeds %d bits", ti, tag, cfg.TagBits)
 		}
 	}
 	if v := p.UseAltOnNA(); v < -8 || v > 7 {
@@ -51,8 +51,8 @@ func TestQuickStateInvariantsUnderRandomStreams(t *testing.T) {
 		}
 		cfg := p.Config()
 		ctrMin, ctrMax := counter.SignedMin(cfg.CtrBits), counter.SignedMax(cfg.CtrBits)
-		for j := range p.ctr {
-			if p.ctr[j] < ctrMin || p.ctr[j] > ctrMax || p.u[j] > 3 {
+		for _, e := range p.entries {
+			if ctr := entryCtr(e); ctr < ctrMin || ctr > ctrMax || entryU(e) > 3 {
 				return false
 			}
 		}

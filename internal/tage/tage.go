@@ -75,28 +75,36 @@ func (o Observation) Strength() int {
 // Predictor is a TAGE predictor instance. It is not safe for concurrent
 // use; simulate one stream per Predictor.
 //
-// The tagged tables are stored structure-of-arrays style in three flat
-// slices (ctr/tag/u) spanning every table, with per-table offsets that are
-// multiples of the power-of-two table size. All per-prediction scratch is
-// preallocated, so the Predict+Update hot path performs no heap
-// allocations.
+// All predictor state lives in one backing arena: the packed bimodal
+// base table followed by the tagged tables, one uint32 word per tagged
+// entry (tag, ctr and u bitfields — see entry.go). A tagged-bank probe
+// is one load, and the whole predictor is one allocation. All
+// per-prediction scratch is preallocated, so the Predict+Update hot path
+// performs no heap allocations.
 type Predictor struct {
 	cfg  Config
-	base *bimodal.Predictor
+	base *bimodal.Packed
 
-	// Flattened tagged-table storage. Entry row r of table t (0-based)
-	// lives at index t<<taggedLog | r in each slice.
-	ctr []int8
-	tag []uint16
-	u   []uint8
+	// arena is the single backing allocation: bimodal words first, then
+	// the tagged-entry words aliased by entries.
+	arena []uint32
+
+	// entries is the flattened packed tagged-table storage. Entry row r
+	// of table t (0-based) lives at index t<<taggedLog | r.
+	entries []uint32
 
 	numTables int
 	taggedLog uint
 	rowMask   uint32
 	tagMask   uint32
 
-	histLens  []int
-	pathSizes []uint // min(histLen, PathBits) per table, for pathHash
+	histLens []int
+
+	// Per-table pathHash parameters, precomputed so the per-probe hash is
+	// pure shift/mask work (the bank % taggedLog rotation amount used to
+	// cost an integer division per probe).
+	pathMask []uint32 // (1 << min(histLen, PathBits)) - 1
+	pathSh   []uint32 // bank % taggedLog (1-based bank)
 
 	// folds holds the three folded-history registers of each table
 	// contiguously: index fold, tag fold 1, tag fold 2 for table t at
@@ -141,18 +149,22 @@ func NewWithAutomaton(cfg Config, auto counter.Automaton) *Predictor {
 	maxHist := cfg.HistLengths[len(cfg.HistLengths)-1]
 	m := len(cfg.HistLengths)
 	rows := 1 << cfg.TaggedLog
+	// One arena holds the whole predictor: the packed bimodal base table
+	// in the leading words, the tagged tables in the rest.
+	bimWords := bimodal.PackedWords(cfg.BimodalLog)
+	arena := make([]uint32, bimWords+m*rows)
 	p := &Predictor{
 		cfg:       cfg,
-		base:      bimodal.New(cfg.BimodalLog),
-		ctr:       make([]int8, m*rows),
-		tag:       make([]uint16, m*rows),
-		u:         make([]uint8, m*rows),
+		base:      bimodal.NewPackedIn(arena[:bimWords:bimWords], cfg.BimodalLog),
+		arena:     arena,
+		entries:   arena[bimWords:],
 		numTables: m,
 		taggedLog: cfg.TaggedLog,
 		rowMask:   uint32(rows - 1),
 		tagMask:   (uint32(1) << cfg.TagBits) - 1,
 		histLens:  append([]int(nil), cfg.HistLengths...),
-		pathSizes: make([]uint, m),
+		pathMask:  make([]uint32, m),
+		pathSh:    make([]uint32, m),
 		folds:     make([]history.Folded, 3*m),
 		ghist:     history.NewBuffer(maxHist + 2),
 		phist:     history.NewPath(cfg.PathBits),
@@ -174,7 +186,8 @@ func NewWithAutomaton(cfg Config, auto counter.Automaton) *Predictor {
 		if ps > cfg.PathBits {
 			ps = cfg.PathBits
 		}
-		p.pathSizes[i] = ps
+		p.pathMask[i] = uint32(1)<<ps - 1
+		p.pathSh[i] = uint32(uint(i+1) % cfg.TaggedLog)
 		p.folds[3*i] = history.MakeFolded(hl, int(cfg.TaggedLog))
 		p.folds[3*i+1] = history.MakeFolded(hl, tagBits)
 		p.folds[3*i+2] = history.MakeFolded(hl, t2)
@@ -189,15 +202,16 @@ func (p *Predictor) Config() Config { return p.cfg }
 func (p *Predictor) Automaton() counter.Automaton { return p.auto }
 
 // pathHash implements the F() path-history mixing function of the
-// reference TAGE simulator for table bank (1-based).
+// reference TAGE simulator for table bank (1-based). The per-bank
+// rotation amount and path mask are precomputed, so the hash is pure
+// shift/mask/add work.
 func (p *Predictor) pathHash(bank int) uint32 {
-	logg := p.taggedLog
-	size := p.pathSizes[bank-1]
-	a := p.phist.Value() & ((1 << size) - 1)
+	logg := uint(p.taggedLog)
+	a := p.phist.Value() & p.pathMask[bank-1]
 	mask := p.rowMask
 	a1 := a & mask
 	a2 := a >> logg
-	sh := uint(bank) % logg
+	sh := uint(p.pathSh[bank-1])
 	a2 = ((a2 << sh) & mask) + (a2 >> (logg - sh))
 	a = a1 ^ a2
 	a = ((a << sh) & mask) + (a >> (logg - sh))
@@ -234,7 +248,7 @@ func (p *Predictor) Predict(pc uint64) Observation {
 		p.tagc[bank] = p.tableTag(pc, bank)
 	}
 	for bank := m; bank >= 1; bank-- {
-		if p.tag[p.pos[bank]] == p.tagc[bank] {
+		if entryTag(p.entries[p.pos[bank]]) == p.tagc[bank] {
 			if p.hitBank == 0 {
 				p.hitBank = bank
 			} else {
@@ -261,13 +275,15 @@ func (p *Predictor) Predict(pc uint64) Observation {
 		return obs
 	}
 
-	providerPos := p.pos[p.hitBank]
-	providerCtr := p.ctr[providerPos]
+	// The provider's word was just loaded by the tag-match loop; ctr and
+	// u come out of the same word with no further memory traffic.
+	providerEntry := p.entries[p.pos[p.hitBank]]
+	providerCtr := entryCtr(providerEntry)
 	p.longestPred = counter.TakenSigned(providerCtr)
 
 	altPred := basePred
 	if p.altBank > 0 {
-		altCtr := p.ctr[p.pos[p.altBank]]
+		altCtr := entryCtr(p.entries[p.pos[p.altBank]])
 		altPred = counter.TakenSigned(altCtr)
 		obs.AltProvider = p.altBank - 1
 		obs.AltCtr = altCtr
@@ -275,7 +291,7 @@ func (p *Predictor) Predict(pc uint64) Observation {
 
 	obs.Provider = p.hitBank - 1
 	obs.ProviderCtr = providerCtr
-	obs.ProviderU = p.u[providerPos]
+	obs.ProviderU = entryU(providerEntry)
 	obs.AltPred = altPred
 
 	// Prediction selection (paper §3.1): use the provider counter unless it
@@ -310,11 +326,15 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	}
 
 	if p.hitBank > 0 {
+		// The provider's ctr and u updates below are a read-modify-write
+		// of one entry word: load once, rewrite fields, store once.
 		providerPos := p.pos[p.hitBank]
+		e := p.entries[providerPos]
+		ctr := entryCtr(e)
 
 		// USE_ALT_ON_NA monitors whether the alternate prediction beats a
 		// weak ("newly allocated") provider.
-		if counter.WeakSigned(p.ctr[providerPos]) && p.longestPred != obs.AltPred {
+		if counter.WeakSigned(ctr) && p.longestPred != obs.AltPred {
 			if obs.AltPred == taken {
 				if p.useAltOnNA < 7 {
 					p.useAltOnNA++
@@ -326,46 +346,58 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 
 		// When the provider entry is not yet established (u == 0), also
 		// train the alternate prediction source.
-		if p.u[providerPos] == 0 {
+		if entryU(e) == 0 {
 			if p.altBank > 0 {
 				altPos := p.pos[p.altBank]
-				p.ctr[altPos] = p.auto.Update(p.ctr[altPos], ctrBits, taken)
+				ae := p.entries[altPos]
+				p.entries[altPos] = entrySetCtr(ae, p.auto.Update(entryCtr(ae), ctrBits, taken))
 			} else {
 				p.base.Update(pc, taken)
 			}
 		}
 
-		p.ctr[providerPos] = p.auto.Update(p.ctr[providerPos], ctrBits, taken)
+		e = entrySetCtr(e, p.auto.Update(ctr, ctrBits, taken))
 
 		// Useful counter: credit the provider when it disagreed with the
 		// alternate prediction and was right; debit when wrong.
 		if p.longestPred != obs.AltPred {
 			if p.longestPred == taken {
-				p.u[providerPos] = counter.IncUnsigned(p.u[providerPos], p.cfg.UBits)
+				e = entrySetU(e, counter.IncUnsigned(entryU(e), p.cfg.UBits))
 			} else {
-				p.u[providerPos] = counter.DecUnsigned(p.u[providerPos])
+				e = entrySetU(e, counter.DecUnsigned(entryU(e)))
 			}
 		}
+		p.entries[providerPos] = e
 	} else {
 		p.base.Update(pc, taken)
 	}
 
 	// Graceful aging of useful counters: a one-bit right shift of every u
-	// every UResetPeriod updates — one pass over the flat array.
+	// every UResetPeriod updates — one pass over the flat entry array.
 	p.tick++
 	if p.tick&(p.cfg.UResetPeriod-1) == 0 {
-		for j := range p.u {
-			p.u[j] >>= 1
+		for j := range p.entries {
+			p.entries[j] = entryAgeU(p.entries[j])
 		}
 	}
 
 	// Advance histories: push the outcome and path bits, then run every
 	// folded-history register in one pass over the contiguous fold slice.
+	// The three folds of a table share one history window, so the boundary
+	// bits are loaded once per table and fed from registers (the newest
+	// bit is the outcome just pushed).
 	p.ghist.Push(taken)
 	p.phist.Push(pc)
+	var newest uint8
+	if taken {
+		newest = 1
+	}
 	folds := p.folds
-	for i := range folds {
-		folds[i].Update(p.ghist)
+	for t := 0; t < m; t++ {
+		leaving := p.ghist.Bit(p.histLens[t])
+		folds[3*t].UpdateBits(newest, leaving)
+		folds[3*t+1].UpdateBits(newest, leaving)
+		folds[3*t+2].UpdateBits(newest, leaving)
 	}
 }
 
@@ -379,14 +411,15 @@ func (p *Predictor) allocate(taken bool) {
 	m := p.numTables
 	p.allocScratch = p.allocScratch[:0]
 	for bank := p.hitBank + 1; bank <= m; bank++ {
-		if p.u[p.pos[bank]] == 0 {
+		if entryU(p.entries[p.pos[bank]]) == 0 {
 			p.allocScratch = append(p.allocScratch, bank)
 		}
 	}
 	if len(p.allocScratch) == 0 {
 		for bank := p.hitBank + 1; bank <= m; bank++ {
 			pos := p.pos[bank]
-			p.u[pos] = counter.DecUnsigned(p.u[pos])
+			e := p.entries[pos]
+			p.entries[pos] = entrySetU(e, counter.DecUnsigned(entryU(e)))
 		}
 		return
 	}
@@ -397,14 +430,11 @@ func (p *Predictor) allocate(taken bool) {
 			break
 		}
 	}
-	pos := p.pos[chosen]
-	p.tag[pos] = p.tagc[chosen]
-	p.u[pos] = 0
-	if taken {
-		p.ctr[pos] = 0
-	} else {
-		p.ctr[pos] = -1
+	var ctr int8
+	if !taken {
+		ctr = -1
 	}
+	p.entries[p.pos[chosen]] = packEntry(p.tagc[chosen], ctr, 0)
 }
 
 // UseAltOnNA returns the current USE_ALT_ON_NA counter value (for tests
@@ -437,13 +467,15 @@ func (p *Predictor) Stats() []TableStats {
 		s := TableStats{HistLen: p.histLens[i]}
 		lo := i * rows
 		for j := lo; j < lo+rows; j++ {
-			if !counter.WeakSigned(p.ctr[j]) {
+			e := p.entries[j]
+			ctr := entryCtr(e)
+			if !counter.WeakSigned(ctr) {
 				s.LiveEntries++
 			}
-			if p.u[j] > 0 {
+			if entryU(e) > 0 {
 				s.UsefulEntries++
 			}
-			if counter.SaturatedSigned(p.ctr[j], p.cfg.CtrBits) {
+			if counter.SaturatedSigned(ctr, p.cfg.CtrBits) {
 				s.SaturatedEntries++
 			}
 		}

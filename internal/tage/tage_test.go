@@ -406,8 +406,8 @@ func TestUResetAges(t *testing.T) {
 		p.Update(b.PC, b.Taken)
 	}
 	// After the run, u values must be within the 2-bit range.
-	for _, u := range p.u {
-		if u > 3 {
+	for _, e := range p.entries {
+		if u := entryU(e); u > 3 {
 			t.Fatalf("u counter %d escaped 2-bit range", u)
 		}
 	}
