@@ -15,6 +15,7 @@ import (
 	"repro/internal/looppred"
 	"repro/internal/ogehl"
 	"repro/internal/perceptron"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -152,6 +153,58 @@ func TestAllPredictorHotPathsZeroAllocs(t *testing.T) {
 				t.Fatalf("%s: %v allocs per predicted branch, want 0", c.name, allocs)
 			}
 		})
+	}
+}
+
+// TestServeHotPathZeroAllocs pins the per-branch serving path of the
+// online prediction service at zero heap allocations: session lookup in
+// the sharded registry, the Predict/Update pair with its tally, and the
+// response-frame encode into a reused buffer. This is the loop a server
+// connection runs per served branch, so a stray allocation here scales
+// with live traffic, not with sessions.
+func TestServeHotPathZeroAllocs(t *testing.T) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.NewEngine(serve.EngineConfig{})
+	sess, err := eng.Open(serve.OpenRequest{
+		Config:  "16K",
+		Options: Options{Mode: ModeProbabilistic},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.ID()
+	batch := make([]trace.Branch, 1)
+	grades := make([]byte, 0, 8)
+	out := make([]byte, 0, 64)
+	step := func(i int) {
+		s, ok := eng.Lookup(id)
+		if !ok {
+			t.Fatal("session lost")
+		}
+		batch[0] = branches[i%len(branches)]
+		grades, ok = s.Serve(batch, grades, int64(i))
+		if !ok {
+			t.Fatal("session retired")
+		}
+		out = serve.AppendPredictions(out[:0], id, grades)
+	}
+	for i := 0; i < 10_000; i++ {
+		step(i)
+	}
+	i := 10_000
+	allocs := testing.AllocsPerRun(20_000, func() {
+		step(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per served branch, want 0", allocs)
 	}
 }
 

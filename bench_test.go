@@ -12,13 +12,16 @@ package repro
 // formatted tables and charts.
 
 import (
+	"context"
 	"io"
+	"net"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fetchgate"
 	"repro/internal/multipath"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/smtpolicy"
 	"repro/internal/tage"
@@ -412,6 +415,56 @@ func BenchmarkCompositeAll(b *testing.B) {
 		b.ReportMetric(float64(r.Simulations()), "trace-sims")
 		b.ReportMetric(float64(r.TraceHits()), "trace-hits")
 	}
+}
+
+// BenchmarkServeThroughput measures the online prediction service end
+// to end over a real loopback TCP connection: one session streaming
+// 1024-branch batches through a live server, one iteration per served
+// branch. branches/sec is the headline serving number cmd/benchjson
+// records in BENCH_<date>.json (see PERF.md for the 1-core caveat: on
+// the build container client and server share one CPU, so this is a
+// lower bound on the per-core serving rate).
+func BenchmarkServeThroughput(b *testing.B) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.NewServer(serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	c, err := serve.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open("64K", Options{Mode: ModeProbabilistic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		n := batch
+		if left := b.N - sent; left < n {
+			n = left
+		}
+		off := sent % (len(branches) - batch)
+		if _, err := sess.Predict(branches[off : off+n]); err != nil {
+			b.Fatal(err)
+		}
+		sent += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "branches/sec")
 }
 
 // BenchmarkPredictorSpeed measures raw predict+update throughput of the

@@ -1,0 +1,187 @@
+// Command tageload is the load generator for tageserved: it replays the
+// synthetic workload suites over N concurrent connections and reports
+// throughput, tail latency and the per-level confidence breakdown.
+//
+// Usage:
+//
+//	tageload -addr localhost:7421 -suite cbp1 -conns 8
+//	tageload -addr localhost:7421 -trace 300.twolf -config 16K -mode adaptive
+//	tageload -addr localhost:7421 -duration 2s -conns 4
+//
+// In pass mode (the default) every connection replays its share of the
+// suite exactly once and the per-level counts are exact: they match an
+// offline sim.Run over the same traces bit for bit (the repository's
+// equivalence tests pin this). In duration mode (-duration > 0) the
+// connections loop over their traces until the deadline — the
+// throughput-soak configuration the CI smoke job uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:7421", "tageserved wire-protocol address")
+		suiteName  = flag.String("suite", "cbp1", "suite to replay: cbp1, cbp2 or all")
+		traceName  = flag.String("trace", "", "replay a single trace instead of a suite")
+		configName = flag.String("config", "64K", "predictor configuration per session (empty = server default)")
+		modeName   = flag.String("mode", "probabilistic", "automaton mode: standard, probabilistic or adaptive")
+		conns      = flag.Int("conns", 4, "concurrent connections (one session each at a time)")
+		batch      = flag.Int("batch", 1024, "branches per request batch")
+		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
+		duration   = flag.Duration("duration", 0, "soak: loop replays until this deadline (0 = one exact pass)")
+	)
+	flag.Parse()
+
+	opts, err := parseMode(*modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var traces []trace.Trace
+	if *traceName != "" {
+		tr, err := workload.ByName(*traceName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = []trace.Trace{tr}
+	} else {
+		traces, err = workload.Suite(*suiteName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	n := *conns
+	if n < 1 {
+		n = 1
+	}
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+		if *branches == 0 {
+			// The deadline is only checked between replays, so a full
+			// 600k-branch suite trace could overshoot a short -duration
+			// several times over. Cap the per-replay length to bound the
+			// overshoot (~tens of ms at observed serving rates); exact
+			// full-trace passes are pass mode's job, not the soak's.
+			*branches = 50_000
+		}
+	}
+
+	// Round-robin the traces over the connections. In pass mode each
+	// trace is replayed exactly once, so the aggregate equals an offline
+	// suite run.
+	type workerOut struct {
+		results []sim.Result
+		lat     metrics.Latency
+		err     error
+	}
+	outs := make([]workerOut, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			c, err := serve.Dial(*addr)
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer c.Close()
+			replay := func(i int) bool {
+				sess, err := c.Open(*configName, opts)
+				if err != nil {
+					out.err = err
+					return false
+				}
+				res, err := sess.Replay(traces[i], *branches, *batch, &out.lat)
+				if err != nil {
+					out.err = fmt.Errorf("%s: %w", traces[i].Name(), err)
+					return false
+				}
+				out.results = append(out.results, res)
+				return true
+			}
+			if deadline.IsZero() {
+				// Pass mode: strided exact shares, each trace replayed
+				// exactly once across all connections.
+				for i := w; i < len(traces); i += n {
+					if !replay(i) {
+						return
+					}
+				}
+				return
+			}
+			// Soak mode: every connection loops the whole trace list from
+			// a rotated start until the deadline (several connections may
+			// replay the same trace through separate sessions — that is
+			// the load pattern, and it keeps every worker busy even with
+			// more connections than traces).
+			for i := w % len(traces); !time.Now().After(deadline); i = (i + 1) % len(traces) {
+				if !replay(i) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sim.Result
+	var lat metrics.Latency
+	for i := range outs {
+		if outs[i].err != nil {
+			log.Fatalf("conn %d: %v", i, outs[i].err)
+		}
+		all = append(all, outs[i].results...)
+		lat.Merge(&outs[i].lat)
+	}
+	if len(all) == 0 {
+		log.Fatal("tageload: no trace replay completed within the duration")
+	}
+
+	var agg sim.Result
+	for _, res := range all {
+		agg.Add(res)
+	}
+	fmt.Printf("tageload: %d connections, %d trace replays, %s\n", n, len(all), elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput: %.0f branches/sec (%d branches)\n",
+		float64(agg.Branches)/elapsed.Seconds(), agg.Branches)
+	fmt.Printf("  batch latency (%d branches/batch): %v\n", *batch, &lat)
+	fmt.Printf("  accuracy: %.2f misp/KI, %.2f%% mispredicted\n", agg.MPKI(), 100*agg.Total.Rate())
+	fmt.Println("  per-level breakdown:")
+	for _, l := range core.Levels() {
+		c := agg.Level(l)
+		fmt.Printf("    %-6s  Pcov=%5.1f%%  MKP=%6.1f  (%d/%d)\n",
+			l, 100*metrics.Pcov(c, agg.Total), c.MKP(), c.Misps, c.Preds)
+	}
+	if deadline.IsZero() {
+		fmt.Println("  (exact pass: per-level counts are bit-identical to offline sim.Run)")
+	}
+	if agg.Branches == 0 {
+		os.Exit(1)
+	}
+}
+
+func parseMode(name string) (core.Options, error) {
+	mode, err := core.ParseMode(name)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{Mode: mode}, nil
+}

@@ -1,0 +1,98 @@
+// Command tageserved is the online prediction server: it hosts TAGE +
+// storage-free-confidence predictor sessions behind the internal/serve
+// wire protocol, so clients stream branch outcomes in and get
+// (prediction, class, level) grades back live.
+//
+// Usage:
+//
+//	tageserved -addr :7421 -metrics :7422
+//	tageserved -config 16K -mode adaptive -shards 32 -max-sessions 10000
+//
+// The -config/-mode flags set the predictor a session gets when its open
+// request names no configuration; clients may request any registered
+// configuration and options per session. SIGINT/SIGTERM shut the server
+// down gracefully (live connections are closed, handlers drained).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/tage"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7421", "wire-protocol TCP listen address")
+		metricsAddr = flag.String("metrics", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+		configName  = flag.String("config", "64K", "default predictor configuration: 16K, 64K or 256K")
+		modeName    = flag.String("mode", "probabilistic", "default automaton mode: standard, probabilistic or adaptive")
+		shards      = flag.Int("shards", serve.DefaultShards, "session-registry lock stripes (rounded up to a power of two)")
+		maxSessions = flag.Int("max-sessions", 0, "live-session cap (0 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "evict sessions idle this long (<0 disables eviction)")
+	)
+	flag.Parse()
+
+	cfg, err := tage.ConfigByName(*configName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode, err := core.ParseMode(*modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Addr:        *addr,
+		MetricsAddr: *metricsAddr,
+		IdleTimeout: *idleTimeout,
+		Engine: serve.EngineConfig{
+			Shards:         *shards,
+			MaxSessions:    *maxSessions,
+			DefaultConfig:  cfg,
+			DefaultOptions: core.Options{Mode: mode},
+		},
+	})
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+
+	// Wait for the listener so the startup log line carries the bound
+	// address (":0" resolves to a real port).
+	for srv.Addr() == nil {
+		select {
+		case err := <-done:
+			log.Fatal(err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	log.Printf("tageserved: serving on %s (default %s/%s, shards %d, max-sessions %d, idle-timeout %v)",
+		srv.Addr(), cfg.Name, *modeName, *shards, *maxSessions, *idleTimeout)
+	if ma := srv.MetricsAddr(); ma != nil {
+		log.Printf("tageserved: metrics on http://%s/metrics", ma)
+	}
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("tageserved: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("tageserved: shutdown: %v", err)
+		}
+		snap := srv.Engine().Snapshot()
+		log.Printf("tageserved: served %d branches over %d sessions (%.2f%% mispredicted), bye",
+			snap.Branches, snap.OpenedSessions, 100*snap.Total.Rate())
+	}
+}

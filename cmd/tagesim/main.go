@@ -91,16 +91,11 @@ func main() {
 }
 
 func parseMode(name string) (core.Options, error) {
-	switch name {
-	case "standard":
-		return core.Options{Mode: core.ModeStandard}, nil
-	case "probabilistic", "prob", "modified":
-		return core.Options{Mode: core.ModeProbabilistic}, nil
-	case "adaptive":
-		return core.Options{Mode: core.ModeAdaptive}, nil
-	default:
-		return core.Options{}, fmt.Errorf("unknown mode %q", name)
+	mode, err := core.ParseMode(name)
+	if err != nil {
+		return core.Options{}, err
 	}
+	return core.Options{Mode: mode}, nil
 }
 
 func report(res sim.Result) {

@@ -1,9 +1,13 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"net"
 
 	"repro"
+	"repro/internal/metrics"
 )
 
 // The three paper configurations have exact storage budgets.
@@ -57,6 +61,48 @@ func ExampleEstimator() {
 	// Output:
 	// cold: pred=false class=low-conf-bim level=low
 	// trained: class=high-conf-bim level=high
+}
+
+// The online serving mode: an in-process server, a wire-protocol
+// session, and server-side tallies that match an offline repro.Run bit
+// for bit. Everything is deterministic, down to the served counts.
+func ExampleServer() {
+	srv := repro.NewServer(repro.ServeConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	c, err := repro.DialServer(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open("16K", repro.Options{Mode: repro.ModeProbabilistic})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := repro.TraceByName("FP-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Replay(tr, 20_000, 1000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d branches of %s on %s\n", res.Branches, res.Trace, res.Config)
+	for _, l := range repro.Levels() {
+		cnt := res.Level(l)
+		fmt.Printf("%-6s %4.1f%% of predictions, %5.1f MKP\n",
+			l, 100*metrics.Pcov(cnt, res.Total), cnt.MKP())
+	}
+	// Output:
+	// served 20000 branches of FP-1 on 16Kbits
+	// low     3.9% of predictions, 243.9 MKP
+	// medium 30.8% of predictions,  23.0 MKP
+	// high   65.3% of predictions,   3.7 MKP
 }
 
 // Suites provide the 40 named synthetic traces.

@@ -1,0 +1,66 @@
+// Serving: run the online prediction service in-process, stream a short
+// synthetic session through it over loopback TCP, and read back the
+// live confidence-level breakdown — the storage-free estimate as a
+// queryable signal rather than a post-hoc table.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// An in-process server: ephemeral loopback port, default predictor
+	// 64K/probabilistic for minimal clients. Production deployments run
+	// cmd/tageserved instead; the engine is the same.
+	srv := repro.NewServer(repro.ServeConfig{
+		Engine: repro.ServeEngineConfig{
+			DefaultConfig:  repro.Medium64K(),
+			DefaultOptions: repro.Options{Mode: repro.ModeProbabilistic},
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+
+	// A client session: open, stream branch batches, read grades.
+	c, err := repro.DialServer(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Open("16K", repro.Options{Mode: repro.ModeProbabilistic})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive a short synthetic session: 50k branches of a CBP-style
+	// trace, batched 1000 at a time, with round-trip latency samples.
+	tr, err := repro.TraceByName("186.crafty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lat metrics.Latency
+	res, err := sess.Replay(tr, 50_000, 1000, &lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served %d branches of %s over the wire (%d batches, p99 %v)\n",
+		res.Branches, res.Trace, lat.N(), lat.Quantile(0.99))
+	fmt.Printf("overall: %.2f misp/KI\n", res.MPKI())
+	fmt.Println("confidence-level breakdown (server-side tallies, bit-identical to offline repro.Run):")
+	for _, l := range repro.Levels() {
+		cnt := res.Level(l)
+		fmt.Printf("  %-6s  %5.1f%% of predictions, %6.1f MKP\n",
+			l, 100*metrics.Pcov(cnt, res.Total), cnt.MKP())
+	}
+}

@@ -40,6 +40,22 @@ func (m AutomatonMode) String() string {
 	}
 }
 
+// ParseMode resolves a mode name — the single definition of the
+// name-to-mode table every CLI flag parser shares. "prob" and
+// "modified" are accepted aliases for the §6 probabilistic automaton.
+func ParseMode(name string) (AutomatonMode, error) {
+	switch name {
+	case "standard":
+		return ModeStandard, nil
+	case "probabilistic", "prob", "modified":
+		return ModeProbabilistic, nil
+	case "adaptive":
+		return ModeAdaptive, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want standard, probabilistic or adaptive)", name)
+	}
+}
+
 // Options configures an Estimator beyond its predictor configuration.
 type Options struct {
 	// Mode selects the automaton (default ModeStandard).

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Latency accumulates duration samples for tail-latency reporting (the
+// serving load generator records one sample per request batch). It is
+// not safe for concurrent use; concurrent recorders keep one Latency
+// each and Merge them afterwards.
+type Latency struct {
+	samples []float64 // seconds
+	sorted  bool
+}
+
+// Observe records one duration sample.
+func (l *Latency) Observe(d time.Duration) {
+	l.samples = append(l.samples, d.Seconds())
+	l.sorted = false
+}
+
+// Merge folds another recorder's samples into l.
+func (l *Latency) Merge(other *Latency) {
+	l.samples = append(l.samples, other.samples...)
+	l.sorted = false
+}
+
+// N returns the number of recorded samples.
+func (l *Latency) N() int { return len(l.samples) }
+
+// Quantile returns the p-quantile (p in [0,1]) of the recorded samples
+// as a duration; 0 when no samples were recorded.
+func (l *Latency) Quantile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	return time.Duration(Percentile(l.samples, p) * float64(time.Second))
+}
+
+// Summary computes the distribution statistics of the recorded samples
+// in seconds.
+func (l *Latency) Summary() Summary { return Summarize(l.samples) }
+
+// String reports the conventional latency quartet.
+func (l *Latency) String() string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
+		l.Quantile(0.5), l.Quantile(0.9), l.Quantile(0.99), l.Quantile(1))
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantiles(t *testing.T) {
+	var l Latency
+	if got := l.Quantile(0.5); got != 0 {
+		t.Fatalf("empty recorder quantile = %v, want 0", got)
+	}
+	// 1ms..100ms in shuffled order; quantiles must sort internally.
+	for _, ms := range []int{37, 1, 100, 50, 99, 2, 75, 25, 60, 10} {
+		l.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	if l.N() != 10 {
+		t.Fatalf("N = %d, want 10", l.N())
+	}
+	if got := l.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", got)
+	}
+	if got := l.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+	p50 := l.Quantile(0.5)
+	if p50 < 37*time.Millisecond || p50 > 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want within [37ms, 50ms]", p50)
+	}
+	// Observing after a quantile read must re-sort.
+	l.Observe(200 * time.Millisecond)
+	if got := l.Quantile(1); got != 200*time.Millisecond {
+		t.Fatalf("p100 after new sample = %v, want 200ms", got)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b Latency
+	a.Observe(1 * time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.N() != 3 {
+		t.Fatalf("merged N = %d, want 3", a.N())
+	}
+	if got := a.Quantile(1); got != 5*time.Millisecond {
+		t.Fatalf("merged p100 = %v, want 5ms", got)
+	}
+	s := a.Summary()
+	if s.N != 3 || s.Min != 0.001 || s.Max != 0.005 {
+		t.Fatalf("merged summary = %+v", s)
+	}
+}

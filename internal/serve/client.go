@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Client speaks the wire protocol over one connection. It is not safe
+// for concurrent use; a load generator opens one Client per goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	frame  []byte
+	out    []byte
+	grades []Grade
+}
+
+// Dial connects a client to a server's wire-protocol address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe-like
+// transports; Dial is the common path).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:  conn,
+		br:    bufio.NewReaderSize(conn, 64*1024),
+		bw:    bufio.NewWriterSize(conn, 64*1024),
+		frame: make([]byte, 4096),
+	}
+}
+
+// Close closes the underlying connection. Open sessions it served are
+// not closed — they remain addressable until FrameClose or idle
+// eviction.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip writes the frame already assembled in c.out and reads one
+// response frame, translating FrameError into *RemoteError.
+func (c *Client) roundTrip(want byte) ([]byte, error) {
+	if _, err := c.bw.Write(c.out); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, frame, err := ReadFrame(c.br, c.frame)
+	c.frame = frame
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case want:
+		return payload, nil
+	case FrameError:
+		re, err := DecodeError(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, re
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame type %#02x (want %#02x)", ErrProtocol, typ, want)
+	}
+}
+
+// ClientSession is one open session on a server, driven through a
+// Client.
+type ClientSession struct {
+	c      *Client
+	id     uint64
+	config string
+	opts   core.Options
+}
+
+// Open creates a session with the named predictor configuration (empty
+// = server default) and options.
+func (c *Client) Open(config string, opts core.Options) (*ClientSession, error) {
+	c.out = AppendOpen(c.out[:0], OpenRequest{Config: config, Options: opts})
+	payload, err := c.roundTrip(FrameOpened)
+	if err != nil {
+		return nil, err
+	}
+	id, resolved, err := DecodeOpened(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientSession{c: c, id: id, config: resolved, opts: opts}, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *ClientSession) ID() uint64 { return s.id }
+
+// Predict streams one branch batch through the session and returns the
+// served grades (valid until the next call on the same client). Batches
+// are capped at MaxBatch branches — enforced here so an oversized
+// request fails before burning a round trip (or, past MaxFrame, the
+// whole connection).
+func (s *ClientSession) Predict(records []trace.Branch) ([]Grade, error) {
+	if len(records) > MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d records exceeds limit %d", ErrProtocol, len(records), MaxBatch)
+	}
+	c := s.c
+	c.out = AppendBatch(c.out[:0], s.id, records)
+	payload, err := c.roundTrip(FramePredictions)
+	if err != nil {
+		return nil, err
+	}
+	id, grades, err := DecodePredictions(payload, c.grades)
+	c.grades = grades[:0]
+	if err != nil {
+		return nil, err
+	}
+	if id != s.id {
+		return nil, fmt.Errorf("%w: response for session %d, want %d", ErrProtocol, id, s.id)
+	}
+	if len(grades) != len(records) {
+		return nil, fmt.Errorf("%w: %d grades for %d branches", ErrProtocol, len(grades), len(records))
+	}
+	return grades, nil
+}
+
+// Close retires the session and returns the server's final tallies,
+// labeled with the session's config and mode.
+func (s *ClientSession) Close() (sim.Result, error) {
+	c := s.c
+	c.out = AppendClose(c.out[:0], s.id)
+	payload, err := c.roundTrip(FrameStats)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	id, res, err := DecodeStats(payload)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if id != s.id {
+		return sim.Result{}, fmt.Errorf("%w: stats for session %d, want %d", ErrProtocol, id, s.id)
+	}
+	res.Config = s.config
+	res.Mode = s.opts.Mode
+	return res, nil
+}
+
+// Replay streams tr (truncated to limit records; 0 = full trace) through
+// the session in batches of batchSize branches, cross-checks the served
+// grades against the known outcomes, closes the session, and returns the
+// server's final tallies labeled with the trace name.
+//
+// The returned Result is bit-identical to sim.Run over the same (config,
+// options, trace, limit) — the equivalence the tests pin — because the
+// session applies the exact per-branch sequence of the offline driver to
+// an identically-seeded estimator. Replay verifies this end to end: the
+// client-side tally derived from the wire grades must equal the
+// server-side stats, or an error is returned.
+//
+// When lat is non-nil, one round-trip latency sample is recorded per
+// batch.
+func (s *ClientSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat *metrics.Latency) (sim.Result, error) {
+	if batchSize <= 0 || batchSize > MaxBatch {
+		batchSize = 1024
+	}
+	local := sim.Result{Trace: tr.Name(), Config: s.config, Mode: s.opts.Mode}
+	r := trace.Limit(tr, limit).Open()
+	// Release the reader's resources (open file, pooled decode or
+	// generator state) if the replay aborts mid-trace — a server or
+	// network error must not leak a file descriptor per failed replay.
+	// Once the reader returns io.EOF it must not be touched again (its
+	// state may already be recycled into another Open), so the release
+	// only fires on the not-yet-drained paths.
+	drained := false
+	defer func() {
+		if drained {
+			return
+		}
+		if c, ok := r.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}()
+	batch := make([]trace.Branch, 0, batchSize)
+	for eof := false; !eof; {
+		batch = batch[:0]
+		for len(batch) < batchSize {
+			b, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				eof = true
+				drained = true
+				break
+			}
+			if err != nil {
+				drained = true // reader closes itself on decode errors
+				return sim.Result{}, err
+			}
+			batch = append(batch, b)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		start := time.Now()
+		grades, err := s.Predict(batch)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if lat != nil {
+			lat.Observe(time.Since(start))
+		}
+		for i, g := range grades {
+			miss := g.Pred != batch[i].Taken
+			local.Total.Record(miss)
+			local.Class[g.Class].Record(miss)
+			local.Branches++
+			// Mirror the wire codec's clamp (Instr 0 is not representable
+			// and travels as 1) so the cross-check below compares what the
+			// server actually saw.
+			instr := batch[i].Instr
+			if instr == 0 {
+				instr = 1
+			}
+			local.Instructions += uint64(instr)
+		}
+	}
+	res, err := s.Close()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res.Trace = tr.Name()
+	local.FinalProbability = res.FinalProbability
+	if local != res {
+		return sim.Result{}, fmt.Errorf("serve: wire grades disagree with server stats for %s: client %+v server %+v",
+			tr.Name(), local, res)
+	}
+	return res, nil
+}

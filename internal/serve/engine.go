@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tage"
+)
+
+// Engine hosts the session registry plus the service-wide counters. It
+// is the transport-free heart of the server: the TCP layer decodes
+// frames and calls Open/Lookup/Close, and tests (allocation pins, race
+// tests, benchmarks) drive it directly.
+type Engine struct {
+	reg *registry
+
+	// defaultConfig/defaultOptions serve FrameOpen requests with an
+	// empty config name (and, for the options, an all-zero options
+	// block: a minimal client gets the operator-tuned predictor).
+	defaultConfig  tage.Config
+	defaultOptions core.Options
+
+	opened  atomic.Uint64
+	evicted atomic.Uint64
+
+	// retired accumulates the tallies of closed and evicted sessions so
+	// service-wide counters never lose history when a session goes away.
+	retiredMu sync.Mutex
+	retired   sim.Result
+}
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Shards is the registry stripe count (rounded up to a power of two;
+	// 0 selects DefaultShards).
+	Shards int
+	// MaxSessions caps live sessions (0 = unlimited). Opens beyond the
+	// cap fail with ErrCodeSessionLimit.
+	MaxSessions int
+	// DefaultConfig serves open requests that name no configuration.
+	// A zero value selects tage.Medium64K.
+	DefaultConfig tage.Config
+	// DefaultOptions serves open requests that name no configuration
+	// and carry all-zero options.
+	DefaultOptions core.Options
+}
+
+// DefaultShards is the registry stripe count when none is configured.
+const DefaultShards = 16
+
+// NewEngine builds an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	def := cfg.DefaultConfig
+	if def.Name == "" {
+		def = tage.Medium64K()
+	}
+	return &Engine{
+		reg:            newRegistry(shards, cfg.MaxSessions),
+		defaultConfig:  def,
+		defaultOptions: cfg.DefaultOptions,
+	}
+}
+
+// Open creates a session for the request. Failures carry a RemoteError
+// whose code the TCP layer forwards verbatim.
+func (e *Engine) Open(req OpenRequest, now int64) (*Session, error) {
+	cfg := e.defaultConfig
+	if req.Config != "" {
+		var err error
+		cfg, err = tage.ConfigByName(req.Config)
+		if err != nil {
+			return nil, &RemoteError{Code: ErrCodeBadConfig, Message: err.Error()}
+		}
+	} else if req.Options == (core.Options{}) {
+		req.Options = e.defaultOptions
+	}
+	id, ok := e.reg.reserve()
+	if !ok {
+		return nil, &RemoteError{
+			Code:    ErrCodeSessionLimit,
+			Message: fmt.Sprintf("session limit %d reached", e.reg.max),
+		}
+	}
+	s := newSession(id, cfg, req.Options, now)
+	e.reg.insert(s)
+	e.opened.Add(1)
+	return s, nil
+}
+
+// Lookup returns the live session with the given id. It is on the
+// per-batch hot path and performs no allocation.
+func (e *Engine) Lookup(id uint64) (*Session, bool) { return e.reg.get(id) }
+
+// Close retires a session and returns its final tallies.
+func (e *Engine) Close(id uint64) (sim.Result, error) {
+	s, ok := e.reg.remove(id)
+	if !ok {
+		return sim.Result{}, &RemoteError{
+			Code:    ErrCodeUnknownSession,
+			Message: fmt.Sprintf("unknown session %d", id),
+		}
+	}
+	res, first := s.retire()
+	if !first {
+		// Defensive: retire() is only ever called by whichever side
+		// exclusively removed the session from its shard (here, or the
+		// evictor in SweepIdle), so the remover always retires first and
+		// this branch is unreachable today. Release the cap slot anyway
+		// — if a future refactor made retirement lose a race, skipping
+		// release would leak one max-sessions slot per occurrence.
+		e.reg.release()
+		return sim.Result{}, &RemoteError{
+			Code:    ErrCodeUnknownSession,
+			Message: fmt.Sprintf("session %d already retired", id),
+		}
+	}
+	e.fold(res)
+	e.reg.release()
+	return res, nil
+}
+
+// SweepIdle retires every session idle since before cutoff and returns
+// how many it evicted.
+func (e *Engine) SweepIdle(cutoff int64) int {
+	n := 0
+	for _, s := range e.reg.sweepIdle(cutoff) {
+		if res, first := s.retire(); first {
+			e.fold(res)
+			e.reg.release()
+			e.evicted.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) fold(res sim.Result) {
+	e.retiredMu.Lock()
+	e.retired.Branches += res.Branches
+	e.retired.Instructions += res.Instructions
+	e.retired.Total.Add(res.Total)
+	for i := range res.Class {
+		e.retired.Class[i].Add(res.Class[i])
+	}
+	e.retiredMu.Unlock()
+}
+
+// Snapshot is a point-in-time view of the service-wide counters:
+// sessions plus branch tallies aggregated over live and retired
+// sessions.
+type Snapshot struct {
+	LiveSessions    int64
+	OpenedSessions  uint64
+	EvictedSessions uint64
+	Branches        uint64
+	Instructions    uint64
+	Total           metrics.Counts
+	Class           [core.NumClasses]metrics.Counts
+}
+
+// Level aggregates the snapshot's class counts into a confidence level,
+// exactly as sim.Result.Level does.
+func (s Snapshot) Level(l core.Level) metrics.Counts {
+	var c metrics.Counts
+	for _, cl := range core.Classes() {
+		if cl.Level() == l {
+			c.Add(s.Class[cl])
+		}
+	}
+	return c
+}
+
+// Snapshot aggregates the engine's counters. Live sessions are snapshot
+// one at a time under their own lock, so a scrape never blocks the whole
+// service; the view is per-session consistent, not globally atomic.
+func (e *Engine) Snapshot() Snapshot {
+	e.retiredMu.Lock()
+	agg := e.retired
+	e.retiredMu.Unlock()
+	e.reg.forEach(func(s *Session) {
+		res, ok := s.liveStats()
+		if !ok {
+			// Retired between the shard snapshot and here; it is (or is
+			// about to be) folded into the retired aggregate and will be
+			// fully visible at the next scrape.
+			return
+		}
+		agg.Branches += res.Branches
+		agg.Instructions += res.Instructions
+		agg.Total.Add(res.Total)
+		for i := range res.Class {
+			agg.Class[i].Add(res.Class[i])
+		}
+	})
+	return Snapshot{
+		LiveSessions:    e.reg.count(),
+		OpenedSessions:  e.opened.Load(),
+		EvictedSessions: e.evicted.Load(),
+		Branches:        agg.Branches,
+		Instructions:    agg.Instructions,
+		Total:           agg.Total,
+		Class:           agg.Class,
+	}
+}

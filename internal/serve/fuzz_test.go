@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// FuzzFrame mirrors internal/trace's FuzzRead for the wire protocol:
+// arbitrary bytes through the frame reader and every payload decoder
+// must either parse or error — never panic, never accept garbage
+// silently — and whatever parses must re-encode to a payload that parses
+// back identically (round-trip identity).
+func FuzzFrame(f *testing.F) {
+	// Seed with one valid frame of every type, a truncation, and junk.
+	res := sim.Result{FinalProbability: 0.0078125}
+	for i := range res.Class {
+		res.Class[i] = metrics.Counts{Preds: uint64(i) * 10, Misps: uint64(i)}
+		res.Total.Add(res.Class[i])
+	}
+	res.Branches = res.Total.Preds
+	var grades []byte
+	for _, cl := range core.Classes() {
+		grades = append(grades, EncodeGrade(true, cl, cl.Level()))
+	}
+	seeds := [][]byte{
+		AppendOpen(nil, OpenRequest{Config: "64K", Options: core.Options{Mode: core.ModeAdaptive, TargetMKP: 10}}),
+		AppendOpened(nil, 7, "64Kbits"),
+		AppendBatch(nil, 7, sampleBranches(20, 5)),
+		AppendPredictions(nil, 7, grades),
+		AppendClose(nil, 7),
+		AppendStats(nil, 7, res),
+		AppendError(nil, ErrCodeMalformed, "bad"),
+		{0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		[]byte("garbage data, not a frame"),
+		{},
+	}
+	seeds = append(seeds, seeds[2][:8])
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		typ, payload, _, err := ReadFrame(br, nil)
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) && err != io.EOF {
+				t.Fatalf("ReadFrame error is neither ErrProtocol nor io.EOF: %v", err)
+			}
+			return
+		}
+		switch typ {
+		case FrameOpen:
+			req, err := DecodeOpen(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendOpen(nil, req)
+			got, err := DecodeOpen(reenc[5:])
+			if err != nil || got != req {
+				t.Fatalf("open round trip: %+v -> %+v (%v)", req, got, err)
+			}
+		case FrameOpened:
+			id, config, err := DecodeOpened(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendOpened(nil, id, config)
+			id2, config2, err := DecodeOpened(reenc[5:])
+			if err != nil || id2 != id || config2 != config {
+				t.Fatalf("opened round trip: %d/%q -> %d/%q (%v)", id, config, id2, config2, err)
+			}
+		case FrameBatch:
+			id, records, err := DecodeBatch(payload, nil)
+			if err != nil {
+				return
+			}
+			for _, r := range records {
+				if r.Instr == 0 {
+					t.Fatal("decoded batch record with zero instruction count")
+				}
+			}
+			reenc := AppendBatch(nil, id, records)
+			id2, records2, err := DecodeBatch(reenc[5:], nil)
+			if err != nil || id2 != id || len(records2) != len(records) {
+				t.Fatalf("batch round trip failed: %v", err)
+			}
+			for i := range records {
+				if records[i] != records2[i] {
+					t.Fatalf("batch round trip changed record %d", i)
+				}
+			}
+		case FramePredictions:
+			id, decoded, err := DecodePredictions(payload, nil)
+			if err != nil {
+				return
+			}
+			raw := make([]byte, len(decoded))
+			for i, g := range decoded {
+				raw[i] = EncodeGrade(g.Pred, g.Class, g.Level)
+			}
+			reenc := AppendPredictions(nil, id, raw)
+			id2, decoded2, err := DecodePredictions(reenc[5:], nil)
+			if err != nil || id2 != id || len(decoded2) != len(decoded) {
+				t.Fatalf("predictions round trip failed: %v", err)
+			}
+			for i := range decoded {
+				if decoded[i] != decoded2[i] {
+					t.Fatalf("predictions round trip changed grade %d", i)
+				}
+			}
+		case FrameClose:
+			id, err := DecodeClose(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendClose(nil, id)
+			if id2, err := DecodeClose(reenc[5:]); err != nil || id2 != id {
+				t.Fatalf("close round trip: %d -> %d (%v)", id, id2, err)
+			}
+		case FrameStats:
+			id, stats, err := DecodeStats(payload)
+			if err != nil {
+				return
+			}
+			if stats.Total.Preds != stats.Branches {
+				t.Fatal("accepted stats whose classes do not sum to branches")
+			}
+			reenc := AppendStats(nil, id, stats)
+			id2, stats2, err := DecodeStats(reenc[5:])
+			if err != nil || id2 != id || stats2 != stats {
+				t.Fatalf("stats round trip: %+v -> %+v (%v)", stats, stats2, err)
+			}
+		case FrameError:
+			re, err := DecodeError(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendError(nil, re.Code, re.Message)
+			re2, err := DecodeError(reenc[5:])
+			if err != nil || re2.Code != re.Code || re2.Message != re.Message {
+				t.Fatalf("error round trip: %+v -> %+v (%v)", re, re2, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,560 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// startServer binds a server on an ephemeral loopback port and tears it
+// down with the test.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := NewServer(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned: %v", err)
+		}
+	})
+	// Serve publishes the listener under the server mutex; wait for it
+	// so tests can Dial(srv.Addr()) race-free.
+	for deadline := time.Now().Add(5 * time.Second); srv.Addr() == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("server never published its address")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestOnlineOfflineEquivalence is the acceptance pin: replaying a trace
+// through a live server yields a sim.Result bit-identical to the offline
+// driver for the same (config, options, trace, limit) — every count,
+// every class, the final saturation probability. Replay additionally
+// cross-checks the client-side tally derived from the wire grades
+// against the server-side stats, so the equivalence holds at both ends
+// of the wire.
+func TestOnlineOfflineEquivalence(t *testing.T) {
+	srv := startServer(t, Config{})
+	const limit = 25_000
+	traces := []string{"INT-1", "SERV-2"}
+	modes := []core.Options{
+		{Mode: core.ModeStandard},
+		{Mode: core.ModeProbabilistic},
+		{Mode: core.ModeAdaptive, TargetMKP: 8, AdaptiveWindow: 4096},
+	}
+	for _, cfgName := range []string{"16K", "64K"} {
+		for _, opts := range modes {
+			for _, trName := range traces {
+				tr, err := workload.ByName(trName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg, err := tage.ConfigByName(cfgName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				offline, err := sim.RunConfig(cfg, opts, tr, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := dial(t, srv)
+				sess, err := c.Open(cfgName, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				online, err := sess.Replay(tr, limit, 777, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if online != offline {
+					t.Errorf("%s/%s/%s: online %+v != offline %+v",
+						cfgName, opts.Mode, trName, online, offline)
+				}
+				c.Close()
+			}
+		}
+	}
+}
+
+// TestServerDefaults pins the default-predictor rule: an open request
+// with no config name and all-zero options gets the operator-configured
+// predictor and options.
+func TestServerDefaults(t *testing.T) {
+	eng := NewEngine(EngineConfig{
+		DefaultConfig:  tage.Small16K(),
+		DefaultOptions: core.Options{Mode: core.ModeProbabilistic},
+	})
+	s, err := eng.Open(OpenRequest{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ConfigName() != "16Kbits" {
+		t.Fatalf("default config %q, want 16Kbits", s.ConfigName())
+	}
+	if got := s.Stats().Mode; got != core.ModeProbabilistic {
+		t.Fatalf("default mode %v, want probabilistic", got)
+	}
+	// Explicit options suppress the default options even with the
+	// default config.
+	s, err = eng.Open(OpenRequest{Options: core.Options{Mode: core.ModeAdaptive}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Mode; got != core.ModeAdaptive {
+		t.Fatalf("explicit mode %v, want adaptive", got)
+	}
+	// A named config never inherits default options.
+	s, err = eng.Open(OpenRequest{Config: "64K"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Mode; got != core.ModeStandard {
+		t.Fatalf("named-config mode %v, want standard", got)
+	}
+}
+
+// TestReplayBatchSizeInvariance pins that the batch size is a transport
+// detail: any chunking yields the identical result.
+func TestReplayBatchSizeInvariance(t *testing.T) {
+	srv := startServer(t, Config{})
+	tr, err := workload.ByName("FP-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 10_000
+	var want sim.Result
+	for i, batch := range []int{1, 63, 1024, limit + 1} {
+		c := dial(t, srv)
+		sess, err := c.Open("16K", core.Options{Mode: core.ModeProbabilistic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Replay(tr, limit, batch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("batch size %d changed the result", batch)
+		}
+		c.Close()
+	}
+}
+
+// TestServerErrors exercises the in-band error paths: unknown config,
+// unknown session, and the session cap. The connection survives payload
+// errors.
+func TestServerErrors(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{MaxSessions: 2}})
+	c := dial(t, srv)
+
+	if _, err := c.Open("1024K", core.Options{}); err == nil {
+		t.Fatal("unknown config accepted")
+	} else if re, ok := err.(*RemoteError); !ok || re.Code != ErrCodeBadConfig {
+		t.Fatalf("unknown config: %v", err)
+	}
+
+	// The connection remains usable after an in-band error.
+	sess, err := c.Open("16K", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch for a session id that never existed.
+	c.out = AppendBatch(c.out[:0], sess.ID()+100, sampleBranches(4, 1))
+	if _, err := c.roundTrip(FramePredictions); err == nil {
+		t.Fatal("unknown session accepted")
+	} else if re, ok := err.(*RemoteError); !ok || re.Code != ErrCodeUnknownSession {
+		t.Fatalf("unknown session: %v", err)
+	}
+
+	// Session cap: the engine holds 1 live session; open 1 more, then
+	// the third must be refused.
+	if _, err := c.Open("16K", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("16K", core.Options{}); err == nil {
+		t.Fatal("session above cap accepted")
+	} else if re, ok := err.(*RemoteError); !ok || re.Code != ErrCodeSessionLimit {
+		t.Fatalf("session cap: %v", err)
+	}
+
+	// Oversized batches fail client-side, before any round trip, and
+	// leave the connection usable.
+	if _, err := sess.Predict(make([]trace.Branch, MaxBatch+1)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized batch: err = %v, want ErrProtocol", err)
+	}
+	if _, err := sess.Predict(sampleBranches(4, 2)); err != nil {
+		t.Fatalf("predict after oversized batch: %v", err)
+	}
+
+	// Closing frees a slot.
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("16K", core.Options{}); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	// Double close reports unknown session.
+	if _, err := sess.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+// TestIdleEviction pins the evictor: idle sessions are retired, their
+// tallies fold into the service aggregate, and later batches for them
+// answer unknown-session.
+func TestIdleEviction(t *testing.T) {
+	srv := startServer(t, Config{IdleTimeout: 20 * time.Millisecond})
+	c := dial(t, srv)
+	sess, err := c.Open("16K", core.Options{Mode: core.ModeProbabilistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := sampleBranches(1000, 3)
+	if _, err := sess.Predict(branches); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Engine().Snapshot().EvictedSessions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := srv.Engine().Snapshot()
+	if snap.LiveSessions != 0 || snap.Branches != 1000 {
+		t.Fatalf("post-eviction snapshot: %+v", snap)
+	}
+	if _, err := sess.Predict(branches); err == nil {
+		t.Fatal("batch for evicted session accepted")
+	} else if re, ok := err.(*RemoteError); !ok || re.Code != ErrCodeUnknownSession {
+		t.Fatalf("evicted session batch: %v", err)
+	}
+}
+
+// TestEngineSweepVsCloseRace drives Close and SweepIdle concurrently:
+// every session's tallies must fold exactly once (no double counting, no
+// loss), whichever side wins.
+func TestEngineSweepVsCloseRace(t *testing.T) {
+	eng := NewEngine(EngineConfig{Shards: 4})
+	const sessions = 64
+	branches := sampleBranches(100, 9)
+	ids := make([]uint64, sessions)
+	for i := range ids {
+		s, err := eng.Open(OpenRequest{Config: "16K", Options: core.Options{Mode: core.ModeProbabilistic}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Serve(branches, nil, 0)
+		ids[i] = s.ID()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, id := range ids {
+			eng.Close(id) // losing the race to the evictor is fine
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		eng.SweepIdle(1) // everything is idle before cutoff 1
+	}()
+	wg.Wait()
+	snap := eng.Snapshot()
+	if want := uint64(sessions * len(branches)); snap.Branches != want {
+		t.Fatalf("folded %d branches, want %d (lost or double-counted a session)", snap.Branches, want)
+	}
+	if snap.LiveSessions != 0 {
+		t.Fatalf("%d live sessions after close+sweep", snap.LiveSessions)
+	}
+}
+
+// TestConcurrentSessions runs 12 concurrent connections, each with its
+// own session over its own trace, and checks every served result against
+// the offline driver. Under -race this is the acceptance criterion's
+// concurrency check.
+func TestConcurrentSessions(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{Shards: 4}})
+	const (
+		conns = 12
+		limit = 8_000
+	)
+	traces := workload.All()
+	opts := core.Options{Mode: core.ModeProbabilistic}
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := traces[i%len(traces)]
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			sess, err := c.Open("16K", opts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := sess.Replay(tr, limit, 512, nil)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", tr.Name(), err)
+				return
+			}
+			want, err := sim.RunConfig(tage.Small16K(), opts, tr, limit)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != want {
+				errs <- fmt.Errorf("%s: online != offline under concurrency", tr.Name())
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := srv.Engine().Snapshot()
+	if snap.OpenedSessions != conns || snap.Branches != conns*limit {
+		t.Fatalf("snapshot after %d sessions: %+v", conns, snap)
+	}
+}
+
+// TestSharedSessionAcrossConnections pins that a session id is
+// addressable from any connection (sessions belong to the server, not
+// the socket) and that concurrent batches for one session serialize
+// without losing counts.
+func TestSharedSessionAcrossConnections(t *testing.T) {
+	srv := startServer(t, Config{})
+	c1 := dial(t, srv)
+	sess, err := c1.Open("16K", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := dial(t, srv)
+	shared := &ClientSession{c: c2, id: sess.ID(), config: sess.config, opts: sess.opts}
+
+	const per = 2000
+	var wg sync.WaitGroup
+	for _, s := range []*ClientSession{sess, shared} {
+		wg.Add(1)
+		go func(s *ClientSession, seed uint64) {
+			defer wg.Done()
+			branches := sampleBranches(per, seed)
+			for i := 0; i < per; i += 100 {
+				if _, err := s.Predict(branches[i : i+100]); err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+			}
+		}(s, uint64(len(s.config)))
+		// distinct seeds irrelevant; interleaving is the point
+	}
+	wg.Wait()
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branches != 2*per {
+		t.Fatalf("interleaved session counted %d branches, want %d", res.Branches, 2*per)
+	}
+}
+
+// TestMetricsEndpoint scrapes /healthz and /metrics and checks the
+// counters reflect served traffic, including the per-level breakdown.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := startServer(t, Config{MetricsAddr: "127.0.0.1:0"})
+	c := dial(t, srv)
+	sess, err := c.Open("64K", core.Options{Mode: core.ModeProbabilistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ByName("FP-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Replay(tr, 5000, 500, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + srv.MetricsAddr().String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"tage_serve_sessions_opened_total 1",
+		"tage_serve_branches_total 5000",
+		`tage_serve_level_predictions_total{level="high"}`,
+		`tage_serve_level_mispredictions_total{level="low"}`,
+		`tage_serve_class_predictions_total{class="Stag"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// The level counters must equal the engine snapshot's aggregation.
+	snap := srv.Engine().Snapshot()
+	var levelPreds uint64
+	for _, l := range core.Levels() {
+		levelPreds += snap.Level(l).Preds
+	}
+	if levelPreds != snap.Total.Preds {
+		t.Fatalf("levels sum to %d preds, want %d", levelPreds, snap.Total.Preds)
+	}
+}
+
+// TestLatencyRecording pins that Replay feeds the latency recorder one
+// sample per batch.
+func TestLatencyRecording(t *testing.T) {
+	srv := startServer(t, Config{})
+	c := dial(t, srv)
+	sess, err := c.Open("16K", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.ByName("MM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat metrics.Latency
+	if _, err := sess.Replay(tr, 4000, 1000, &lat); err != nil {
+		t.Fatal(err)
+	}
+	if lat.N() != 4 {
+		t.Fatalf("recorded %d latency samples, want 4", lat.N())
+	}
+	if lat.Quantile(0.99) <= 0 {
+		t.Fatal("p99 latency not positive")
+	}
+}
+
+// TestRegistrySharding covers the registry directly: shard rounding,
+// id→shard spread, and cap accounting under churn.
+func TestRegistrySharding(t *testing.T) {
+	r := newRegistry(3, 0) // rounds up to 4
+	if len(r.shards) != 4 {
+		t.Fatalf("3 shards rounded to %d, want 4", len(r.shards))
+	}
+	var ids []uint64
+	for i := 0; i < 100; i++ {
+		id, ok := r.reserve()
+		if !ok {
+			t.Fatal("unlimited registry refused a session")
+		}
+		s := &Session{id: id}
+		r.insert(s)
+		ids = append(ids, id)
+	}
+	if r.count() != 100 {
+		t.Fatalf("count %d, want 100", r.count())
+	}
+	perShard := map[uint64]int{}
+	for _, id := range ids {
+		perShard[id&r.mask]++
+		if _, ok := r.get(id); !ok {
+			t.Fatalf("session %d not found", id)
+		}
+	}
+	if len(perShard) != 4 {
+		t.Fatalf("sequential ids landed on %d/4 shards", len(perShard))
+	}
+	for _, id := range ids {
+		if _, ok := r.remove(id); !ok {
+			t.Fatalf("session %d not removed", id)
+		}
+		r.release()
+	}
+	if r.count() != 0 {
+		t.Fatalf("count %d after removing all, want 0", r.count())
+	}
+}
+
+// TestShutdownClosesConnections pins that Shutdown unblocks handlers on
+// live connections.
+func TestShutdownClosesConnections(t *testing.T) {
+	srv := NewServer(Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("16K", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with live connection: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned: %v", err)
+	}
+	c.Close()
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

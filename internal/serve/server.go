@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address for the wire protocol
+	// (ListenAndServe; Serve takes an explicit listener).
+	Addr string
+	// MetricsAddr is the HTTP listen address for /metrics and /healthz;
+	// empty disables the endpoint.
+	MetricsAddr string
+	// Engine sizes the session engine (shards, max sessions, default
+	// predictor configuration).
+	Engine EngineConfig
+	// IdleTimeout evicts sessions with no traffic for this long; 0
+	// selects DefaultIdleTimeout, negative disables eviction.
+	IdleTimeout time.Duration
+}
+
+// DefaultIdleTimeout is the idle-session eviction horizon when none is
+// configured.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// Server runs the wire protocol over TCP: one goroutine per connection,
+// many sessions per server (a connection may open several, and a session
+// id remains addressable from any connection until closed or evicted).
+type Server struct {
+	cfg Config
+	eng *Engine
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	sweepEnd chan struct{}
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds a server. The engine is constructed from cfg.Engine.
+func NewServer(cfg Config) *Server {
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	return &Server{
+		cfg:      cfg,
+		eng:      NewEngine(cfg.Engine),
+		conns:    make(map[net.Conn]struct{}),
+		sweepEnd: make(chan struct{}),
+	}
+}
+
+// Engine exposes the server's session engine (metrics scrapes, tests).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Addr returns the bound wire-protocol address (after Serve/ListenAndServe).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// MetricsAddr returns the bound metrics address, or nil when disabled.
+func (s *Server) MetricsAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It also binds the
+// metrics endpoint (when configured) and starts the idle-eviction sweep.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("serve: server already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	if err := s.startMetrics(); err != nil {
+		ln.Close()
+		return err
+	}
+	if s.cfg.IdleTimeout > 0 {
+		// Registered under the mutex so a Shutdown racing this startup
+		// either sees the sweeper (closed=false here, so Shutdown's
+		// close of sweepEnd happens after and stops it) or already
+		// marked closed (and no sweeper starts).
+		s.mu.Lock()
+		if !s.closed {
+			s.wg.Add(1)
+			go s.sweepLoop()
+		}
+		s.mu.Unlock()
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes every connection and endpoint, and
+// waits for the handlers to drain (or ctx to expire).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.sweepEnd)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.IdleTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepEnd:
+			return
+		case now := <-t.C:
+			s.eng.SweepIdle(now.Add(-s.cfg.IdleTimeout).UnixNano())
+		}
+	}
+}
+
+func (s *Server) startMetrics() error {
+	if s.cfg.MetricsAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.writeMetrics(w)
+	})
+	srv := &http.Server{Handler: mux}
+	s.mu.Lock()
+	if s.closed {
+		// Shutdown won the race with this startup: it cannot have seen
+		// httpSrv, so close the endpoint here instead of leaking it
+		// (and never wg.Add after Shutdown may already be waiting).
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.httpLn, s.httpSrv = ln, srv
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		srv.Serve(ln)
+	}()
+	return nil
+}
+
+// writeMetrics renders the Prometheus-style exposition: session gauges
+// plus per-level and per-class hit/misprediction counters aggregated
+// over live and retired sessions.
+func (s *Server) writeMetrics(w http.ResponseWriter) {
+	snap := s.eng.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "tage_serve_sessions_live %d\n", snap.LiveSessions)
+	fmt.Fprintf(w, "tage_serve_sessions_opened_total %d\n", snap.OpenedSessions)
+	fmt.Fprintf(w, "tage_serve_sessions_evicted_total %d\n", snap.EvictedSessions)
+	fmt.Fprintf(w, "tage_serve_branches_total %d\n", snap.Branches)
+	fmt.Fprintf(w, "tage_serve_instructions_total %d\n", snap.Instructions)
+	fmt.Fprintf(w, "tage_serve_predictions_total %d\n", snap.Total.Preds)
+	fmt.Fprintf(w, "tage_serve_mispredictions_total %d\n", snap.Total.Misps)
+	for _, l := range core.Levels() {
+		c := snap.Level(l)
+		fmt.Fprintf(w, "tage_serve_level_predictions_total{level=%q} %d\n", l.String(), c.Preds)
+		fmt.Fprintf(w, "tage_serve_level_mispredictions_total{level=%q} %d\n", l.String(), c.Misps)
+	}
+	for _, cl := range core.Classes() {
+		c := snap.Class[cl]
+		fmt.Fprintf(w, "tage_serve_class_predictions_total{class=%q} %d\n", cl.String(), c.Preds)
+		fmt.Fprintf(w, "tage_serve_class_mispredictions_total{class=%q} %d\n", cl.String(), c.Misps)
+	}
+}
+
+// connState is the per-connection scratch reused across frames, which is
+// what keeps the per-branch serving path allocation-free in steady
+// state.
+type connState struct {
+	frame   []byte         // frame read buffer
+	out     []byte         // response write buffer
+	records []trace.Branch // decoded batch
+	grades  []byte         // encoded responses
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64*1024)
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	st := &connState{
+		frame:   make([]byte, 4096),
+		out:     make([]byte, 0, 4096),
+		records: make([]trace.Branch, 0, 1024),
+		grades:  make([]byte, 0, 1024),
+	}
+	for {
+		typ, payload, frame, err := ReadFrame(br, st.frame)
+		st.frame = frame
+		if err != nil {
+			// Clean EOF between frames is a client hanging up; anything
+			// else is a framing error the stream cannot recover from —
+			// report it if the socket still accepts writes, then drop.
+			if !errors.Is(err, ErrProtocol) {
+				return
+			}
+			st.out = AppendError(st.out[:0], ErrCodeMalformed, err.Error())
+			bw.Write(st.out)
+			bw.Flush()
+			return
+		}
+		st.out = st.out[:0]
+		fatal := s.handleFrame(st, typ, payload)
+		if len(st.out) > 0 {
+			if _, err := bw.Write(st.out); err != nil {
+				return
+			}
+		}
+		// Coalesce responses to pipelined requests: flush only when no
+		// further request is already buffered.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if fatal {
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// handleFrame serves one request, appending response frames to st.out.
+// It reports whether the connection must close (payload-level errors are
+// answered in-band and keep the connection alive).
+func (s *Server) handleFrame(st *connState, typ byte, payload []byte) (fatal bool) {
+	now := time.Now().UnixNano()
+	switch typ {
+	case FrameOpen:
+		req, err := DecodeOpen(payload)
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeMalformed, err.Error())
+			return false
+		}
+		sess, err := s.eng.Open(req, now)
+		if err != nil {
+			st.out = appendRemoteError(st.out, err)
+			return false
+		}
+		st.out = AppendOpened(st.out, sess.ID(), sess.ConfigName())
+	case FrameBatch:
+		id, records, err := DecodeBatch(payload, st.records)
+		st.records = records[:0]
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeMalformed, err.Error())
+			return false
+		}
+		sess, ok := s.eng.Lookup(id)
+		if ok {
+			st.grades, ok = sess.Serve(records, st.grades, now)
+		}
+		if !ok {
+			st.out = AppendError(st.out, ErrCodeUnknownSession,
+				fmt.Sprintf("unknown session %d", id))
+			return false
+		}
+		st.out = AppendPredictions(st.out, id, st.grades)
+	case FrameClose:
+		id, err := DecodeClose(payload)
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeMalformed, err.Error())
+			return false
+		}
+		res, err := s.eng.Close(id)
+		if err != nil {
+			st.out = appendRemoteError(st.out, err)
+			return false
+		}
+		st.out = AppendStats(st.out, id, res)
+	default:
+		// Unknown frame types are unrecoverable: a future peer speaking
+		// a newer protocol would race our misinterpretation of its
+		// stream.
+		st.out = AppendError(st.out, ErrCodeMalformed,
+			fmt.Sprintf("unknown frame type %#02x", typ))
+		return true
+	}
+	return false
+}
+
+func appendRemoteError(dst []byte, err error) []byte {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return AppendError(dst, re.Code, re.Message)
+	}
+	return AppendError(dst, ErrCodeMalformed, err.Error())
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tage"
+	"repro/internal/trace"
+)
+
+// Session is one live predictor instance: a core.Estimator plus the
+// running per-class tallies, updated branch by branch exactly as the
+// offline driver (sim.Run) updates them — which is what makes the
+// server-side stats bit-identical to an offline run over the same
+// stream.
+//
+// A session is exclusive while serving: Serve and Stats take the session
+// lock, so concurrent batches for the same session serialize (and
+// batches for different sessions don't contend).
+type Session struct {
+	id uint64
+
+	mu      sync.Mutex
+	est     *core.Estimator
+	res     sim.Result
+	retired bool
+
+	// lastUsed is the engine-clock nanosecond of the last Open/Serve,
+	// read by the idle evictor without taking the session lock.
+	lastUsed atomic.Int64
+}
+
+// newSession builds a session with a fresh estimator for (cfg, opts).
+func newSession(id uint64, cfg tage.Config, opts core.Options, now int64) *Session {
+	s := &Session{
+		id:  id,
+		est: core.NewEstimator(cfg, opts),
+		res: sim.Result{Config: cfg.Name, Mode: opts.Mode},
+	}
+	s.lastUsed.Store(now)
+	return s
+}
+
+// ID returns the registry-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// ConfigName returns the resolved predictor configuration name. It is
+// immutable after construction, so reading it takes no lock.
+func (s *Session) ConfigName() string { return s.res.Config }
+
+// step serves one branch: predict, tally, train — the exact per-branch
+// sequence of sim.Run — and returns the encoded grade byte. Caller holds
+// s.mu.
+func (s *Session) step(b trace.Branch) byte {
+	pred, class, level := s.est.Predict(b.PC)
+	miss := pred != b.Taken
+	s.res.Total.Record(miss)
+	s.res.Class[class].Record(miss)
+	s.res.Branches++
+	s.res.Instructions += uint64(b.Instr)
+	s.est.Update(b.PC, b.Taken)
+	return EncodeGrade(pred, class, level)
+}
+
+// Serve runs one branch batch through the session, appending one grade
+// byte per branch into grades[:0] (pass a reused buffer: the per-branch
+// path allocates nothing). It reports ok=false when the session has
+// already been retired by Close or the idle evictor — the tallies of a
+// retired session are frozen, so no branch is ever half-counted.
+func (s *Session) Serve(records []trace.Branch, grades []byte, now int64) (out []byte, ok bool) {
+	s.lastUsed.Store(now)
+	s.mu.Lock()
+	if s.retired {
+		s.mu.Unlock()
+		return grades[:0], false
+	}
+	out = grades[:0]
+	for _, b := range records {
+		out = append(out, s.step(b))
+	}
+	s.mu.Unlock()
+	return out, true
+}
+
+// Stats snapshots the session's tallies (with the estimator's current
+// saturation probability filled in, as sim.Run does at end of run).
+func (s *Session) Stats() sim.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Session) statsLocked() sim.Result {
+	s.res.FinalProbability = s.est.SaturationProbability()
+	return s.res
+}
+
+// liveStats snapshots the tallies unless the session has been retired.
+// Scrapes use it so a session racing with Close/eviction is counted
+// either in the live pass or in the retired aggregate, never in both.
+func (s *Session) liveStats() (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return sim.Result{}, false
+	}
+	return s.statsLocked(), true
+}
+
+// retire freezes the session and returns its final tallies. The second
+// return reports whether this call was the one that retired it.
+func (s *Session) retire() (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired {
+		return sim.Result{}, false
+	}
+	s.retired = true
+	return s.statsLocked(), true
+}

@@ -1,0 +1,484 @@
+// Package serve is the online prediction service: it hosts many
+// concurrent predictor sessions — each owning one core.Estimator — behind
+// a compact length-prefixed binary wire protocol, so the storage-free
+// confidence estimate is available as a live, queryable signal instead of
+// a post-hoc table.
+//
+// The protocol is request/response over one TCP connection:
+//
+//	frame  := length uint32 LE | type byte | payload
+//
+// where length counts the type byte plus the payload. A client opens a
+// session (FrameOpen → FrameOpened), streams branch batches
+// (FrameBatch → FramePredictions) — the batch payload reuses the TBT1
+// per-record varint codec of internal/trace — and closes the session
+// (FrameClose → FrameStats), receiving the server's per-class tallies,
+// which are bit-identical to an offline sim.Run over the same stream.
+// Protocol violations answer with FrameError.
+//
+// Batching and backpressure are structural: a connection handler decodes
+// and serves one frame at a time, responses to pipelined requests are
+// coalesced into one write, and a client that stops reading eventually
+// blocks the handler's write — the TCP window is the queue, so a slow
+// consumer cannot make the server buffer unboundedly.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Frame types. Client→server types are odd, server→client even.
+const (
+	// FrameOpen opens a session: config name (uvarint length + bytes,
+	// empty selects the server default — and, when the options block is
+	// all zero too, the server's default options) followed by the
+	// serialized options (mode byte, denomLog uvarint, bimWindow
+	// svarint, targetMKP float64 LE bits, adaptiveWindow uvarint).
+	FrameOpen byte = 0x01
+	// FrameOpened acknowledges FrameOpen with the session id (uvarint)
+	// followed by the resolved configuration name (uvarint length +
+	// bytes) — canonical even when the request named an alias or relied
+	// on the server default.
+	FrameOpened byte = 0x02
+	// FrameBatch streams branches into a session: session id uvarint,
+	// record count uvarint, then count records in the TBT1 per-record
+	// codec (trace.AppendRecord), PC deltas restarting from 0 each batch.
+	FrameBatch byte = 0x03
+	// FramePredictions answers FrameBatch: session id uvarint, count
+	// uvarint, then one grade byte per branch (see EncodeGrade).
+	FramePredictions byte = 0x04
+	// FrameClose retires a session: session id uvarint.
+	FrameClose byte = 0x05
+	// FrameStats answers FrameClose with the session's final tallies:
+	// session id uvarint, branches uvarint, instructions uvarint, then
+	// per class (NumClasses of them, in class order) preds and misps
+	// uvarints, then the final saturation probability (float64 LE bits).
+	FrameStats byte = 0x06
+	// FrameError reports a request failure: code uvarint, message
+	// (uvarint length + bytes). The connection stays usable unless the
+	// failure was a framing error.
+	FrameError byte = 0x07
+)
+
+// Protocol limits. Frames above MaxFrame or batches above MaxBatch are
+// rejected as malformed — they bound what a corrupt or hostile length
+// prefix can make either side allocate.
+const (
+	MaxFrame      = 1 << 20
+	MaxBatch      = 1 << 16
+	maxConfigName = 256
+	maxErrMsg     = 1 << 12
+)
+
+// Error codes carried by FrameError.
+const (
+	ErrCodeMalformed      uint64 = 1 // undecodable request payload
+	ErrCodeUnknownSession uint64 = 2 // session id not live
+	ErrCodeSessionLimit   uint64 = 3 // max-sessions cap reached
+	ErrCodeBadConfig      uint64 = 4 // unknown predictor config/options
+)
+
+// ErrProtocol reports a malformed frame or payload.
+var ErrProtocol = fmt.Errorf("serve: protocol error")
+
+// RemoteError is a server-reported request failure (FrameError).
+type RemoteError struct {
+	Code    uint64
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("serve: remote error %d: %s", e.Code, e.Message)
+}
+
+// BeginFrame appends a frame header (length placeholder + type byte) for
+// an in-construction frame and returns the extended buffer. The caller
+// appends the payload and finishes with EndFrame(dst, start) where start
+// was len(dst) before BeginFrame.
+func BeginFrame(dst []byte, typ byte) []byte {
+	return append(dst, 0, 0, 0, 0, typ)
+}
+
+// EndFrame patches the length prefix of the frame whose header was
+// appended at start.
+func EndFrame(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// ReadFrame reads one frame from br into buf (grown as needed), returning
+// the type, the payload (a sub-slice of the returned buffer, valid until
+// the next ReadFrame with the same buffer) and the possibly-grown buffer.
+// io.EOF is returned unwrapped when the stream ends cleanly between
+// frames.
+func ReadFrame(br *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrProtocol, err)
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrProtocol, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:])
+	if length == 0 || length > MaxFrame {
+		return 0, nil, buf, fmt.Errorf("%w: frame length %d", ErrProtocol, length)
+	}
+	n := int(length)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, nil, buf, fmt.Errorf("%w: body: %v", ErrProtocol, err)
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// uvarint decodes one uvarint with bounds checking.
+func uvarint(src []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated uvarint", ErrProtocol)
+	}
+	return v, n, nil
+}
+
+// OpenRequest is the decoded FrameOpen payload.
+type OpenRequest struct {
+	// Config names the predictor configuration (tage.ConfigByName); empty
+	// selects the server's default.
+	Config string
+	// Options configures the estimator exactly as core.NewEstimator.
+	Options core.Options
+}
+
+// AppendOpen appends a complete FrameOpen to dst.
+func AppendOpen(dst []byte, req OpenRequest) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameOpen)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Config)))
+	dst = append(dst, req.Config...)
+	dst = append(dst, byte(req.Options.Mode))
+	dst = binary.AppendUvarint(dst, uint64(req.Options.DenomLog))
+	dst = binary.AppendVarint(dst, int64(req.Options.BimWindow))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Options.TargetMKP))
+	dst = binary.AppendUvarint(dst, req.Options.AdaptiveWindow)
+	return EndFrame(dst, start)
+}
+
+// DecodeOpen decodes a FrameOpen payload.
+func DecodeOpen(payload []byte) (OpenRequest, error) {
+	var req OpenRequest
+	nameLen, n, err := uvarint(payload)
+	if err != nil {
+		return req, fmt.Errorf("config name length: %w", err)
+	}
+	payload = payload[n:]
+	if nameLen > maxConfigName || nameLen > uint64(len(payload)) {
+		return req, fmt.Errorf("%w: config name length %d", ErrProtocol, nameLen)
+	}
+	req.Config = string(payload[:nameLen])
+	payload = payload[nameLen:]
+	if len(payload) < 1 {
+		return req, fmt.Errorf("%w: missing mode", ErrProtocol)
+	}
+	mode := core.AutomatonMode(payload[0])
+	payload = payload[1:]
+	if mode > core.ModeAdaptive {
+		return req, fmt.Errorf("%w: invalid mode %d", ErrProtocol, mode)
+	}
+	req.Options.Mode = mode
+	denomLog, n, err := uvarint(payload)
+	if err != nil {
+		return req, fmt.Errorf("denomLog: %w", err)
+	}
+	payload = payload[n:]
+	if denomLog > 62 {
+		return req, fmt.Errorf("%w: denomLog %d out of range", ErrProtocol, denomLog)
+	}
+	req.Options.DenomLog = uint(denomLog)
+	window, n := binary.Varint(payload)
+	if n <= 0 {
+		return req, fmt.Errorf("%w: bimWindow: truncated varint", ErrProtocol)
+	}
+	payload = payload[n:]
+	if window > math.MaxInt32 || window < math.MinInt32 {
+		return req, fmt.Errorf("%w: bimWindow %d out of range", ErrProtocol, window)
+	}
+	req.Options.BimWindow = int(window)
+	if len(payload) < 8 {
+		return req, fmt.Errorf("%w: missing targetMKP", ErrProtocol)
+	}
+	req.Options.TargetMKP = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	payload = payload[8:]
+	adaptiveWindow, n, err := uvarint(payload)
+	if err != nil {
+		return req, fmt.Errorf("adaptiveWindow: %w", err)
+	}
+	payload = payload[n:]
+	req.Options.AdaptiveWindow = adaptiveWindow
+	if len(payload) != 0 {
+		return req, fmt.Errorf("%w: %d trailing bytes after open request", ErrProtocol, len(payload))
+	}
+	if f := req.Options.TargetMKP; math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return req, fmt.Errorf("%w: targetMKP %v not a finite non-negative value", ErrProtocol, f)
+	}
+	return req, nil
+}
+
+// AppendOpened appends a complete FrameOpened to dst.
+func AppendOpened(dst []byte, sessionID uint64, config string) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameOpened)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, uint64(len(config)))
+	dst = append(dst, config...)
+	return EndFrame(dst, start)
+}
+
+// DecodeOpened decodes a FrameOpened payload into the session id and the
+// server-resolved configuration name.
+func DecodeOpened(payload []byte) (uint64, string, error) {
+	id, n, err := uvarint(payload)
+	if err != nil {
+		return 0, "", fmt.Errorf("opened session id: %w", err)
+	}
+	payload = payload[n:]
+	nameLen, n, err := uvarint(payload)
+	if err != nil {
+		return 0, "", fmt.Errorf("opened config length: %w", err)
+	}
+	payload = payload[n:]
+	if nameLen > maxConfigName || nameLen != uint64(len(payload)) {
+		return 0, "", fmt.Errorf("%w: opened config length %d", ErrProtocol, nameLen)
+	}
+	return id, string(payload), nil
+}
+
+// AppendBatch appends a complete FrameBatch to dst. PC deltas restart
+// from 0 at the head of every batch, so batches are self-contained.
+func AppendBatch(dst []byte, sessionID uint64, records []trace.Branch) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameBatch)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, uint64(len(records)))
+	prevPC := uint64(0)
+	for _, b := range records {
+		dst, prevPC = trace.AppendRecord(dst, prevPC, b)
+	}
+	return EndFrame(dst, start)
+}
+
+// DecodeBatch decodes a FrameBatch payload, appending the records into
+// records[:0] (pass a reused slice to avoid allocation).
+func DecodeBatch(payload []byte, records []trace.Branch) (sessionID uint64, out []trace.Branch, err error) {
+	sessionID, n, err := uvarint(payload)
+	if err != nil {
+		return 0, records, fmt.Errorf("session id: %w", err)
+	}
+	payload = payload[n:]
+	count, n, err := uvarint(payload)
+	if err != nil {
+		return 0, records, fmt.Errorf("record count: %w", err)
+	}
+	payload = payload[n:]
+	if count > MaxBatch {
+		return 0, records, fmt.Errorf("%w: batch of %d records exceeds limit %d", ErrProtocol, count, MaxBatch)
+	}
+	out = records[:0]
+	prevPC := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		var b trace.Branch
+		b, n, prevPC, err = trace.DecodeRecord(payload, prevPC)
+		if err != nil {
+			return 0, out, fmt.Errorf("%w: record %d: %v", ErrProtocol, i, err)
+		}
+		payload = payload[n:]
+		out = append(out, b)
+	}
+	if len(payload) != 0 {
+		return 0, out, fmt.Errorf("%w: %d trailing bytes after batch", ErrProtocol, len(payload))
+	}
+	return sessionID, out, nil
+}
+
+// Grade is one served prediction: the predicted direction plus the
+// storage-free confidence class and its aggregate level.
+type Grade struct {
+	Pred  bool
+	Class core.Class
+	Level core.Level
+}
+
+// EncodeGrade packs a served prediction into one response byte: bit 0 is
+// the predicted direction, bits 1-3 the class, bits 4-5 the level.
+func EncodeGrade(pred bool, class core.Class, level core.Level) byte {
+	g := byte(class)<<1 | byte(level)<<4
+	if pred {
+		g |= 1
+	}
+	return g
+}
+
+// DecodeGrade unpacks a response byte, validating every field (including
+// the class→level aggregation, which the wire cannot legally disagree
+// with).
+func DecodeGrade(g byte) (Grade, error) {
+	class := core.Class(g >> 1 & 0x7)
+	level := core.Level(g >> 4 & 0x3)
+	if g&0xC0 != 0 || class >= core.NumClasses || level >= core.NumLevels || class.Level() != level {
+		return Grade{}, fmt.Errorf("%w: invalid grade byte %#02x", ErrProtocol, g)
+	}
+	return Grade{Pred: g&1 == 1, Class: class, Level: level}, nil
+}
+
+// AppendPredictions appends a complete FramePredictions to dst.
+func AppendPredictions(dst []byte, sessionID uint64, grades []byte) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FramePredictions)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, uint64(len(grades)))
+	dst = append(dst, grades...)
+	return EndFrame(dst, start)
+}
+
+// DecodePredictions decodes a FramePredictions payload, appending the
+// validated grades into grades[:0].
+func DecodePredictions(payload []byte, grades []Grade) (sessionID uint64, out []Grade, err error) {
+	sessionID, n, err := uvarint(payload)
+	if err != nil {
+		return 0, grades, fmt.Errorf("session id: %w", err)
+	}
+	payload = payload[n:]
+	count, n, err := uvarint(payload)
+	if err != nil {
+		return 0, grades, fmt.Errorf("grade count: %w", err)
+	}
+	payload = payload[n:]
+	if count > MaxBatch || count != uint64(len(payload)) {
+		return 0, grades, fmt.Errorf("%w: grade count %d does not match payload %d", ErrProtocol, count, len(payload))
+	}
+	out = grades[:0]
+	for _, g := range payload {
+		grade, err := DecodeGrade(g)
+		if err != nil {
+			return 0, out, err
+		}
+		out = append(out, grade)
+	}
+	return sessionID, out, nil
+}
+
+// AppendClose appends a complete FrameClose to dst.
+func AppendClose(dst []byte, sessionID uint64) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameClose)
+	dst = binary.AppendUvarint(dst, sessionID)
+	return EndFrame(dst, start)
+}
+
+// DecodeClose decodes a FrameClose payload.
+func DecodeClose(payload []byte) (uint64, error) {
+	id, n, err := uvarint(payload)
+	if err != nil || n != len(payload) {
+		return 0, fmt.Errorf("%w: close payload", ErrProtocol)
+	}
+	return id, nil
+}
+
+// AppendStats appends a complete FrameStats to dst. Only the per-class
+// tallies travel; Total is their sum and is reconstructed on decode
+// (every prediction belongs to exactly one class, so the sum is exact).
+func AppendStats(dst []byte, sessionID uint64, res sim.Result) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameStats)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, res.Branches)
+	dst = binary.AppendUvarint(dst, res.Instructions)
+	for _, c := range res.Class {
+		dst = binary.AppendUvarint(dst, c.Preds)
+		dst = binary.AppendUvarint(dst, c.Misps)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(res.FinalProbability))
+	return EndFrame(dst, start)
+}
+
+// DecodeStats decodes a FrameStats payload. The returned Result carries
+// counts and FinalProbability only; Trace/Config/Mode labels are the
+// caller's (the client knows what it opened).
+func DecodeStats(payload []byte) (sessionID uint64, res sim.Result, err error) {
+	read := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		var n int
+		v, n, err = uvarint(payload)
+		payload = payload[n:]
+		return v
+	}
+	sessionID = read()
+	res.Branches = read()
+	res.Instructions = read()
+	for i := range res.Class {
+		res.Class[i] = metrics.Counts{Preds: read(), Misps: read()}
+		res.Total.Add(res.Class[i])
+	}
+	if err != nil {
+		return 0, sim.Result{}, fmt.Errorf("stats: %w", err)
+	}
+	if len(payload) != 8 {
+		return 0, sim.Result{}, fmt.Errorf("%w: stats payload tail %d bytes, want 8", ErrProtocol, len(payload))
+	}
+	res.FinalProbability = math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	if p := res.FinalProbability; math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, sim.Result{}, fmt.Errorf("%w: stats saturation probability %v outside [0,1]", ErrProtocol, p)
+	}
+	if res.Total.Preds != res.Branches {
+		return 0, sim.Result{}, fmt.Errorf("%w: stats class sum %d does not match branches %d", ErrProtocol, res.Total.Preds, res.Branches)
+	}
+	return sessionID, res, nil
+}
+
+// AppendError appends a complete FrameError to dst.
+func AppendError(dst []byte, code uint64, msg string) []byte {
+	if len(msg) > maxErrMsg {
+		msg = msg[:maxErrMsg]
+	}
+	start := len(dst)
+	dst = BeginFrame(dst, FrameError)
+	dst = binary.AppendUvarint(dst, code)
+	dst = binary.AppendUvarint(dst, uint64(len(msg)))
+	dst = append(dst, msg...)
+	return EndFrame(dst, start)
+}
+
+// DecodeError decodes a FrameError payload.
+func DecodeError(payload []byte) (*RemoteError, error) {
+	code, n, err := uvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("error code: %w", err)
+	}
+	payload = payload[n:]
+	msgLen, n, err := uvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("error message length: %w", err)
+	}
+	payload = payload[n:]
+	if msgLen > maxErrMsg || msgLen != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: error message length %d", ErrProtocol, msgLen)
+	}
+	return &RemoteError{Code: code, Message: string(payload)}, nil
+}

@@ -177,6 +177,43 @@ var magic = [4]byte{'T', 'B', 'T', '1'}
 // ErrBadFormat reports a malformed or truncated trace file.
 var ErrBadFormat = errors.New("trace: bad file format")
 
+// AppendRecord appends one branch record to dst in the TBT1 per-record
+// encoding (pcDelta svarint relative to prevPC, then (Instr-1)<<1|taken
+// uvarint) and returns the extended buffer plus the new previous PC. It
+// is the single definition of the record codec, shared by the file
+// writer and the serve wire protocol. Records with Instr == 0 are not
+// representable; AppendRecord encodes them as Instr == 1.
+func AppendRecord(dst []byte, prevPC uint64, b Branch) ([]byte, uint64) {
+	dst = binary.AppendVarint(dst, int64(b.PC)-int64(prevPC))
+	instr := b.Instr
+	if instr == 0 {
+		instr = 1
+	}
+	packed := uint64(instr-1) << 1
+	if b.Taken {
+		packed |= 1
+	}
+	return binary.AppendUvarint(dst, packed), b.PC
+}
+
+// DecodeRecord decodes one branch record from src (the inverse of
+// AppendRecord), returning the record, the number of bytes consumed and
+// the new previous PC. A truncated or malformed record yields an
+// ErrBadFormat-wrapped error and consumes nothing.
+func DecodeRecord(src []byte, prevPC uint64) (Branch, int, uint64, error) {
+	delta, n := binary.Varint(src)
+	if n <= 0 {
+		return Branch{}, 0, prevPC, fmt.Errorf("%w: pc: truncated varint", ErrBadFormat)
+	}
+	packed, n2 := binary.Uvarint(src[n:])
+	if n2 <= 0 {
+		return Branch{}, 0, prevPC, fmt.Errorf("%w: packed: truncated varint", ErrBadFormat)
+	}
+	pc := uint64(int64(prevPC) + delta)
+	b := Branch{PC: pc, Taken: packed&1 == 1, Instr: uint32(packed>>1) + 1}
+	return b, n + n2, pc, nil
+}
+
 // Write serializes a record stream to w. The record count must be known up
 // front, so Write drains the given Reader fully.
 func Write(w io.Writer, name string, r Reader) (n uint64, err error) {
@@ -210,11 +247,6 @@ func writeRecords(w io.Writer, name string, records []Branch) error {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	putS := func(v int64) error {
-		n := binary.PutVarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
 	if err := put(uint64(len(name))); err != nil {
 		return err
 	}
@@ -225,19 +257,14 @@ func writeRecords(w io.Writer, name string, records []Branch) error {
 		return err
 	}
 	prevPC := uint64(0)
-	for _, rec := range records {
-		if rec.Instr == 0 {
-			return fmt.Errorf("trace: record with zero instruction count at pc %#x", rec.PC)
+	var rec [2 * binary.MaxVarintLen64]byte
+	for _, r := range records {
+		if r.Instr == 0 {
+			return fmt.Errorf("trace: record with zero instruction count at pc %#x", r.PC)
 		}
-		if err := putS(int64(rec.PC) - int64(prevPC)); err != nil {
-			return err
-		}
-		prevPC = rec.PC
-		packed := uint64(rec.Instr-1) << 1
-		if rec.Taken {
-			packed |= 1
-		}
-		if err := put(packed); err != nil {
+		var enc []byte
+		enc, prevPC = AppendRecord(rec[:0], prevPC, r)
+		if _, err := bw.Write(enc); err != nil {
 			return err
 		}
 	}
@@ -491,20 +518,14 @@ func (r *fileReader) Next() (Branch, error) {
 			return Branch{}, r.fail(fmt.Errorf("%w: read: %v", ErrBadFormat, err))
 		}
 	}
-	delta, n := binary.Varint(r.buf[r.pos:r.end])
-	if n <= 0 {
-		return Branch{}, r.fail(fmt.Errorf("%w: pc: truncated varint", ErrBadFormat))
+	b, n, pc, err := DecodeRecord(r.buf[r.pos:r.end], r.prevPC)
+	if err != nil {
+		return Branch{}, r.fail(err)
 	}
 	r.pos += n
-	packed, n2 := binary.Uvarint(r.buf[r.pos:r.end])
-	if n2 <= 0 {
-		return Branch{}, r.fail(fmt.Errorf("%w: packed: truncated varint", ErrBadFormat))
-	}
-	r.pos += n2
-	r.left--
-	pc := uint64(int64(r.prevPC) + delta)
 	r.prevPC = pc
-	return Branch{PC: pc, Taken: packed&1 == 1, Instr: uint32(packed>>1) + 1}, nil
+	r.left--
+	return b, nil
 }
 
 // fail closes the reader with a sticky result and returns it.
@@ -552,6 +573,20 @@ type limitReader struct {
 	inner Reader
 	left  uint64
 	err   error // sticky result repeated once the inner reader is released
+}
+
+// Close releases the wrapped reader early (abandoned passes — e.g. a
+// serving client whose session died mid-replay). Safe after EOF or a
+// prior Close: the wrapper has already dropped its inner reference by
+// then, so a recycled reader can never be touched.
+func (r *limitReader) Close() {
+	if r.inner == nil {
+		return
+	}
+	if c, ok := r.inner.(interface{ Close() }); ok {
+		c.Close()
+	}
+	r.inner, r.err = nil, io.EOF
 }
 
 func (r *limitReader) Next() (Branch, error) {

@@ -324,3 +324,58 @@ func BenchmarkBinaryRead(b *testing.B) {
 		}
 	}
 }
+
+// TestRecordCodecRoundTrip pins the exported per-record codec (the one
+// definition shared by the file writer and the serve wire protocol):
+// encode→decode is identity, consumed byte counts chain correctly, and
+// the prevPC delta threading matches the file format.
+func TestRecordCodecRoundTrip(t *testing.T) {
+	records := sampleRecords(500, 77)
+	var buf []byte
+	prev := uint64(0)
+	for _, r := range records {
+		buf, prev = AppendRecord(buf, prev, r)
+	}
+	prev = 0
+	for i, want := range records {
+		got, n, newPrev, err := DecodeRecord(buf, prev)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+		if newPrev != want.PC {
+			t.Fatalf("record %d: prevPC %#x, want %#x", i, newPrev, want.PC)
+		}
+		buf, prev = buf[n:], newPrev
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left over after decoding all records", len(buf))
+	}
+}
+
+// TestDecodeRecordTruncated asserts every truncation of an encoded
+// record errors with ErrBadFormat instead of panicking or decoding junk.
+func TestDecodeRecordTruncated(t *testing.T) {
+	enc, _ := AppendRecord(nil, 0, Branch{PC: 0x123456789, Taken: true, Instr: 300})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, _, err := DecodeRecord(enc[:cut], 0); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation at %d: err = %v, want ErrBadFormat", cut, err)
+		}
+	}
+	if got, n, _, err := DecodeRecord(enc, 0); err != nil || n != len(enc) ||
+		got.PC != 0x123456789 || !got.Taken || got.Instr != 300 {
+		t.Fatalf("full decode: %+v n=%d err=%v", got, n, err)
+	}
+}
+
+// TestAppendRecordZeroInstr pins the codec's clamp: Instr 0 is not
+// representable and encodes as 1 (the file writer rejects it earlier).
+func TestAppendRecordZeroInstr(t *testing.T) {
+	enc, _ := AppendRecord(nil, 0, Branch{PC: 4, Instr: 0})
+	got, _, _, err := DecodeRecord(enc, 0)
+	if err != nil || got.Instr != 1 {
+		t.Fatalf("got %+v err=%v, want Instr 1", got, err)
+	}
+}

@@ -536,6 +536,10 @@ func CBP1() []trace.Trace { return cachedSuite(0, cbp1Specs) }
 // Branch Prediction trace set.
 func CBP2() []trace.Trace { return cachedSuite(1, cbp2Specs) }
 
+// All returns every trace of both suites (CBP-1 then CBP-2), the
+// whole-corpus axis load generators and census-style experiments replay.
+func All() []trace.Trace { return append(CBP1(), CBP2()...) }
+
 // SuiteNames lists the available suite identifiers.
 func SuiteNames() []string { return []string{"cbp1", "cbp2"} }
 
@@ -546,8 +550,10 @@ func Suite(name string) ([]trace.Trace, error) {
 		return CBP1(), nil
 	case "cbp2", "CBP2", "cbp-2":
 		return CBP2(), nil
+	case "all", "ALL":
+		return All(), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown suite %q (want cbp1 or cbp2)", name)
+		return nil, fmt.Errorf("workload: unknown suite %q (want cbp1, cbp2 or all)", name)
 	}
 }
 

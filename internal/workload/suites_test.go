@@ -95,13 +95,28 @@ func TestTraceStatisticalCharacter(t *testing.T) {
 }
 
 func TestSuiteLookup(t *testing.T) {
-	for _, name := range []string{"cbp1", "CBP1", "cbp-1", "cbp2", "CBP2", "cbp-2"} {
+	for _, name := range []string{"cbp1", "CBP1", "cbp-1", "cbp2", "CBP2", "cbp-2", "all"} {
 		if _, err := Suite(name); err != nil {
 			t.Errorf("Suite(%q) failed: %v", name, err)
 		}
 	}
 	if _, err := Suite("nope"); err == nil {
 		t.Error("unknown suite should error")
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != 40 {
+		t.Fatalf("All() returned %d traces, want 40", len(all))
+	}
+	if all[0].Name() != "FP-1" || all[39].Name() != "300.twolf" {
+		t.Fatalf("All() order wrong: first %q last %q", all[0].Name(), all[39].Name())
+	}
+	// All must hand out a fresh slice header over the shared instances.
+	all[0] = nil
+	if All()[0] == nil {
+		t.Fatal("All() shares its backing array with callers")
 	}
 }
 

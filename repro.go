@@ -23,10 +23,31 @@
 // high-confidence class mispredicts below ~1%, medium ~5-10%, low ~30%.
 // See the examples/ directory for runnable programs and cmd/reprotables
 // for regenerating every table and figure of the paper.
+//
+// # Serving mode
+//
+// The estimator is also available as an online service (internal/serve,
+// cmd/tageserved): a server hosts many concurrent predictor sessions
+// behind a compact binary wire protocol, and clients stream branch
+// batches in and get (prediction, class, level) grades back live —
+// bit-identical to an offline Run over the same stream.
+//
+//	srv := repro.NewServer(repro.ServeConfig{Addr: ":7421"})
+//	go srv.ListenAndServe()
+//	...
+//	c, _ := repro.DialServer("localhost:7421")
+//	sess, _ := c.Open("64K", repro.Options{Mode: repro.ModeProbabilistic})
+//	grades, _ := sess.Predict(batch) // []Grade: Pred, Class, Level
+//	res, _ := sess.Close()           // per-class tallies == offline Run
+//
+// cmd/tageload is the matching load generator (throughput, tail latency,
+// per-level breakdown over the workload suites); the server exposes
+// per-level hit/misprediction counters on /metrics.
 package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/tage"
 	"repro/internal/trace"
@@ -157,3 +178,29 @@ func Classes() []Class { return core.Classes() }
 
 // Levels lists the three levels in rising-confidence order.
 func Levels() []Level { return core.Levels() }
+
+// ServeConfig configures an online prediction server (see serve.Config).
+type ServeConfig = serve.Config
+
+// ServeEngineConfig sizes the server's session engine: registry shards,
+// max sessions, default predictor (see serve.EngineConfig).
+type ServeEngineConfig = serve.EngineConfig
+
+// Server is the online prediction server (see serve.Server).
+type Server = serve.Server
+
+// ServeClient speaks the serving wire protocol (see serve.Client).
+type ServeClient = serve.Client
+
+// ServeSession is one open session on a server (see serve.ClientSession).
+type ServeSession = serve.ClientSession
+
+// Grade is one served prediction: direction plus confidence class and
+// level (see serve.Grade).
+type Grade = serve.Grade
+
+// NewServer builds an online prediction server.
+func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }
+
+// DialServer connects a client to a server's wire-protocol address.
+func DialServer(addr string) (*ServeClient, error) { return serve.Dial(addr) }

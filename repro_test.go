@@ -1,6 +1,10 @@
 package repro
 
-import "testing"
+import (
+	"context"
+	"net"
+	"testing"
+)
 
 func TestFacadeQuickstartPath(t *testing.T) {
 	est := NewEstimator(Small16K(), Options{Mode: ModeProbabilistic})
@@ -73,4 +77,58 @@ func TestFacadePredictorDirect(t *testing.T) {
 		t.Fatal("observation PC mismatch")
 	}
 	p.Update(0x400100, true)
+}
+
+// TestFacadeServing drives the serving facade end to end — the tageload
+// replay path through a live server — and pins the online/offline
+// equivalence at the facade level: the served per-level counts equal
+// Run's for the same (config, options, trace, limit), bit for bit.
+func TestFacadeServing(t *testing.T) {
+	srv := NewServer(ServeConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	c, err := DialServer(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	opts := Options{Mode: ModeProbabilistic}
+	sess, err := c.Open("64K", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceByName("300.twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 30_000
+	online, err := sess.Replay(tr, limit, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := Run(NewEstimator(Medium64K(), opts), tr, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online != offline {
+		t.Fatalf("online result != offline result\nonline:  %+v\noffline: %+v", online, offline)
+	}
+	for _, l := range Levels() {
+		if online.Level(l) != offline.Level(l) {
+			t.Fatalf("level %v counts differ: %v != %v", l, online.Level(l), offline.Level(l))
+		}
+	}
 }
