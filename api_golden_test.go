@@ -1,0 +1,120 @@
+package repro
+
+// The facade's exported identifiers are the package's public API
+// contract: cmd/ binaries, examples/ and downstream users build against
+// them. This golden test snapshots every exported top-level identifier
+// (with its declaration kind) so an accidental removal or rename fails
+// CI instead of silently breaking users. Intentional API changes update
+// the snapshot with:
+//
+//	UPDATE_API_GOLDEN=1 go test -run TestAPIGolden .
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exportedAPI parses the package's non-test files and returns one line
+// per exported top-level identifier, sorted: "kind Name".
+func exportedAPI(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["repro"]
+	if !ok {
+		t.Fatalf("package repro not found (got %v)", pkgs)
+	}
+	var lines []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			lines = append(lines, kind+" "+name)
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					add("func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add("type", s.Name.Name)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							add(kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestAPIGolden(t *testing.T) {
+	const golden = "testdata/api.golden"
+	got := strings.Join(exportedAPI(t), "\n") + "\n"
+	if os.Getenv("UPDATE_API_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d identifiers)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API snapshot (run UPDATE_API_GOLDEN=1 go test -run TestAPIGolden .): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported API surface changed.\nIf intentional, refresh with UPDATE_API_GOLDEN=1 go test -run TestAPIGolden .\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal ± diff of the two sorted identifier lists.
+func diffLines(want, got string) string {
+	w := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	g := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	inWant := make(map[string]bool, len(w))
+	for _, l := range w {
+		inWant[l] = true
+	}
+	inGot := make(map[string]bool, len(g))
+	for _, l := range g {
+		inGot[l] = true
+	}
+	var b strings.Builder
+	for _, l := range w {
+		if !inGot[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range g {
+		if !inWant[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestNewMatchesLegacyConstructor pins the facade redesign's core
+// guarantee: New(spec, opts...) builds estimators bit-identical to the
+// legacy NewEstimator(Config, Options) path.
+func TestNewMatchesLegacyConstructor(t *testing.T) {
+	tr, err := TraceByName("INT-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 15_000
+	cases := []struct {
+		name   string
+		spec   string
+		opts   []Option
+		cfg    Config
+		legacy Options
+	}{
+		{"plain-64K", "tage-64K", nil, Medium64K(), Options{}},
+		{"prob-16K", "tage-16K?mode=probabilistic", nil, Small16K(), Options{Mode: ModeProbabilistic}},
+		{"opt-mode", "tage-16K", []Option{WithMode(ModeProbabilistic)}, Small16K(), Options{Mode: ModeProbabilistic}},
+		{"opt-adaptive", "tage-256K", []Option{WithMode(ModeAdaptive), WithTargetMKP(4), WithAdaptiveWindow(8192)},
+			Large256K(), Options{Mode: ModeAdaptive, TargetMKP: 4, AdaptiveWindow: 8192}},
+		{"opt-window", "tage-64K", []Option{WithBimWindow(-1)}, Medium64K(), Options{BimWindow: -1}},
+		{"opt-seed", "tage-16K", []Option{WithSeed(77)},
+			func() Config { c := Small16K(); c.Seed = 77; return c }(), Options{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b, err := New(c.spec, c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaSpec, err := Run(b, tr, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := Run(NewEstimator(c.cfg, c.legacy), tr, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaSpec != legacy {
+				t.Fatalf("spec path diverged from legacy constructor:\nspec   %+v\nlegacy %+v", viaSpec, legacy)
+			}
+		})
+	}
+}
+
+// TestFacadeBackends exercises the registry surface through the facade:
+// listing, parsing, running non-TAGE backends, and error quality.
+func TestFacadeBackends(t *testing.T) {
+	fams := Backends()
+	if len(fams) < 7 {
+		t.Fatalf("only %d registered families", len(fams))
+	}
+	tr, err := TraceByName("FP-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"gshare-64K", "perceptron", "ogehl", "bimodal-16K", "jrs-64K", "ltage-16K"} {
+		res, err := RunSpec(spec, tr, 5_000)
+		if err != nil {
+			t.Fatalf("RunSpec(%q): %v", spec, err)
+		}
+		if res.Branches != 5_000 {
+			t.Fatalf("%s: ran %d branches", spec, res.Branches)
+		}
+	}
+	sr, err := RunSuiteSpec("gshare-16K", CBP1()[:3], 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.PerTrace) != 3 || sr.Aggregate.Config != "gshare-16K" {
+		t.Fatalf("suite spec run: %+v", sr.Aggregate)
+	}
+	if _, err := New("gshare-64K?nope=1"); err == nil || !strings.Contains(err.Error(), "log") {
+		t.Fatalf("unknown param error should list accepted keys, got %v", err)
+	}
+	if _, err := ParseSpec("tage?x=="); err == nil {
+		t.Fatal("malformed spec parsed")
+	}
+	// Options canonicalize into the spec (the built backend's label
+	// reflects them).
+	sp, err := ParseSpec("tage-16K?mode=adaptive&mkp=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.String() != "tage-16K?mkp=4&mode=adaptive" {
+		t.Fatalf("canonical spec = %q", sp.String())
+	}
+}
+
+// TestServeSpecSessionZeroAllocs mirrors TestServeHotPathZeroAllocs for
+// a non-TAGE (spec-built) session: the heterogeneous serving path must
+// stay allocation-free per branch too.
+func TestServeSpecSessionZeroAllocs(t *testing.T) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.NewEngine(serve.EngineConfig{})
+	sess, err := eng.Open(serve.OpenRequest{Spec: "gshare-64K"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.ID()
+	batch := make([]trace.Branch, 1)
+	grades := make([]byte, 0, 8)
+	out := make([]byte, 0, 64)
+	step := func(i int) {
+		s, ok := eng.Lookup(id)
+		if !ok {
+			t.Fatal("session lost")
+		}
+		batch[0] = branches[i%len(branches)]
+		grades, ok = s.Serve(batch, grades, int64(i))
+		if !ok {
+			t.Fatal("session retired")
+		}
+		out = serve.AppendPredictions(out[:0], id, grades)
+	}
+	for i := 0; i < 10_000; i++ {
+		step(i)
+	}
+	i := 10_000
+	allocs := testing.AllocsPerRun(20_000, func() {
+		step(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per served branch on a spec session, want 0", allocs)
+	}
+}
+
+// TestBackendHotPathZeroAllocs pins the generic (interface-dispatched)
+// simulation loop at zero allocations per branch for a registry-built
+// backend.
+func TestBackendHotPathZeroAllocs(t *testing.T) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"gshare-64K", "perceptron", "ogehl", "ltage-16K"} {
+		b, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, br := range branches[:10_000] {
+			b.Predict(br.PC)
+			b.Update(br.PC, br.Taken)
+		}
+		i := 10_000
+		allocs := testing.AllocsPerRun(20_000, func() {
+			br := branches[i%len(branches)]
+			i++
+			b.Predict(br.PC)
+			b.Update(br.PC, br.Taken)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per predicted branch through the Backend interface, want 0", spec, allocs)
+		}
+	}
+}

@@ -1,12 +1,18 @@
-// Command confsim runs the confidence-estimation comparisons: the
-// storage-free three-level estimator in binary (high vs not-high) mode
-// against the JRS storage-based baselines, reporting Grunwald et al.'s
-// SENS/PVP/SPEC/PVN quality metrics, and the adaptive controller's
-// probability trajectory.
+// Command confsim runs the confidence-estimation comparisons: a
+// confidence-graded backend in binary (high vs not-high) mode against
+// the JRS storage-based baselines over the same predictions, reporting
+// Grunwald et al.'s SENS/PVP/SPEC/PVN quality metrics, and the adaptive
+// controller's probability trajectory.
+//
+// The graded row defaults to the paper's storage-free estimator on
+// probabilistic TAGE; -backend swaps in any registered backend
+// ("perceptron", "ogehl", "gshare-64K", ...), with the JRS baselines
+// re-grading that backend's prediction stream.
 //
 // Usage:
 //
 //	confsim -config 16K -suite cbp1
+//	confsim -backend perceptron -suite cbp1
 //	confsim -config 64K -trace 300.twolf -adaptive
 //
 // -parallel sets the simulation worker count (0 = GOMAXPROCS, 1 = serial)
@@ -24,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jrs"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
 	"repro/internal/textplot"
@@ -33,19 +40,15 @@ import (
 
 func main() {
 	var (
-		configName = flag.String("config", "16K", "predictor configuration: 16K, 64K or 256K")
-		suiteName  = flag.String("suite", "cbp1", "suite: cbp1 or cbp2")
-		traceName  = flag.String("trace", "", "single trace instead of a suite")
-		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full)")
-		parallel   = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
-		adaptive   = flag.Bool("adaptive", false, "show the adaptive controller trajectory instead")
+		bf        = core.AddBackendFlags(flag.CommandLine, "16K", "probabilistic")
+		suiteName = flag.String("suite", "cbp1", "suite: cbp1, cbp2 or all")
+		traceName = flag.String("trace", "", "single trace instead of a suite")
+		branches  = flag.Uint64("branches", 0, "branch records per trace (0 = full)")
+		parallel  = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial)")
+		adaptive  = flag.Bool("adaptive", false, "show the adaptive controller trajectory instead")
 	)
 	flag.Parse()
 
-	cfg, err := tage.ConfigByName(*configName)
-	if err != nil {
-		fatal(err)
-	}
 	var traces []trace.Trace
 	if *traceName != "" {
 		tr, err := workload.ByName(*traceName)
@@ -54,6 +57,7 @@ func main() {
 		}
 		traces = []trace.Trace{tr}
 	} else {
+		var err error
 		traces, err = workload.Suite(*suiteName)
 		if err != nil {
 			fatal(err)
@@ -62,19 +66,70 @@ func main() {
 
 	pool := sim.SuiteRunner{Workers: *parallel}
 	if *adaptive {
+		// The trajectory is the §6.2 TAGE adaptive controller; there is
+		// no backend-agnostic equivalent, so an explicit -backend is a
+		// contradiction rather than something to silently ignore.
+		if bf.Explicit() {
+			fatal(fmt.Errorf("-adaptive shows the TAGE adaptive-controller trajectory and is incompatible with -backend (use -config)"))
+		}
+		cfg, err := tage.ConfigByName(*bf.Config)
+		if err != nil {
+			fatal(err)
+		}
 		trajectory(pool, cfg, traces, *branches)
 		return
 	}
-	compare(pool, cfg, traces, *branches)
+	spec, err := bf.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	sp, err := predictor.Parse(spec)
+	if err != nil {
+		fatal(err)
+	}
+	compare(pool, sp, bf.Explicit(), traces, *branches)
 }
 
-// tageAdapter lets storage-based estimators grade raw TAGE predictions.
+// backendAdapter exposes a Backend's raw predictions to the
+// storage-based estimators (sim.Predictor).
+type backendAdapter struct{ b predictor.Backend }
+
+func (a backendAdapter) Predict(pc uint64) bool {
+	pred, _, _ := a.b.Predict(pc)
+	return pred
+}
+func (a backendAdapter) Update(pc uint64, taken bool) { a.b.Update(pc, taken) }
+
+// tageAdapter lets storage-based estimators grade raw TAGE predictions
+// (the legacy default: the unmodified standard-automaton predictor, as
+// in the paper's related-work comparison).
 type tageAdapter struct{ p *tage.Predictor }
 
 func (a tageAdapter) Predict(pc uint64) bool       { return a.p.Predict(pc).Pred }
 func (a tageAdapter) Update(pc uint64, taken bool) { a.p.Update(pc, taken) }
 
-func compare(pool sim.SuiteRunner, cfg tage.Config, traces []trace.Trace, limit uint64) {
+func compare(pool sim.SuiteRunner, sp predictor.Spec, explicitBackend bool, traces []trace.Trace, limit uint64) {
+	probe, err := predictor.Build(sp)
+	if err != nil {
+		fatal(err)
+	}
+	label := probe.Label()
+	// The JRS baselines grade a raw prediction stream. Without -backend
+	// that stream is the paper's: the unmodified standard-automaton TAGE
+	// predictor (the graded row wraps the probabilistic estimator of the
+	// same configuration). With -backend both rows run over the named
+	// backend.
+	substrate := func() sim.Predictor {
+		b, err := predictor.Build(sp)
+		if err != nil {
+			fatal(err)
+		}
+		return backendAdapter{b}
+	}
+	if !explicitBackend {
+		cfg := probe.(*core.Estimator).Predictor().Config()
+		substrate = func() sim.Predictor { return tageAdapter{tage.New(cfg)} }
+	}
 	type estimatorRun struct {
 		name    string
 		storage int
@@ -82,24 +137,27 @@ func compare(pool sim.SuiteRunner, cfg tage.Config, traces []trace.Trace, limit 
 	}
 	runs := []estimatorRun{
 		{
-			name: "storage-free (high vs rest)", storage: 0,
+			name: fmt.Sprintf("%s self-confidence (high vs rest)", label), storage: 0,
 			run: func(tr trace.Trace) (metrics.Binary, error) {
-				est := core.NewEstimator(cfg, core.Options{Mode: core.ModeProbabilistic})
-				res, err := sim.RunTAGEBinary(est, tr, limit)
+				b, err := predictor.Build(sp)
+				if err != nil {
+					return metrics.Binary{}, err
+				}
+				res, err := sim.RunGradedBinary(b, tr, limit)
 				return res.Confusion, err
 			},
 		},
 		{
 			name: "JRS 4-bit (1K entries)", storage: jrs.NewDefault(10, 10).StorageBits(),
 			run: func(tr trace.Trace) (metrics.Binary, error) {
-				res, err := sim.RunBinary(tageAdapter{tage.New(cfg)}, jrs.NewDefault(10, 10), tr, limit)
+				res, err := sim.RunBinary(substrate(), jrs.NewDefault(10, 10), tr, limit)
 				return res.Confusion, err
 			},
 		},
 		{
 			name: "JRS 4-bit enhanced", storage: jrs.NewDefault(10, 10).StorageBits(),
 			run: func(tr trace.Trace) (metrics.Binary, error) {
-				res, err := sim.RunBinary(tageAdapter{tage.New(cfg)}, jrs.NewDefault(10, 10).Enhanced(), tr, limit)
+				res, err := sim.RunBinary(substrate(), jrs.NewDefault(10, 10).Enhanced(), tr, limit)
 				return res.Confusion, err
 			},
 		},
@@ -133,7 +191,7 @@ func compare(pool sim.SuiteRunner, cfg tage.Config, traces []trace.Trace, limit 
 		})
 	}
 	textplot.Table(os.Stdout,
-		fmt.Sprintf("binary confidence estimation on %s TAGE (%d traces)", cfg.Name, len(traces)),
+		fmt.Sprintf("binary confidence estimation on %s (%d traces)", label, len(traces)),
 		[]string{"estimator", "extra storage", "SENS", "PVP", "SPEC", "PVN"}, rows)
 }
 

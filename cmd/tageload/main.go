@@ -1,11 +1,13 @@
 // Command tageload is the load generator for tageserved: it replays the
 // synthetic workload suites over N concurrent connections and reports
 // throughput, tail latency and the per-level confidence breakdown.
+// Sessions open any registered backend through the shared -backend flag.
 //
 // Usage:
 //
 //	tageload -addr localhost:7421 -suite cbp1 -conns 8
 //	tageload -addr localhost:7421 -trace 300.twolf -config 16K -mode adaptive
+//	tageload -addr localhost:7421 -backend gshare-64K -suite cbp2
 //	tageload -addr localhost:7421 -duration 2s -conns 4
 //
 // In pass mode (the default) every connection replays its share of the
@@ -34,19 +36,18 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "localhost:7421", "tageserved wire-protocol address")
-		suiteName  = flag.String("suite", "cbp1", "suite to replay: cbp1, cbp2 or all")
-		traceName  = flag.String("trace", "", "replay a single trace instead of a suite")
-		configName = flag.String("config", "64K", "predictor configuration per session (empty = server default)")
-		modeName   = flag.String("mode", "probabilistic", "automaton mode: standard, probabilistic or adaptive")
-		conns      = flag.Int("conns", 4, "concurrent connections (one session each at a time)")
-		batch      = flag.Int("batch", 1024, "branches per request batch")
-		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
-		duration   = flag.Duration("duration", 0, "soak: loop replays until this deadline (0 = one exact pass)")
+		bf        = core.AddBackendFlags(flag.CommandLine, "64K", "probabilistic")
+		addr      = flag.String("addr", "localhost:7421", "tageserved wire-protocol address")
+		suiteName = flag.String("suite", "cbp1", "suite to replay: cbp1, cbp2 or all")
+		traceName = flag.String("trace", "", "replay a single trace instead of a suite")
+		conns     = flag.Int("conns", 4, "concurrent connections (one session each at a time)")
+		batch     = flag.Int("batch", 1024, "branches per request batch")
+		branches  = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
+		duration  = flag.Duration("duration", 0, "soak: loop replays until this deadline (0 = one exact pass)")
 	)
 	flag.Parse()
 
-	opts, err := parseMode(*modeName)
+	opts, err := bf.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,8 +104,14 @@ func main() {
 				return
 			}
 			defer c.Close()
+			open := func() (*serve.ClientSession, error) {
+				if bf.Explicit() {
+					return c.OpenSpec(*bf.Backend)
+				}
+				return c.Open(*bf.Config, opts)
+			}
 			replay := func(i int) bool {
-				sess, err := c.Open(*configName, opts)
+				sess, err := open()
 				if err != nil {
 					out.err = err
 					return false
@@ -176,12 +183,4 @@ func main() {
 	if agg.Branches == 0 {
 		os.Exit(1)
 	}
-}
-
-func parseMode(name string) (core.Options, error) {
-	mode, err := core.ParseMode(name)
-	if err != nil {
-		return core.Options{}, err
-	}
-	return core.Options{Mode: mode}, nil
 }

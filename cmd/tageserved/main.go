@@ -1,17 +1,20 @@
-// Command tageserved is the online prediction server: it hosts TAGE +
-// storage-free-confidence predictor sessions behind the internal/serve
-// wire protocol, so clients stream branch outcomes in and get
-// (prediction, class, level) grades back live.
+// Command tageserved is the online prediction server: it hosts predictor
+// sessions behind the internal/serve wire protocol, so clients stream
+// branch outcomes in and get (prediction, class, level) grades back
+// live. Sessions are heterogeneous: each open request may name any
+// registered backend spec, and /metrics reports per-backend counters.
 //
 // Usage:
 //
 //	tageserved -addr :7421 -metrics :7422
 //	tageserved -config 16K -mode adaptive -shards 32 -max-sessions 10000
+//	tageserved -backend gshare-64K
 //
-// The -config/-mode flags set the predictor a session gets when its open
-// request names no configuration; clients may request any registered
-// configuration and options per session. SIGINT/SIGTERM shut the server
-// down gracefully (live connections are closed, handlers drained).
+// The -backend flag (or the legacy -config/-mode pair) sets the
+// predictor a session gets when its open request names no backend;
+// clients may request any registered backend per session.
+// SIGINT/SIGTERM shut the server down gracefully (live connections are
+// closed, handlers drained).
 package main
 
 import (
@@ -24,29 +27,40 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/predictor"
 	"repro/internal/serve"
 	"repro/internal/tage"
 )
 
 func main() {
 	var (
+		bf          = core.AddBackendFlags(flag.CommandLine, "64K", "probabilistic")
 		addr        = flag.String("addr", ":7421", "wire-protocol TCP listen address")
 		metricsAddr = flag.String("metrics", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
-		configName  = flag.String("config", "64K", "default predictor configuration: 16K, 64K or 256K")
-		modeName    = flag.String("mode", "probabilistic", "default automaton mode: standard, probabilistic or adaptive")
 		shards      = flag.Int("shards", serve.DefaultShards, "session-registry lock stripes (rounded up to a power of two)")
 		maxSessions = flag.Int("max-sessions", 0, "live-session cap (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "evict sessions idle this long (<0 disables eviction)")
 	)
 	flag.Parse()
 
-	cfg, err := tage.ConfigByName(*configName)
+	cfg, err := tage.ConfigByName(*bf.Config)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mode, err := core.ParseMode(*modeName)
+	opts, err := bf.Options()
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Validate an explicit -backend up front so a typo fails at startup,
+	// not on the first open request; resolve its canonical label for the
+	// startup log line.
+	defaultLabel := cfg.Name + "/" + opts.Mode.String()
+	if bf.Explicit() {
+		probe, _, err := predictor.New(*bf.Backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defaultLabel = probe.Label()
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -57,7 +71,8 @@ func main() {
 			Shards:         *shards,
 			MaxSessions:    *maxSessions,
 			DefaultConfig:  cfg,
-			DefaultOptions: core.Options{Mode: mode},
+			DefaultOptions: opts,
+			DefaultSpec:    *bf.Backend,
 		},
 	})
 
@@ -75,8 +90,8 @@ func main() {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	log.Printf("tageserved: serving on %s (default %s/%s, shards %d, max-sessions %d, idle-timeout %v)",
-		srv.Addr(), cfg.Name, *modeName, *shards, *maxSessions, *idleTimeout)
+	log.Printf("tageserved: serving on %s (default %s, shards %d, max-sessions %d, idle-timeout %v)",
+		srv.Addr(), defaultLabel, *shards, *maxSessions, *idleTimeout)
 	if ma := srv.MetricsAddr(); ma != nil {
 		log.Printf("tageserved: metrics on http://%s/metrics", ma)
 	}

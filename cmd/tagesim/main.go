@@ -1,11 +1,14 @@
-// Command tagesim runs a TAGE predictor over a synthetic trace or a whole
-// suite and reports accuracy with the storage-free confidence-class
-// breakdown.
+// Command tagesim runs a branch predictor over a synthetic trace or a
+// whole suite and reports accuracy with the confidence-class breakdown.
+// Any registered backend runs through the shared -backend flag; the
+// legacy -config/-mode flags remain as shorthand for TAGE specs.
 //
 // Usage:
 //
 //	tagesim -config 64K -trace 300.twolf
 //	tagesim -config 16K -suite cbp1 -mode probabilistic -branches 200000
+//	tagesim -backend gshare-64K -suite cbp2
+//	tagesim -backend "tage-16K?mode=adaptive&mkp=4" -trace 181.mcf
 //	tagesim -list
 package main
 
@@ -17,41 +20,46 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/sim"
-	"repro/internal/tage"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		configName = flag.String("config", "64K", "predictor configuration: 16K, 64K or 256K")
-		traceName  = flag.String("trace", "", "single trace to simulate (see -list)")
-		suiteName  = flag.String("suite", "", "suite to simulate: cbp1 or cbp2")
-		modeName   = flag.String("mode", "standard", "automaton mode: standard, probabilistic or adaptive")
-		branches   = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
-		window     = flag.Int("window", 0, "medium-conf-bim window (0 = default 8, -1 = disabled)")
-		parallel   = flag.Int("parallel", 0, "simulation workers for suite runs (0 = GOMAXPROCS, 1 = serial)")
-		list       = flag.Bool("list", false, "list available traces and exit")
+		bf        = core.AddBackendFlags(flag.CommandLine, "64K", "standard")
+		traceName = flag.String("trace", "", "single trace to simulate (see -list)")
+		suiteName = flag.String("suite", "", "suite to simulate: cbp1, cbp2 or all")
+		branches  = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
+		parallel  = flag.Int("parallel", 0, "simulation workers for suite runs (0 = GOMAXPROCS, 1 = serial)")
+		list      = flag.Bool("list", false, "list available backends, configurations and traces, then exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("configurations: 16K, 64K, 256K")
-		fmt.Println("suites: cbp1, cbp2")
+		fmt.Println("backends (-backend FAMILY[-VARIANT][?key=value&...]):")
+		for _, f := range predictor.Families() {
+			variants := "no variants"
+			if len(f.Variants) > 0 {
+				variants = "variants: " + strings.Join(f.Variants, ", ")
+			}
+			fmt.Printf("  %-11s %s\n              %s; params: %s\n", f.Name, f.Summary, variants, f.ParamsHelp)
+		}
+		fmt.Println("configurations (-config): 16K, 64K, 256K")
+		fmt.Println("suites: cbp1, cbp2, all")
 		fmt.Printf("traces: %s\n", strings.Join(workload.TraceNames(), ", "))
 		return
 	}
 
-	cfg, err := tage.ConfigByName(*configName)
+	spec, err := bf.Spec()
 	if err != nil {
 		fatal(err)
 	}
-	opts, err := parseMode(*modeName)
+	probe, sp, err := predictor.New(spec)
 	if err != nil {
 		fatal(err)
 	}
-	opts.BimWindow = *window
 
 	switch {
 	case *traceName != "":
@@ -59,7 +67,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := sim.RunConfig(cfg, opts, tr, *branches)
+		res, err := sim.Run(probe, tr, *branches)
 		if err != nil {
 			fatal(err)
 		}
@@ -70,7 +78,7 @@ func main() {
 			fatal(err)
 		}
 		pool := sim.SuiteRunner{Workers: *parallel}
-		sr, err := pool.RunSuite(cfg, opts, traces, *branches)
+		sr, err := pool.RunSuiteSpec(sp, traces, *branches)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,21 +89,13 @@ func main() {
 				fmt.Sprintf("%.1f", res.Total.MKP())})
 			mpkis = append(mpkis, res.MPKI())
 		}
-		textplot.Table(os.Stdout, fmt.Sprintf("%s on %s (%v automaton)", cfg.Name, *suiteName, opts.Mode),
+		textplot.Table(os.Stdout, fmt.Sprintf("%s on %s (%v automaton)", probe.Label(), *suiteName, predictor.ModeOf(probe)),
 			[]string{"trace", "misp/KI", "MKP"}, rows)
 		fmt.Printf("\nper-trace misp/KI: %s\n\n", metrics.Summarize(mpkis))
 		report(sr.Aggregate)
 	default:
 		fatal(fmt.Errorf("specify -trace or -suite (or -list)"))
 	}
-}
-
-func parseMode(name string) (core.Options, error) {
-	mode, err := core.ParseMode(name)
-	if err != nil {
-		return core.Options{}, err
-	}
-	return core.Options{Mode: mode}, nil
 }
 
 func report(res sim.Result) {

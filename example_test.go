@@ -40,6 +40,31 @@ func ExampleClass_Level() {
 }
 
 // Predicting a branch returns the direction plus its confidence grade.
+// New builds any registered backend from a spec string; functional
+// options are parameter overrides, so both forms below are the same
+// predictor — and both are bit-identical to the legacy
+// NewEstimator(Config, Options) constructor.
+func ExampleNew() {
+	est, err := repro.New("tage-16K?mode=probabilistic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	same, err := repro.New("tage-16K", repro.WithMode(repro.ModeProbabilistic))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s == %s\n", est.Label(), same.Label())
+	gs, err := repro.New("gshare-64K")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, _, level := gs.Predict(0x400100)
+	fmt.Printf("%s cold: pred=%v level=%v\n", gs.Label(), pred, level)
+	// Output:
+	// 16Kbits == 16Kbits
+	// gshare-64K cold: pred=false level=low
+}
+
 func ExampleEstimator() {
 	est := repro.NewEstimator(repro.Small16K(), repro.Options{
 		Mode: repro.ModeProbabilistic,

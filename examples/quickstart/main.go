@@ -11,13 +11,16 @@ import (
 )
 
 func main() {
-	// The estimator bundles the TAGE predictor with the paper's confidence
-	// classifier. ModeProbabilistic installs the §6 modified automaton
+	// A predictor is named by a backend spec. "tage-64K?mode=probabilistic"
+	// is the paper's 64 Kbit TAGE with the §6 modified automaton
 	// (saturation probability 1/128), which makes the three levels
 	// meaningful: high < 1%, medium ~5-10%, low > 30% misprediction.
-	est := repro.NewEstimator(repro.Medium64K(), repro.Options{
-		Mode: repro.ModeProbabilistic,
-	})
+	// (Functional options are equivalent:
+	// repro.New("tage-64K", repro.WithMode(repro.ModeProbabilistic)).)
+	est, err := repro.New("tage-64K?mode=probabilistic")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tr, err := repro.TraceByName("186.crafty")
 	if err != nil {
@@ -48,9 +51,9 @@ func main() {
 			l, 100*float64(levelCounts[l])/float64(preds))
 	}
 
-	// ...or use the simulation driver for full per-class statistics.
-	est2 := repro.NewEstimator(repro.Medium64K(), repro.Options{Mode: repro.ModeProbabilistic})
-	res, err := repro.Run(est2, tr, 100000)
+	// ...or use the simulation driver for full per-class statistics
+	// (RunSpec builds a fresh backend from the spec each run).
+	res, err := repro.RunSpec("tage-64K?mode=probabilistic", tr, 100000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -63,4 +63,18 @@ func main() {
 		fmt.Printf("  %-6s  %5.1f%% of predictions, %6.1f MKP\n",
 			l, 100*metrics.Pcov(cnt, res.Total), cnt.MKP())
 	}
+
+	// Sessions are heterogeneous: the same server hosts any registered
+	// backend by spec. Open a gshare session next to the TAGE one and
+	// compare — /metrics reports the two under separate backend labels.
+	gs, err := c.OpenSpec("gshare-64K")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gres, err := gs.Replay(tr, 50_000, 1000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame stream on %s: %.2f misp/KI (TAGE: %.2f)\n",
+		gres.Config, gres.MPKI(), res.MPKI())
 }

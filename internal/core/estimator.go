@@ -85,6 +85,11 @@ type Estimator struct {
 	ctl  *Adaptive              // nil unless ModeAdaptive
 	mode AutomatonMode
 
+	// cfg/opts are the construction inputs, kept so Reset can rebuild
+	// the identical cold estimator.
+	cfg  tage.Config
+	opts Options
+
 	lastObs   tage.Observation
 	lastClass Class
 	havePred  bool
@@ -117,6 +122,8 @@ func NewEstimator(cfg tage.Config, opts Options) *Estimator {
 		cls:  NewClassifierWindow(cfg, window),
 		auto: prob,
 		mode: opts.Mode,
+		cfg:  cfg,
+		opts: opts,
 	}
 	if opts.Mode == ModeAdaptive {
 		e.ctl = NewAdaptive(prob, opts.TargetMKP, opts.AdaptiveWindow)
@@ -150,6 +157,18 @@ func (e *Estimator) Update(pc uint64, taken bool) {
 	}
 	e.pred.Update(pc, taken)
 }
+
+// Reset restores the estimator to its initial cold state — predictor
+// tables, classifier window, automaton randomness and adaptive
+// controller all rebuilt exactly as a fresh NewEstimator with the same
+// inputs. Together with Predict/Update/Label this makes *Estimator
+// satisfy the backend-agnostic contract (predictor.Backend) directly,
+// so the simulation drivers stay devirtualized on the TAGE hot path.
+func (e *Estimator) Reset() { *e = *NewEstimator(e.cfg, e.opts) }
+
+// Label returns the predictor configuration name — the value simulation
+// results and serving metrics are keyed by for TAGE backends.
+func (e *Estimator) Label() string { return e.cfg.Name }
 
 // Predictor exposes the underlying TAGE predictor.
 func (e *Estimator) Predictor() *tage.Predictor { return e.pred }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// BackendFlags bundles the predictor-selection flags shared by every
+// CLI (tagesim, confsim, tageserved, tageload): the legacy TAGE triple
+// -config/-mode/-window plus -backend, which accepts any registered
+// backend spec ("tage-64K?mode=adaptive", "gshare-64K", "perceptron",
+// ...). It replaces the per-command copies of this parsing.
+//
+// Spec() resolves the flags into one backend spec string: -backend wins
+// verbatim when set; otherwise a TAGE spec is synthesized from the
+// legacy triple, so `-config 64K -mode adaptive` and
+// `-backend tage-64K?mode=adaptive` select the identical predictor.
+type BackendFlags struct {
+	Config  *string
+	Mode    *string
+	Backend *string
+	Window  *int
+}
+
+// AddBackendFlags registers the shared predictor-selection flags on fs
+// with the command's default configuration and mode.
+func AddBackendFlags(fs *flag.FlagSet, defConfig, defMode string) *BackendFlags {
+	return &BackendFlags{
+		Config: fs.String("config", defConfig,
+			"TAGE predictor configuration: 16K, 64K or 256K (ignored when -backend is set)"),
+		Mode: fs.String("mode", defMode,
+			"TAGE automaton mode: standard, probabilistic or adaptive (ignored when -backend is set)"),
+		Backend: fs.String("backend", "",
+			"backend spec, e.g. tage-64K?mode=adaptive, gshare-64K, perceptron (overrides -config/-mode/-window)"),
+		Window: fs.Int("window", 0,
+			"TAGE medium-conf-bim window: 0 = default 8, -1 = disabled (ignored when -backend is set)"),
+	}
+}
+
+// Explicit reports whether -backend was set.
+func (f *BackendFlags) Explicit() bool { return *f.Backend != "" }
+
+// Options parses the legacy -mode/-window pair into estimator Options
+// (the path servers and legacy session opens still take).
+func (f *BackendFlags) Options() (Options, error) {
+	mode, err := ParseMode(*f.Mode)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{Mode: mode, BimWindow: *f.Window}, nil
+}
+
+// Spec resolves the flags into one backend spec string. With -backend
+// set it is returned verbatim (the registry validates it); otherwise a
+// canonical TAGE spec is synthesized from -config/-mode/-window.
+func (f *BackendFlags) Spec() (string, error) {
+	if *f.Backend != "" {
+		return *f.Backend, nil
+	}
+	mode, err := ParseMode(*f.Mode)
+	if err != nil {
+		return "", err
+	}
+	var params []string
+	if mode != ModeStandard {
+		params = append(params, "mode="+mode.String())
+	}
+	if *f.Window != 0 {
+		params = append(params, fmt.Sprintf("window=%d", *f.Window))
+	}
+	spec := "tage-" + *f.Config
+	if len(params) > 0 {
+		spec += "?" + strings.Join(params, "&")
+	}
+	return spec, nil
+}

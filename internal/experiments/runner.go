@@ -21,11 +21,11 @@
 package experiments
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
 	"repro/internal/trace"
@@ -90,20 +90,16 @@ func NewWorkers(limit uint64, workers int) *Runner {
 	}
 }
 
-// keyPrefix covers every field of the configuration and options that can
-// affect a simulation result; a trace's cache key is this prefix plus
-// the trace name (appended once per trace, so a suite lookup formats the
-// config exactly once). Formats must be lossless: TargetMKP uses %g (a
-// truncating format once collapsed targets 10.12 and 10.14 into one
-// cache slot) and the structural Config fields are all spelled out
-// (ablations vary CtrBits and HistLengths under an unchanged Name).
+// keyPrefix is the canonical backend spec for (cfg, opts) plus a
+// separator; a trace's cache key is this prefix plus the trace name
+// (appended once per trace, so a suite lookup formats the config exactly
+// once). predictor.TAGESpec encodes every result-affecting Config and
+// Options field losslessly and injectively — distinct pairs always
+// produce distinct specs — so the key is collision-proof by
+// construction, replacing the hand-maintained field list that once
+// omitted AdaptiveWindow and truncated TargetMKP.
 func (r *Runner) keyPrefix(cfg tage.Config, opts core.Options) string {
-	return fmt.Sprintf("%s|bl%d|tl%d|tb%d|h%v|c%d|u%d|p%d|ur%d|s%#x|na%v|m%d|dl%d|bw%d|tm%g|aw%d|",
-		cfg.Name, cfg.BimodalLog, cfg.TaggedLog, cfg.TagBits, cfg.HistLengths,
-		cfg.CtrBits, cfg.UBits, cfg.PathBits, cfg.UResetPeriod, cfg.Seed,
-		cfg.DisableUseAltOnNA,
-		opts.Mode, opts.DenomLog, opts.BimWindow,
-		opts.TargetMKP, opts.AdaptiveWindow)
+	return predictor.TAGESpec(cfg, opts).String() + "|"
 }
 
 // results returns the per-trace results for (cfg, opts) over traces, in

@@ -91,7 +91,21 @@ type ClientSession struct {
 // Open creates a session with the named predictor configuration (empty
 // = server default) and options.
 func (c *Client) Open(config string, opts core.Options) (*ClientSession, error) {
-	c.out = AppendOpen(c.out[:0], OpenRequest{Config: config, Options: opts})
+	return c.open(OpenRequest{Config: config, Options: opts}, opts)
+}
+
+// OpenSpec creates a session for any registered backend spec
+// ("tage-64K?mode=adaptive", "gshare-64K", "perceptron", ...; empty =
+// server default). Results are labeled with the server-resolved backend
+// label and, like offline sim.Run over a registry-built backend,
+// ModeStandard for non-TAGE families; TAGE sessions that need a mode
+// label on the client side should use Open.
+func (c *Client) OpenSpec(spec string) (*ClientSession, error) {
+	return c.open(OpenRequest{Spec: spec}, core.Options{})
+}
+
+func (c *Client) open(req OpenRequest, opts core.Options) (*ClientSession, error) {
+	c.out = AppendOpen(c.out[:0], req)
 	payload, err := c.roundTrip(FrameOpened)
 	if err != nil {
 		return nil, err
@@ -105,6 +119,11 @@ func (c *Client) Open(config string, opts core.Options) (*ClientSession, error) 
 
 // ID returns the server-assigned session id.
 func (s *ClientSession) ID() uint64 { return s.id }
+
+// Config returns the server-resolved backend label of the session: the
+// canonical configuration name for TAGE sessions ("64Kbits"), the
+// canonical spec string for spec-opened backends ("gshare-64K").
+func (s *ClientSession) Config() string { return s.config }
 
 // Predict streams one branch batch through the session and returns the
 // served grades (valid until the next call on the same client). Batches

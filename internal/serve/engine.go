@@ -2,11 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
 )
@@ -21,16 +23,23 @@ type Engine struct {
 	// defaultConfig/defaultOptions serve FrameOpen requests with an
 	// empty config name (and, for the options, an all-zero options
 	// block: a minimal client gets the operator-tuned predictor).
+	// defaultSpec, when set, wins over both for such requests.
 	defaultConfig  tage.Config
 	defaultOptions core.Options
+	defaultSpec    string
 
 	opened  atomic.Uint64
 	evicted atomic.Uint64
 
 	// retired accumulates the tallies of closed and evicted sessions so
-	// service-wide counters never lose history when a session goes away.
+	// service-wide counters never lose history when a session goes away;
+	// retiredBy splits the same history per backend label, and openedBy
+	// counts session opens per backend label. All three share retiredMu
+	// (updates happen on the open/close/evict cold paths only).
 	retiredMu sync.Mutex
 	retired   sim.Result
+	retiredBy map[string]BackendCounts
+	openedBy  map[string]uint64
 }
 
 // EngineConfig sizes an Engine.
@@ -47,6 +56,13 @@ type EngineConfig struct {
 	// DefaultOptions serves open requests that name no configuration
 	// and carry all-zero options.
 	DefaultOptions core.Options
+	// DefaultSpec, when non-empty, serves open requests that carry
+	// neither a spec nor a configuration name — it may name any
+	// registered backend family, so a server can default to a non-TAGE
+	// predictor. It is validated at engine construction via
+	// NewServer/NewEngine callers building a probe backend on first use;
+	// an invalid spec surfaces as ErrCodeBadConfig on open.
+	DefaultSpec string
 }
 
 // DefaultShards is the registry stripe count when none is configured.
@@ -66,22 +82,29 @@ func NewEngine(cfg EngineConfig) *Engine {
 		reg:            newRegistry(shards, cfg.MaxSessions),
 		defaultConfig:  def,
 		defaultOptions: cfg.DefaultOptions,
+		defaultSpec:    cfg.DefaultSpec,
+		retiredBy:      make(map[string]BackendCounts),
+		openedBy:       make(map[string]uint64),
 	}
 }
 
 // Open creates a session for the request. Failures carry a RemoteError
 // whose code the TCP layer forwards verbatim.
+//
+// Backend resolution order: an explicit request spec wins; then an
+// explicit config name (the legacy TAGE path, with the request
+// options); then the engine's default spec; then the default
+// config/options pair.
 func (e *Engine) Open(req OpenRequest, now int64) (*Session, error) {
-	cfg := e.defaultConfig
-	if req.Config != "" {
-		var err error
-		cfg, err = tage.ConfigByName(req.Config)
-		if err != nil {
-			return nil, &RemoteError{Code: ErrCodeBadConfig, Message: err.Error()}
-		}
-	} else if req.Options == (core.Options{}) {
-		req.Options = e.defaultOptions
+	spec := req.Spec
+	if spec == "" && req.Config == "" && req.Options == (core.Options{}) && e.defaultSpec != "" {
+		// The default spec serves only fully default requests; a legacy
+		// client sending explicit options still gets the default TAGE
+		// configuration with those options (the pre-spec behavior).
+		spec = e.defaultSpec
 	}
+	// Reserve the cap slot before building: a rejected open must not
+	// construct (and immediately discard) a full predictor.
 	id, ok := e.reg.reserve()
 	if !ok {
 		return nil, &RemoteError{
@@ -89,10 +112,63 @@ func (e *Engine) Open(req OpenRequest, now int64) (*Session, error) {
 			Message: fmt.Sprintf("session limit %d reached", e.reg.max),
 		}
 	}
-	s := newSession(id, cfg, req.Options, now)
+	var (
+		bk    predictor.Backend
+		label string
+		mode  core.AutomatonMode
+	)
+	switch {
+	case spec != "":
+		b, _, err := predictor.New(spec)
+		if err != nil {
+			e.reg.release()
+			return nil, &RemoteError{Code: ErrCodeBadConfig, Message: err.Error()}
+		}
+		bk, label, mode = b, b.Label(), predictor.ModeOf(b)
+	default:
+		cfg := e.defaultConfig
+		if req.Config != "" {
+			var err error
+			cfg, err = tage.ConfigByName(req.Config)
+			if err != nil {
+				e.reg.release()
+				return nil, &RemoteError{Code: ErrCodeBadConfig, Message: err.Error()}
+			}
+		} else if req.Options == (core.Options{}) {
+			req.Options = e.defaultOptions
+		}
+		bk, label, mode = core.NewEstimator(cfg, req.Options), cfg.Name, req.Options.Mode
+	}
+	s := newSession(id, bk, label, mode, now)
 	e.reg.insert(s)
 	e.opened.Add(1)
+	e.retiredMu.Lock()
+	e.openedBy[e.labelKeyLocked(label)]++
+	e.retiredMu.Unlock()
 	return s, nil
+}
+
+// maxBackendLabels bounds the per-backend counter cardinality: spec
+// strings are client-controlled (a loop over distinct seeds could mint
+// unbounded labels), so beyond the cap further labels aggregate under
+// labelOverflow instead of growing server memory and /metrics output
+// without bound.
+const (
+	maxBackendLabels = 64
+	labelOverflow    = "other"
+)
+
+// labelKeyLocked maps a session label onto its counter bucket: itself
+// while the label table has room (or the label is already tracked),
+// labelOverflow past the cap. Caller holds retiredMu.
+func (e *Engine) labelKeyLocked(label string) string {
+	if _, ok := e.openedBy[label]; ok {
+		return label
+	}
+	if len(e.openedBy) < maxBackendLabels {
+		return label
+	}
+	return labelOverflow
 }
 
 // Lookup returns the live session with the given id. It is on the
@@ -150,12 +226,27 @@ func (e *Engine) fold(res sim.Result) {
 	for i := range res.Class {
 		e.retired.Class[i].Add(res.Class[i])
 	}
+	key := e.labelKeyLocked(res.Config)
+	bc := e.retiredBy[key]
+	bc.Branches += res.Branches
+	bc.Total.Add(res.Total)
+	e.retiredBy[key] = bc
 	e.retiredMu.Unlock()
+}
+
+// BackendCounts are the per-backend service counters: sessions opened
+// under the backend label plus its branch tallies aggregated over live
+// and retired sessions.
+type BackendCounts struct {
+	Label    string
+	Opened   uint64
+	Branches uint64
+	Total    metrics.Counts
 }
 
 // Snapshot is a point-in-time view of the service-wide counters:
 // sessions plus branch tallies aggregated over live and retired
-// sessions.
+// sessions, broken down per backend label in Backends.
 type Snapshot struct {
 	LiveSessions    int64
 	OpenedSessions  uint64
@@ -164,6 +255,8 @@ type Snapshot struct {
 	Instructions    uint64
 	Total           metrics.Counts
 	Class           [core.NumClasses]metrics.Counts
+	// Backends carries the per-backend counters sorted by label.
+	Backends []BackendCounts
 }
 
 // Level aggregates the snapshot's class counts into a confidence level,
@@ -184,6 +277,13 @@ func (s Snapshot) Level(l core.Level) metrics.Counts {
 func (e *Engine) Snapshot() Snapshot {
 	e.retiredMu.Lock()
 	agg := e.retired
+	per := make(map[string]BackendCounts, len(e.openedBy))
+	for label, opened := range e.openedBy {
+		bc := e.retiredBy[label]
+		bc.Label = label
+		bc.Opened = opened
+		per[label] = bc
+	}
 	e.retiredMu.Unlock()
 	e.reg.forEach(func(s *Session) {
 		res, ok := s.liveStats()
@@ -199,7 +299,24 @@ func (e *Engine) Snapshot() Snapshot {
 		for i := range res.Class {
 			agg.Class[i].Add(res.Class[i])
 		}
+		// Bucket live sessions exactly as their open did: a label the
+		// table admitted counts under itself, overflow labels under the
+		// shared bucket.
+		key := res.Config
+		if _, tracked := per[key]; !tracked {
+			key = labelOverflow
+		}
+		bc := per[key]
+		bc.Label = key
+		bc.Branches += res.Branches
+		bc.Total.Add(res.Total)
+		per[key] = bc
 	})
+	backends := make([]BackendCounts, 0, len(per))
+	for _, bc := range per {
+		backends = append(backends, bc)
+	}
+	sort.Slice(backends, func(i, j int) bool { return backends[i].Label < backends[j].Label })
 	return Snapshot{
 		LiveSessions:    e.reg.count(),
 		OpenedSessions:  e.opened.Load(),
@@ -208,5 +325,6 @@ func (e *Engine) Snapshot() Snapshot {
 		Instructions:    agg.Instructions,
 		Total:           agg.Total,
 		Class:           agg.Class,
+		Backends:        backends,
 	}
 }

@@ -31,6 +31,8 @@ func FuzzFrame(f *testing.F) {
 	}
 	seeds := [][]byte{
 		AppendOpen(nil, OpenRequest{Config: "64K", Options: core.Options{Mode: core.ModeAdaptive, TargetMKP: 10}}),
+		AppendOpen(nil, OpenRequest{Spec: "gshare-64K?hist=13"}),
+		AppendOpen(nil, OpenRequest{Spec: "tage-16K?mkp=4&mode=adaptive"}),
 		AppendOpened(nil, 7, "64Kbits"),
 		AppendBatch(nil, 7, sampleBranches(20, 5)),
 		AppendPredictions(nil, 7, grades),

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
 	"repro/internal/trace"
@@ -557,4 +558,211 @@ func TestShutdownClosesConnections(t *testing.T) {
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestOnlineOfflineEquivalenceBackends is the non-TAGE acceptance pin:
+// sessions opened by backend spec — gshare, perceptron, jrs, ogehl and a
+// parameterized TAGE spec — replay to results bit-identical to the
+// offline driver over the identical spec-built backend, on one shared
+// server hosting all of them (the heterogeneous path).
+func TestOnlineOfflineEquivalenceBackends(t *testing.T) {
+	srv := startServer(t, Config{})
+	const limit = 20_000
+	specs := []string{
+		"gshare-64K",
+		"gshare-16K?hist=10",
+		"perceptron",
+		"jrs-16K?enhanced=true",
+		"ogehl",
+		"bimodal-16K",
+		"tage-16K?mode=probabilistic",
+	}
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, srv)
+	for _, spec := range specs {
+		sp, err := predictor.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline, err := sim.RunSpec(sp, tr, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := c.OpenSpec(spec)
+		if err != nil {
+			t.Fatalf("OpenSpec(%q): %v", spec, err)
+		}
+		online, err := sess.Replay(tr, limit, 999, nil)
+		if err != nil {
+			t.Fatalf("Replay(%q): %v", spec, err)
+		}
+		// OpenSpec labels client-side results ModeStandard (the client
+		// does not parse the spec); compare everything else bit for bit.
+		offline.Mode = online.Mode
+		if online != offline {
+			t.Errorf("%s: online %+v != offline %+v", spec, online, offline)
+		}
+	}
+	// A bad spec answers ErrCodeBadConfig and names the valid families.
+	var re *RemoteError
+	if _, err := c.OpenSpec("nosuch-64K"); !errors.As(err, &re) || re.Code != ErrCodeBadConfig ||
+		!strings.Contains(re.Message, "gshare") {
+		t.Fatalf("bad spec error = %v", err)
+	}
+}
+
+// TestEngineDefaultSpec pins EngineConfig.DefaultSpec: an open request
+// naming neither spec nor config gets the default-spec backend; explicit
+// requests still win.
+func TestEngineDefaultSpec(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{DefaultSpec: "gshare-16K"}})
+	c := dial(t, srv)
+	sess, err := c.Open("", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Config(); got != "gshare-16K" {
+		t.Fatalf("default-spec session labeled %q, want gshare-16K", got)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err = c.Open("64K", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Config(); got != "64Kbits" {
+		t.Fatalf("explicit config session labeled %q, want 64Kbits", got)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A legacy client that sends explicit options (but no config) still
+	// gets the default TAGE configuration with those options — the
+	// default spec serves only fully default requests, it never
+	// silently swallows a client's options.
+	sess, err = c.Open("", core.Options{Mode: core.ModeProbabilistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Config(); got != "64Kbits" {
+		t.Fatalf("options-only session labeled %q, want 64Kbits (default TAGE config)", got)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackendLabelCardinalityCap pins the bound on per-backend counter
+// cardinality: spec strings are client-controlled, so distinct labels
+// beyond the cap must aggregate under the overflow bucket instead of
+// growing the maps and /metrics output without bound.
+func TestBackendLabelCardinalityCap(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	const distinct = maxBackendLabels + 10
+	for i := 0; i < distinct; i++ {
+		spec := fmt.Sprintf("jrs-16K?threshold=%d", i+1)
+		s, err := eng.Open(OpenRequest{Spec: spec}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Close(s.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := eng.Snapshot()
+	if len(snap.Backends) > maxBackendLabels+1 {
+		t.Fatalf("%d distinct specs produced %d backend buckets, cap is %d+overflow",
+			distinct, len(snap.Backends), maxBackendLabels)
+	}
+	var overflow *BackendCounts
+	var opened uint64
+	for i := range snap.Backends {
+		opened += snap.Backends[i].Opened
+		if snap.Backends[i].Label == labelOverflow {
+			overflow = &snap.Backends[i]
+		}
+	}
+	if overflow == nil || overflow.Opened == 0 {
+		t.Fatalf("no overflow bucket after %d distinct labels: %+v", distinct, snap.Backends)
+	}
+	if opened != distinct {
+		t.Fatalf("buckets account for %d opens, want %d", opened, distinct)
+	}
+}
+
+// TestPerBackendMetrics drives one TAGE and one gshare session through a
+// shared server and asserts the /metrics per-backend counters split the
+// traffic by backend label.
+func TestPerBackendMetrics(t *testing.T) {
+	srv := startServer(t, Config{MetricsAddr: "127.0.0.1:0"})
+	c := dial(t, srv)
+	tr, err := workload.ByName("FP-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tage1, err := c.Open("64K", core.Options{Mode: core.ModeProbabilistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tage1.Replay(tr, 4000, 512, nil); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := c.OpenSpec("gshare-64K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave the gshare session live: per-backend counters must span live
+	// and retired sessions exactly like the service totals.
+	if _, err := gs.Predict(collectBranches(t, tr, 3000)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := srv.Engine().Snapshot()
+	byLabel := make(map[string]BackendCounts)
+	var sumBranches uint64
+	for _, bc := range snap.Backends {
+		byLabel[bc.Label] = bc
+		sumBranches += bc.Branches
+	}
+	if sumBranches != snap.Branches {
+		t.Fatalf("per-backend branches sum to %d, service total %d", sumBranches, snap.Branches)
+	}
+	if bc := byLabel["64Kbits"]; bc.Opened != 1 || bc.Branches != 4000 {
+		t.Fatalf("TAGE backend counters = %+v", bc)
+	}
+	if bc := byLabel["gshare-64K"]; bc.Opened != 1 || bc.Branches != 3000 {
+		t.Fatalf("gshare backend counters = %+v", bc)
+	}
+
+	resp, err := http.Get("http://" + srv.MetricsAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`tage_serve_backend_sessions_opened_total{backend="64Kbits"} 1`,
+		`tage_serve_backend_branches_total{backend="64Kbits"} 4000`,
+		`tage_serve_backend_sessions_opened_total{backend="gshare-64K"} 1`,
+		`tage_serve_backend_branches_total{backend="gshare-64K"} 3000`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// collectBranches reads n branches of tr into a slice.
+func collectBranches(t *testing.T, tr trace.Trace, n uint64) []trace.Branch {
+	t.Helper()
+	branches, err := trace.Collect(trace.Limit(tr, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return branches
 }

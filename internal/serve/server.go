@@ -264,6 +264,12 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(w, "tage_serve_class_predictions_total{class=%q} %d\n", cl.String(), c.Preds)
 		fmt.Fprintf(w, "tage_serve_class_mispredictions_total{class=%q} %d\n", cl.String(), c.Misps)
 	}
+	for _, bc := range snap.Backends {
+		fmt.Fprintf(w, "tage_serve_backend_sessions_opened_total{backend=%q} %d\n", bc.Label, bc.Opened)
+		fmt.Fprintf(w, "tage_serve_backend_branches_total{backend=%q} %d\n", bc.Label, bc.Branches)
+		fmt.Fprintf(w, "tage_serve_backend_predictions_total{backend=%q} %d\n", bc.Label, bc.Total.Preds)
+		fmt.Fprintf(w, "tage_serve_backend_mispredictions_total{backend=%q} %d\n", bc.Label, bc.Total.Misps)
+	}
 }
 
 // connState is the per-connection scratch reused across frames, which is

@@ -5,13 +5,14 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/predictor"
 	"repro/internal/sim"
-	"repro/internal/tage"
 	"repro/internal/trace"
 )
 
-// Session is one live predictor instance: a core.Estimator plus the
-// running per-class tallies, updated branch by branch exactly as the
+// Session is one live predictor instance: a predictor.Backend (a TAGE
+// core.Estimator by default, any registry family via an Open spec) plus
+// the running per-class tallies, updated branch by branch exactly as the
 // offline driver (sim.Run) updates them — which is what makes the
 // server-side stats bit-identical to an offline run over the same
 // stream.
@@ -23,7 +24,7 @@ type Session struct {
 	id uint64
 
 	mu      sync.Mutex
-	est     *core.Estimator
+	bk      predictor.Backend
 	res     sim.Result
 	retired bool
 
@@ -32,12 +33,15 @@ type Session struct {
 	lastUsed atomic.Int64
 }
 
-// newSession builds a session with a fresh estimator for (cfg, opts).
-func newSession(id uint64, cfg tage.Config, opts core.Options, now int64) *Session {
+// newSession builds a session around a freshly built backend. label is
+// the backend's result/metrics key (the configuration name for TAGE
+// estimators, the canonical spec string otherwise) and mode the
+// automaton mode the backend reports.
+func newSession(id uint64, bk predictor.Backend, label string, mode core.AutomatonMode, now int64) *Session {
 	s := &Session{
 		id:  id,
-		est: core.NewEstimator(cfg, opts),
-		res: sim.Result{Config: cfg.Name, Mode: opts.Mode},
+		bk:  bk,
+		res: sim.Result{Config: label, Mode: mode},
 	}
 	s.lastUsed.Store(now)
 	return s
@@ -46,21 +50,22 @@ func newSession(id uint64, cfg tage.Config, opts core.Options, now int64) *Sessi
 // ID returns the registry-assigned session id.
 func (s *Session) ID() uint64 { return s.id }
 
-// ConfigName returns the resolved predictor configuration name. It is
-// immutable after construction, so reading it takes no lock.
+// ConfigName returns the session's backend label (the resolved predictor
+// configuration name, or the canonical backend spec). It is immutable
+// after construction, so reading it takes no lock.
 func (s *Session) ConfigName() string { return s.res.Config }
 
 // step serves one branch: predict, tally, train — the exact per-branch
 // sequence of sim.Run — and returns the encoded grade byte. Caller holds
 // s.mu.
 func (s *Session) step(b trace.Branch) byte {
-	pred, class, level := s.est.Predict(b.PC)
+	pred, class, level := s.bk.Predict(b.PC)
 	miss := pred != b.Taken
 	s.res.Total.Record(miss)
 	s.res.Class[class].Record(miss)
 	s.res.Branches++
 	s.res.Instructions += uint64(b.Instr)
-	s.est.Update(b.PC, b.Taken)
+	s.bk.Update(b.PC, b.Taken)
 	return EncodeGrade(pred, class, level)
 }
 
@@ -84,7 +89,7 @@ func (s *Session) Serve(records []trace.Branch, grades []byte, now int64) (out [
 	return out, true
 }
 
-// Stats snapshots the session's tallies (with the estimator's current
+// Stats snapshots the session's tallies (with the backend's current
 // saturation probability filled in, as sim.Run does at end of run).
 func (s *Session) Stats() sim.Result {
 	s.mu.Lock()
@@ -93,7 +98,7 @@ func (s *Session) Stats() sim.Result {
 }
 
 func (s *Session) statsLocked() sim.Result {
-	s.res.FinalProbability = s.est.SaturationProbability()
+	s.res.FinalProbability = predictor.SaturationProbabilityOf(s.bk)
 	return s.res
 }
 

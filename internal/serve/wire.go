@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -42,7 +43,10 @@ const (
 	// empty selects the server default — and, when the options block is
 	// all zero too, the server's default options) followed by the
 	// serialized options (mode byte, denomLog uvarint, bimWindow
-	// svarint, targetMKP float64 LE bits, adaptiveWindow uvarint).
+	// svarint, targetMKP float64 LE bits, adaptiveWindow uvarint),
+	// followed by a backend spec (uvarint length + bytes; zero length
+	// means no spec). A non-empty spec selects any registered backend
+	// family and overrides the config/options fields.
 	FrameOpen byte = 0x01
 	// FrameOpened acknowledges FrameOpen with the session id (uvarint)
 	// followed by the resolved configuration name (uvarint length +
@@ -76,6 +80,7 @@ const (
 	MaxFrame      = 1 << 20
 	MaxBatch      = 1 << 16
 	maxConfigName = 256
+	maxSpecLen    = predictor.MaxSpecLen
 	maxErrMsg     = 1 << 12
 )
 
@@ -162,6 +167,12 @@ type OpenRequest struct {
 	Config string
 	// Options configures the estimator exactly as core.NewEstimator.
 	Options core.Options
+	// Spec, when non-empty, selects any registered backend family
+	// (predictor.New) and takes precedence over Config/Options — the
+	// spec's own parameters carry the estimator configuration, so
+	// heterogeneous sessions (gshare next to TAGE next to perceptron)
+	// share one server.
+	Spec string
 }
 
 // AppendOpen appends a complete FrameOpen to dst.
@@ -175,6 +186,8 @@ func AppendOpen(dst []byte, req OpenRequest) []byte {
 	dst = binary.AppendVarint(dst, int64(req.Options.BimWindow))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(req.Options.TargetMKP))
 	dst = binary.AppendUvarint(dst, req.Options.AdaptiveWindow)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Spec)))
+	dst = append(dst, req.Spec...)
 	return EndFrame(dst, start)
 }
 
@@ -229,6 +242,16 @@ func DecodeOpen(payload []byte) (OpenRequest, error) {
 	}
 	payload = payload[n:]
 	req.Options.AdaptiveWindow = adaptiveWindow
+	specLen, n, err := uvarint(payload)
+	if err != nil {
+		return req, fmt.Errorf("spec length: %w", err)
+	}
+	payload = payload[n:]
+	if specLen > maxSpecLen || specLen > uint64(len(payload)) {
+		return req, fmt.Errorf("%w: spec length %d", ErrProtocol, specLen)
+	}
+	req.Spec = string(payload[:specLen])
+	payload = payload[specLen:]
 	if len(payload) != 0 {
 		return req, fmt.Errorf("%w: %d trailing bytes after open request", ErrProtocol, len(payload))
 	}

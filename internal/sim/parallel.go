@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/predictor"
 	"repro/internal/tage"
 	"repro/internal/trace"
 )
@@ -141,4 +142,37 @@ func (s SuiteRunner) RunSuite(cfg tage.Config, opts core.Options, traces []trace
 		return SuiteResult{}, err
 	}
 	return AssembleSuite(cfg.Name, opts.Mode, per), nil
+}
+
+// RunSuiteSpec is the backend-agnostic counterpart of RunSuite: a fresh
+// backend built from the spec per trace (state never leaks across
+// traces), per-trace results in trace order, deterministic aggregate.
+// For TAGE specs the output is bit-identical to RunSuite over the
+// equivalent (Config, Options) pair.
+func (s SuiteRunner) RunSuiteSpec(sp predictor.Spec, traces []trace.Trace, limit uint64) (SuiteResult, error) {
+	// Build one probe instance up front: it validates the spec once
+	// (before any worker runs) and supplies the aggregate's label/mode.
+	probe, err := predictor.Build(sp)
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	per := make([]Result, len(traces))
+	err = s.ForEach(len(traces), func(i int) error {
+		res, err := RunSpec(sp, traces[i], limit)
+		if err != nil {
+			return err
+		}
+		per[i] = res
+		return nil
+	})
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	return AssembleSuite(probe.Label(), predictor.ModeOf(probe), per), nil
+}
+
+// RunSuiteSpec runs a suite over the spec's backend with the serial
+// reference runner.
+func RunSuiteSpec(sp predictor.Spec, traces []trace.Trace, limit uint64) (SuiteResult, error) {
+	return Serial.RunSuiteSpec(sp, traces, limit)
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/tage"
 	"repro/internal/trace"
 )
@@ -88,9 +89,45 @@ func (r *Result) Add(other Result) {
 	r.FinalProbability = other.FinalProbability
 }
 
-// Run drives an estimator over one trace (optionally truncated to limit
-// records; 0 = full trace) and collects per-class statistics.
-func Run(est *core.Estimator, tr trace.Trace, limit uint64) (Result, error) {
+// Run drives a backend over one trace (optionally truncated to limit
+// records; 0 = full trace) and collects per-class statistics. Any
+// predictor.Backend works; the TAGE estimator keeps its devirtualized
+// hot loop (a *core.Estimator is dispatched to a concrete-typed driver,
+// so the per-branch path pays no interface-call overhead and existing
+// callers see bit-identical results).
+func Run(b predictor.Backend, tr trace.Trace, limit uint64) (Result, error) {
+	if est, ok := b.(*core.Estimator); ok {
+		return runEstimator(est, tr, limit)
+	}
+	res := Result{
+		Trace:  tr.Name(),
+		Config: b.Label(),
+		Mode:   predictor.ModeOf(b),
+	}
+	r := trace.Limit(tr, limit).Open()
+	for {
+		br, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		pred, class, _ := b.Predict(br.PC)
+		miss := pred != br.Taken
+		res.Total.Record(miss)
+		res.Class[class].Record(miss)
+		res.Branches++
+		res.Instructions += uint64(br.Instr)
+		b.Update(br.PC, br.Taken)
+	}
+	res.FinalProbability = predictor.SaturationProbabilityOf(b)
+	return res, nil
+}
+
+// runEstimator is the concrete-typed TAGE driver: the exact loop Run ran
+// before backends existed, kept devirtualized for the hot path.
+func runEstimator(est *core.Estimator, tr trace.Trace, limit uint64) (Result, error) {
 	res := Result{
 		Trace:  tr.Name(),
 		Config: est.Predictor().Config().Name,
@@ -120,6 +157,17 @@ func Run(est *core.Estimator, tr trace.Trace, limit uint64) (Result, error) {
 // RunConfig builds a fresh estimator for (cfg, opts) and runs it over tr.
 func RunConfig(cfg tage.Config, opts core.Options, tr trace.Trace, limit uint64) (Result, error) {
 	return Run(core.NewEstimator(cfg, opts), tr, limit)
+}
+
+// RunSpec builds a fresh backend from the spec and runs it over tr. For
+// TAGE specs this is bit-identical to RunConfig over the equivalent
+// (Config, Options) pair.
+func RunSpec(sp predictor.Spec, tr trace.Trace, limit uint64) (Result, error) {
+	b, err := predictor.Build(sp)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(b, tr, limit)
 }
 
 // SuiteResult bundles per-trace results with their aggregate. The
@@ -209,6 +257,28 @@ func RunBinary(p Predictor, est BinaryEstimator, tr trace.Trace, limit uint64) (
 		res.Confusion.Record(high, miss)
 		est.Update(b.PC, pred, b.Taken)
 		p.Update(b.PC, b.Taken)
+	}
+}
+
+// RunGradedBinary runs any confidence-graded backend in binary (high vs
+// not-high) mode over a trace, producing the Grunwald-style confusion
+// metrics — the backend-agnostic generalization of RunTAGEBinary.
+func RunGradedBinary(b predictor.Backend, tr trace.Trace, limit uint64) (BinaryResult, error) {
+	res := BinaryResult{Trace: tr.Name()}
+	r := trace.Limit(tr, limit).Open()
+	for {
+		br, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		pred, _, level := b.Predict(br.PC)
+		miss := pred != br.Taken
+		res.Total.Record(miss)
+		res.Confusion.Record(level == core.High, miss)
+		b.Update(br.PC, br.Taken)
 	}
 }
 

@@ -170,6 +170,10 @@ func StandardConfigs() []Config {
 	return []Config{Small16K(), Medium64K(), Large256K()}
 }
 
+// ConfigNames lists the canonical configuration names ConfigByName
+// resolves (each also accepts its "...Kbits" and size-word aliases).
+func ConfigNames() []string { return []string{"16K", "64K", "256K"} }
+
 // ConfigByName resolves "16K"/"64K"/"256K" (and the full "...Kbits" forms).
 func ConfigByName(name string) (Config, error) {
 	switch name {
@@ -180,6 +184,7 @@ func ConfigByName(name string) (Config, error) {
 	case "256K", "256Kbits", "large":
 		return Large256K(), nil
 	default:
-		return Config{}, fmt.Errorf("tage: unknown configuration %q (want 16K, 64K or 256K)", name)
+		return Config{}, fmt.Errorf(
+			"tage: unknown configuration %q (valid: 16K/16Kbits/small, 64K/64Kbits/medium, 256K/256Kbits/large)", name)
 	}
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/trace"
@@ -540,10 +541,11 @@ func CBP2() []trace.Trace { return cachedSuite(1, cbp2Specs) }
 // whole-corpus axis load generators and census-style experiments replay.
 func All() []trace.Trace { return append(CBP1(), CBP2()...) }
 
-// SuiteNames lists the available suite identifiers.
+// SuiteNames lists the standard suite identifiers (the experiment grids
+// iterate these; Suite additionally accepts "all", their union).
 func SuiteNames() []string { return []string{"cbp1", "cbp2"} }
 
-// Suite returns a suite by name ("cbp1" or "cbp2").
+// Suite returns a suite by name ("cbp1", "cbp2" or "all").
 func Suite(name string) ([]trace.Trace, error) {
 	switch name {
 	case "cbp1", "CBP1", "cbp-1":
@@ -553,11 +555,13 @@ func Suite(name string) ([]trace.Trace, error) {
 	case "all", "ALL":
 		return All(), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown suite %q (want cbp1, cbp2 or all)", name)
+		return nil, fmt.Errorf("workload: unknown suite %q (valid suites: %s)",
+			name, strings.Join(append(SuiteNames(), "all"), ", "))
 	}
 }
 
-// ByName returns the named trace from either suite.
+// ByName returns the named trace from either suite. Unknown names error
+// with the full list of valid trace names.
 func ByName(name string) (trace.Trace, error) {
 	for _, t := range CBP1() {
 		if t.Name() == name {
@@ -569,7 +573,8 @@ func ByName(name string) (trace.Trace, error) {
 			return t, nil
 		}
 	}
-	return nil, fmt.Errorf("workload: unknown trace %q", name)
+	return nil, fmt.Errorf("workload: unknown trace %q (valid traces: %s)",
+		name, strings.Join(TraceNames(), ", "))
 }
 
 // TraceNames returns the sorted names of all 40 traces.

@@ -3,16 +3,19 @@
 // (INRIA RR-7371, 2010 / HPCA 2011).
 //
 // The package is a facade over the implementation packages in internal/:
-// the TAGE predictor (internal/tage), the storage-free confidence
-// estimator (internal/core), the synthetic CBP-1/CBP-2 workload suites
+// the backend-agnostic predictor layer (internal/predictor), the TAGE
+// predictor (internal/tage), the storage-free confidence estimator
+// (internal/core), the synthetic CBP-1/CBP-2 workload suites
 // (internal/workload), the simulation drivers (internal/sim) and the
 // paper's experiments (internal/experiments, cmd/reprotables).
 //
 // # Quickstart
 //
-//	est := repro.NewEstimator(repro.Medium64K(), repro.Options{
-//	    Mode: repro.ModeProbabilistic, // the paper's §6 automaton
-//	})
+// A predictor is named by a backend spec — family, optional variant,
+// optional parameters — and built with New:
+//
+//	est, err := repro.New("tage-64K", repro.WithMode(repro.ModeProbabilistic))
+//	// equivalently: repro.New("tage-64K?mode=probabilistic")
 //	for each branch {
 //	    pred, class, level := est.Predict(pc)
 //	    ...
@@ -21,8 +24,32 @@
 //
 // Level is High, Medium or Low with the paper's headline behavior: the
 // high-confidence class mispredicts below ~1%, medium ~5-10%, low ~30%.
+// Every registered predictor family builds the same way — "gshare-64K",
+// "perceptron", "ogehl", "jrs-16K?enhanced=true", "ltage-64K", ... (see
+// Backends for the registry) — and runs through the same drivers:
+//
+//	res, err := repro.RunSpec("gshare-64K", tr, 0)
+//	sr, err := repro.RunSuiteSpec("perceptron", repro.CBP1(), 0)
+//
 // See the examples/ directory for runnable programs and cmd/reprotables
 // for regenerating every table and figure of the paper.
+//
+// # Migration from the Config+Options constructors
+//
+// The original constructors remain as thin wrappers and stay
+// bit-identical; the spec grammar is the primary path:
+//
+//	NewEstimator(Medium64K(), Options{})                      → New("tage-64K")
+//	NewEstimator(Small16K(), Options{Mode: ModeProbabilistic}) → New("tage-16K?mode=probabilistic")
+//	NewEstimator(Large256K(), Options{Mode: ModeAdaptive,
+//	    TargetMKP: 4})                                         → New("tage-256K?mkp=4&mode=adaptive")
+//	NewEstimator(cfg, Options{BimWindow: -1})                  → New("tage-64K?window=-1")
+//	NewPredictor(cfg) (raw TAGE, no confidence)                → unchanged
+//
+// Options map to spec parameters: Mode→mode, DenomLog→denomlog,
+// BimWindow→window, TargetMKP→mkp, AdaptiveWindow→awindow; Config
+// structural fields to name, bl, tl, tag, hist, ctr, u, path, urp, seed
+// and noalt (variant "custom" spells out a full configuration).
 //
 // # Serving mode
 //
@@ -36,9 +63,13 @@
 //	go srv.ListenAndServe()
 //	...
 //	c, _ := repro.DialServer("localhost:7421")
-//	sess, _ := c.Open("64K", repro.Options{Mode: repro.ModeProbabilistic})
+//	sess, _ := c.OpenSpec("tage-64K?mode=probabilistic")
 //	grades, _ := sess.Predict(batch) // []Grade: Pred, Class, Level
 //	res, _ := sess.Close()           // per-class tallies == offline Run
+//
+// Sessions are heterogeneous: each OpenSpec may name any registered
+// backend ("gshare-64K" next to TAGE next to "perceptron" on one
+// server), and /metrics reports per-backend counters.
 //
 // cmd/tageload is the matching load generator (throughput, tail latency,
 // per-level breakdown over the workload suites); the server exposes
@@ -141,7 +172,9 @@ func StandardConfigs() []Config { return tage.StandardConfigs() }
 // ConfigByName resolves "16K", "64K" or "256K".
 func ConfigByName(name string) (Config, error) { return tage.ConfigByName(name) }
 
-// NewEstimator builds a predictor plus storage-free confidence estimator.
+// NewEstimator builds a predictor plus storage-free confidence
+// estimator. It is the legacy TAGE construction path; New("tage-...")
+// builds the identical estimator from a spec string.
 func NewEstimator(cfg Config, opts Options) *Estimator {
 	return core.NewEstimator(cfg, opts)
 }
@@ -162,10 +195,11 @@ func Suite(name string) ([]Trace, error) { return workload.Suite(name) }
 // TraceByName returns one of the 40 named traces.
 func TraceByName(name string) (Trace, error) { return workload.ByName(name) }
 
-// Run simulates an estimator over a trace (limit 0 = full trace),
-// collecting per-class statistics.
-func Run(est *Estimator, tr Trace, limit uint64) (Result, error) {
-	return sim.Run(est, tr, limit)
+// Run simulates a backend over a trace (limit 0 = full trace),
+// collecting per-class statistics. Any Backend works (a *Estimator is
+// one); the TAGE hot path stays devirtualized.
+func Run(b Backend, tr Trace, limit uint64) (Result, error) {
+	return sim.Run(b, tr, limit)
 }
 
 // RunSuite simulates a fresh estimator per trace and aggregates.
