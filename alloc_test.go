@@ -162,6 +162,14 @@ func TestAllPredictorHotPathsZeroAllocs(t *testing.T) {
 // response-frame encode into a reused buffer. This is the loop a server
 // connection runs per served branch, so a stray allocation here scales
 // with live traffic, not with sessions.
+//
+// The session is keyed and the engine has a checkpoint store attached —
+// the durable configuration — because the guarantee must survive it:
+// dirty tracking rides on the branch counter the tally already maintains,
+// and checkpoint encoding happens on the checkpoint pass (between
+// batches), never on the serving path. AllocsPerRun measures global
+// allocations, so the checkpoint itself runs between the measured
+// windows, exactly like the background loop interleaving with traffic.
 func TestServeHotPathZeroAllocs(t *testing.T) {
 	tr, err := workload.ByName("INT-1")
 	if err != nil {
@@ -172,9 +180,17 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := serve.NewEngine(serve.EngineConfig{})
+	cs, err := serve.OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AttachStore(cs, 0); err != nil {
+		t.Fatal(err)
+	}
 	sess, err := eng.Open(serve.OpenRequest{
 		Config:  "16K",
 		Options: Options{Mode: ModeProbabilistic},
+		Key:     "alloc/hot-path",
 	}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -199,13 +215,22 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 		step(i)
 	}
 	i := 10_000
-	allocs := testing.AllocsPerRun(20_000, func() {
-		step(i)
-		i++
-	})
-	if allocs != 0 {
-		t.Fatalf("%v allocs per served branch, want 0", allocs)
+	measure := func() {
+		allocs := testing.AllocsPerRun(20_000, func() {
+			step(i)
+			i++
+		})
+		if allocs != 0 {
+			t.Fatalf("%v allocs per served branch, want 0", allocs)
+		}
 	}
+	measure()
+	// A checkpoint pass between batches must not disturb the next window
+	// (and the session, having served branches, must actually be dirty).
+	if n := eng.CheckpointDirty(1, false); n != 1 {
+		t.Fatalf("CheckpointDirty wrote %d checkpoints, want 1", n)
+	}
+	measure()
 }
 
 // TestTraceOpenReuseZeroAllocs asserts that reopening a synthetic

@@ -137,3 +137,17 @@ func RunSuiteSpec(spec string, traces []Trace, limit uint64) (SuiteResult, error
 	}
 	return sim.RunSuiteSpec(sp, traces, limit)
 }
+
+// SnapshotBackend serializes a backend's complete predictor state into a
+// self-describing versioned blob: spec line, state image and checksum.
+// Restoring the blob yields a backend that continues bit-identically to
+// the original. Every registered family supports it.
+func SnapshotBackend(b Backend) ([]byte, error) {
+	return predictor.AppendSnapshot(nil, b)
+}
+
+// RestoreBackend rebuilds a backend from a SnapshotBackend blob,
+// validating the format version and checksum.
+func RestoreBackend(blob []byte) (Backend, error) {
+	return predictor.RestoreSnapshot(blob)
+}

@@ -467,6 +467,78 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "branches/sec")
 }
 
+// BenchmarkCheckpoint measures the durability tax of the serve layer:
+// "encode" is the cost of serializing a warmed keyed session into its
+// versioned snapshot blob (what the failover token and the SnapGet frame
+// pay), and "write" is a full forced checkpoint pass — snapshot under the
+// session lock plus the atomic temp+rename file write (what the
+// background checkpoint loop pays per dirty session per interval). The
+// serving hot path itself stays zero-alloc regardless (alloc_test.go);
+// this benchmark prices the between-batch passes. PERF.md records the
+// numbers.
+func BenchmarkCheckpoint(b *testing.B) {
+	tr, err := workload.ByName("INT-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	branches, err := trace.Collect(trace.Limit(tr, 50_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	newWarmEngine := func(b *testing.B) (*serve.Engine, *serve.Session) {
+		eng := serve.NewEngine(serve.EngineConfig{})
+		cs, err := serve.OpenCheckpointStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.AttachStore(cs, 0); err != nil {
+			b.Fatal(err)
+		}
+		sess, err := eng.Open(serve.OpenRequest{
+			Config:  "16K",
+			Options: Options{Mode: ModeProbabilistic},
+			Key:     "bench/checkpoint",
+		}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grades := make([]byte, 0, 1024)
+		for off := 0; off < len(branches); off += 1024 {
+			end := off + 1024
+			if end > len(branches) {
+				end = len(branches)
+			}
+			if grades, _ = sess.Serve(branches[off:end], grades[:0], 0); grades == nil {
+				b.Fatal("session retired during warmup")
+			}
+		}
+		return eng, sess
+	}
+	b.Run("encode", func(b *testing.B) {
+		_, sess := newWarmEngine(b)
+		var blob []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if blob, err = sess.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(blob)), "bytes/snapshot")
+	})
+	b.Run("write", func(b *testing.B) {
+		eng, _ := newWarmEngine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n := eng.CheckpointDirty(int64(i), true); n != 1 {
+				b.Fatalf("forced checkpoint pass wrote %d sessions, want 1", n)
+			}
+		}
+	})
+}
+
 // BenchmarkPredictorSpeed measures raw predict+update throughput of the
 // three configurations through the facade (complementing the per-package
 // micro-benchmarks).

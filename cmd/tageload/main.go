@@ -13,9 +13,18 @@
 // In pass mode (the default) every connection replays its share of the
 // suite exactly once and the per-level counts are exact: they match an
 // offline sim.Run over the same traces bit for bit (the repository's
-// equivalence tests pin this). In duration mode (-duration > 0) the
-// connections loop over their traces until the deadline — the
-// throughput-soak configuration the CI smoke job uses.
+// equivalence tests pin this; -verify recomputes the comparison inline).
+// In duration mode (-duration > 0) the connections loop over their
+// traces until the deadline — the throughput-soak configuration the CI
+// smoke job uses.
+//
+// With -nodes, tageload drives a cluster through the failover-aware
+// router: sessions are keyed (durable), placed by consistent hashing,
+// and survive node restarts and crashes — transient failures are
+// retried and reported in the final cluster roll-up instead of aborting
+// the run:
+//
+//	tageload -nodes localhost:7421,localhost:7431 -suite cbp1 -verify
 package main
 
 import (
@@ -23,13 +32,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predictor"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/tage"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,6 +56,9 @@ func main() {
 		batch     = flag.Int("batch", 1024, "branches per request batch")
 		branches  = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
 		duration  = flag.Duration("duration", 0, "soak: loop replays until this deadline (0 = one exact pass)")
+		nodes     = flag.String("nodes", "", "comma-separated cluster addresses; enables the failover-aware router with durable keyed sessions (overrides -addr)")
+		keyPrefix = flag.String("key-prefix", "tageload", "session-key prefix in router mode")
+		verify    = flag.Bool("verify", false, "pass mode: recompute every trace offline and require bit-identical tallies")
 	)
 	flag.Parse()
 
@@ -65,12 +80,26 @@ func main() {
 		}
 	}
 
+	var router *serve.Router
+	if *nodes != "" {
+		router, err = serve.NewRouter(serve.RouterConfig{
+			Nodes:  strings.Split(*nodes, ","),
+			Client: serve.ClientConfig{DialTimeout: 5 * time.Second, ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	n := *conns
 	if n < 1 {
 		n = 1
 	}
 	var deadline time.Time
 	if *duration > 0 {
+		if *verify {
+			log.Fatal("tageload: -verify needs an exact pass; drop -duration")
+		}
 		deadline = time.Now().Add(*duration)
 		if *branches == 0 {
 			// The deadline is only checked between replays, so a full
@@ -98,31 +127,59 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			out := &outs[w]
-			c, err := serve.Dial(*addr)
-			if err != nil {
-				out.err = err
-				return
-			}
-			defer c.Close()
-			open := func() (*serve.ClientSession, error) {
-				if bf.Explicit() {
-					return c.OpenSpec(*bf.Backend)
+			var replay func(i int) bool
+			if router != nil {
+				// Router mode: keyed durable sessions, transient node
+				// failures retried inside Replay (reported in the cluster
+				// roll-up) instead of aborting the worker.
+				replay = func(i int) bool {
+					req := serve.OpenRequest{}
+					if bf.Explicit() {
+						req.Spec = *bf.Backend
+					} else {
+						req.Config, req.Options = *bf.Config, opts
+					}
+					key := fmt.Sprintf("%s/%d/%s", *keyPrefix, w, traces[i].Name())
+					rs, err := router.Open(key, req)
+					if err != nil {
+						out.err = err
+						return false
+					}
+					res, err := rs.Replay(traces[i], *branches, *batch, &out.lat)
+					if err != nil {
+						out.err = fmt.Errorf("%s: %w", traces[i].Name(), err)
+						return false
+					}
+					out.results = append(out.results, res)
+					return true
 				}
-				return c.Open(*bf.Config, opts)
-			}
-			replay := func(i int) bool {
-				sess, err := open()
+			} else {
+				c, err := serve.Dial(*addr)
 				if err != nil {
 					out.err = err
-					return false
+					return
 				}
-				res, err := sess.Replay(traces[i], *branches, *batch, &out.lat)
-				if err != nil {
-					out.err = fmt.Errorf("%s: %w", traces[i].Name(), err)
-					return false
+				defer c.Close()
+				open := func() (*serve.ClientSession, error) {
+					if bf.Explicit() {
+						return c.OpenSpec(*bf.Backend)
+					}
+					return c.Open(*bf.Config, opts)
 				}
-				out.results = append(out.results, res)
-				return true
+				replay = func(i int) bool {
+					sess, err := open()
+					if err != nil {
+						out.err = err
+						return false
+					}
+					res, err := sess.Replay(traces[i], *branches, *batch, &out.lat)
+					if err != nil {
+						out.err = fmt.Errorf("%s: %w", traces[i].Name(), err)
+						return false
+					}
+					out.results = append(out.results, res)
+					return true
+				}
 			}
 			if deadline.IsZero() {
 				// Pass mode: strided exact shares, each trace replayed
@@ -180,7 +237,57 @@ func main() {
 	if deadline.IsZero() {
 		fmt.Println("  (exact pass: per-level counts are bit-identical to offline sim.Run)")
 	}
+	if router != nil {
+		fmt.Println("  cluster:")
+		for _, ns := range router.Stats() {
+			fmt.Printf("    %-24s sessions=%d retries=%d failovers=%d\n",
+				ns.Addr, ns.Sessions, ns.Retries, ns.Failovers)
+		}
+	}
+	if *verify {
+		if err := verifyOffline(all, bf, opts, *branches); err != nil {
+			log.Fatalf("tageload: VERIFY FAILED: %v", err)
+		}
+		fmt.Printf("  verify: %d replays bit-identical to offline sim.Run\n", len(all))
+	}
 	if agg.Branches == 0 {
 		os.Exit(1)
 	}
+}
+
+// verifyOffline recomputes every served replay with the offline simulator
+// and requires bit-identical tallies — the end-to-end durability check a
+// soak script runs after killing and restarting nodes mid-replay.
+func verifyOffline(all []sim.Result, bf *core.BackendFlags, opts core.Options, limit uint64) error {
+	for _, res := range all {
+		tr, err := workload.ByName(res.Trace)
+		if err != nil {
+			return err
+		}
+		var offline sim.Result
+		if bf.Explicit() {
+			sp, err := predictor.Parse(*bf.Backend)
+			if err != nil {
+				return err
+			}
+			if offline, err = sim.RunSpec(sp, tr, limit); err != nil {
+				return err
+			}
+			// Spec-opened sessions label results with the request's mode;
+			// the tallies are what the check is about.
+			offline.Mode = res.Mode
+		} else {
+			cfg, err := tage.ConfigByName(*bf.Config)
+			if err != nil {
+				return err
+			}
+			if offline, err = sim.RunConfig(cfg, opts, tr, limit); err != nil {
+				return err
+			}
+		}
+		if res != offline {
+			return fmt.Errorf("%s: served %+v != offline %+v", res.Trace, res, offline)
+		}
+	}
+	return nil
 }

@@ -13,8 +13,18 @@
 // The -backend flag (or the legacy -config/-mode pair) sets the
 // predictor a session gets when its open request names no backend;
 // clients may request any registered backend per session.
+//
+// With -state-dir, keyed sessions are durable: their state is
+// checkpointed to the directory every -checkpoint-interval (and on
+// shutdown), and a restarted server restores every checkpoint before
+// accepting traffic — clients resume exactly where they left off, even
+// across a crash:
+//
+//	tageserved -addr :7421 -state-dir /var/lib/tageserved
+//
 // SIGINT/SIGTERM shut the server down gracefully (live connections are
-// closed, handlers drained).
+// closed, handlers drained, and a final checkpoint written for every
+// live keyed session).
 package main
 
 import (
@@ -40,6 +50,8 @@ func main() {
 		shards      = flag.Int("shards", serve.DefaultShards, "session-registry lock stripes (rounded up to a power of two)")
 		maxSessions = flag.Int("max-sessions", 0, "live-session cap (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "evict sessions idle this long (<0 disables eviction)")
+		stateDir    = flag.String("state-dir", "", "checkpoint directory for durable keyed sessions (empty = sessions are in-memory only)")
+		ckptEvery   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "checkpoint dirty keyed sessions this often (<0 disables the loop; eviction and shutdown still checkpoint)")
 	)
 	flag.Parse()
 
@@ -64,9 +76,10 @@ func main() {
 	}
 
 	srv := serve.NewServer(serve.Config{
-		Addr:        *addr,
-		MetricsAddr: *metricsAddr,
-		IdleTimeout: *idleTimeout,
+		Addr:               *addr,
+		MetricsAddr:        *metricsAddr,
+		IdleTimeout:        *idleTimeout,
+		CheckpointInterval: *ckptEvery,
 		Engine: serve.EngineConfig{
 			Shards:         *shards,
 			MaxSessions:    *maxSessions,
@@ -75,6 +88,21 @@ func main() {
 			DefaultSpec:    *bf.Backend,
 		},
 	})
+	if *stateDir != "" {
+		// Attach the store here rather than through Config.StateDir so the
+		// warm-start restore count makes the startup log (Serve skips its
+		// own attach when one is already wired in).
+		cs, err := serve.OpenCheckpointStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		restored, err := srv.Engine().AttachStore(cs, time.Now().UnixNano())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("tageserved: state dir %s (restored %d checkpointed sessions, checkpoint interval %v)",
+			*stateDir, restored, *ckptEvery)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -109,5 +137,9 @@ func main() {
 		snap := srv.Engine().Snapshot()
 		log.Printf("tageserved: served %d branches over %d sessions (%.2f%% mispredicted), bye",
 			snap.Branches, snap.OpenedSessions, 100*snap.Total.Rate())
+		if snap.CheckpointsWritten > 0 || snap.CheckpointRestores > 0 {
+			log.Printf("tageserved: wrote %d checkpoints (%d bytes, %d restores, %d write failures)",
+				snap.CheckpointsWritten, snap.CheckpointBytes, snap.CheckpointRestores, snap.CheckpointWriteFailures)
+		}
 	}
 }

@@ -1,7 +1,10 @@
 // Serving: run the online prediction service in-process, stream a short
 // synthetic session through it over loopback TCP, and read back the
 // live confidence-level breakdown — the storage-free estimate as a
-// queryable signal rather than a post-hoc table.
+// queryable signal rather than a post-hoc table. The second half is the
+// durability story: predictor state snapshot/restore, and a keyed
+// session surviving the death of its node through the failover-aware
+// session router.
 package main
 
 import (
@@ -9,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro"
 	"repro/internal/metrics"
@@ -77,4 +81,120 @@ func main() {
 	}
 	fmt.Printf("\nsame stream on %s: %.2f misp/KI (TAGE: %.2f)\n",
 		gres.Config, gres.MPKI(), res.MPKI())
+
+	// Durability, layer one: any registered backend's complete state
+	// serializes into a self-describing versioned blob and restores
+	// bit-identically — the primitive session checkpoints are built on.
+	b, err := repro.New("tage-16K?mode=adaptive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, err := repro.TraceByName("MM-4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rd := warm.Open()
+	for i := 0; i < 50_000; i++ {
+		br, err := rd.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.Predict(br.PC)
+		b.Update(br.PC, br.Taken)
+	}
+	blob, err := repro.SnapshotBackend(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := repro.RestoreBackend(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := true
+	for i := 0; i < 10_000; i++ {
+		br, err := rd.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		p1, c1, l1 := b.Predict(br.PC)
+		p2, c2, l2 := restored.Predict(br.PC)
+		if p1 != p2 || c1 != c2 || l1 != l2 {
+			agree = false
+		}
+		b.Update(br.PC, br.Taken)
+		restored.Update(br.PC, br.Taken)
+	}
+	fmt.Printf("\nsnapshot: %d-byte blob; restored predictor agrees on the next 10k branches: %v\n",
+		len(blob), agree)
+
+	// Durability, layer two: a 2-node cluster behind the session router.
+	// Keyed sessions are placed by consistent hashing; when their node
+	// dies mid-stream the router fails over to the survivor, reseeds it
+	// from the last fetched snapshot, rewinds the replay cursor to the
+	// server's authoritative branch count, and the final tallies are
+	// STILL bit-identical to an uninterrupted offline run. (Give each
+	// node a ServeConfig.StateDir and sessions additionally survive node
+	// restarts via on-disk checkpoints — see cmd/tageserved -state-dir.)
+	srvA := repro.NewServer(repro.ServeConfig{})
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srvA.Serve(lnA)
+	srvB := repro.NewServer(repro.ServeConfig{})
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srvB.Serve(lnB)
+	defer srvB.Shutdown(context.Background())
+
+	router, err := repro.NewSessionRouter(repro.RouterConfig{
+		Nodes:        []string{lnA.Addr().String(), lnB.Addr().String()},
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Find a key the ring places on node A — the node we will kill.
+	key := "session/demo"
+	for i := 0; router.NodeFor(key) != lnA.Addr().String(); i++ {
+		key = fmt.Sprintf("session/demo-%d", i)
+	}
+	rs, err := router.Open(key, repro.ServeOpenRequest{Spec: "tage-16K"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	type outcome struct {
+		res repro.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := rs.Replay(tr, 200_000, 1024, nil)
+		done <- outcome{res, err}
+	}()
+	// Kill node A once the session has made real progress.
+	for srvA.Engine().Snapshot().Branches < 20_000 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	srvA.Shutdown(ctx)
+	cancel()
+	o := <-done
+	if o.err != nil {
+		log.Fatal(o.err)
+	}
+	offline, err := repro.RunSpec("tage-16K", tr, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline.Mode = o.res.Mode
+	fmt.Printf("\nrouted session %q survived its node dying mid-stream on %s\n", key, rs.Node())
+	fmt.Printf("failover replay bit-identical to offline run: %v (%.2f misp/KI over %d branches)\n",
+		o.res == offline, o.res.MPKI(), o.res.Branches)
+	for _, ns := range router.Stats() {
+		fmt.Printf("  node %-21s sessions=%d retries=%d failovers=%d\n",
+			ns.Addr, ns.Sessions, ns.Retries, ns.Failovers)
+	}
 }

@@ -1,0 +1,46 @@
+// Snapshot codec for the standalone bimodal predictor: the mutable
+// state is exactly the counter table, one byte per 2-bit counter.
+package bimodal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/statecodec"
+)
+
+// AppendState appends the counter table to dst.
+func (p *Predictor) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.table)))
+	for _, c := range p.table {
+		dst = append(dst, byte(c))
+	}
+	return dst
+}
+
+// RestoreState reads state written by AppendState into p, validating
+// the table length against p's configuration and each counter against
+// the 2-bit range.
+func (p *Predictor) RestoreState(r *statecodec.Reader) error {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != uint64(len(p.table)) {
+		return fmt.Errorf("%w: bimodal table %d entries, want %d", statecodec.ErrCorrupt, n, len(p.table))
+	}
+	raw := r.Bytes(len(p.table))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for _, b := range raw {
+		if b > byte(counter.BimodalStrongTaken) {
+			return fmt.Errorf("%w: bimodal counter value %d", statecodec.ErrCorrupt, b)
+		}
+	}
+	for i, b := range raw {
+		p.table[i] = counter.Bimodal(b)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Snapshot codec for the full estimator: the TAGE predictor state, the
+// classifier's medium-conf-bim window counter, and — when the mode
+// installs them — the probabilistic automaton's denominator and RNG
+// stream and the adaptive controller's window tallies. Which optional
+// sections are present is determined by the construction options, which
+// both sides share, so the encoding needs no presence flags.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/statecodec"
+	"repro/internal/tage"
+)
+
+// AppendState appends the classifier's mutable state — the
+// medium-conf-bim window countdown — to dst.
+func (c *Classifier) AppendState(dst []byte) []byte {
+	return binary.AppendUvarint(dst, uint64(c.remaining))
+}
+
+// RestoreState reads state written by AppendState into c, validating
+// the countdown against the configured window length.
+func (c *Classifier) RestoreState(r *statecodec.Reader) error {
+	remaining := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if remaining > uint64(c.window) {
+		return fmt.Errorf("%w: classifier window %d, max %d", statecodec.ErrCorrupt, remaining, c.window)
+	}
+	c.remaining = int(remaining)
+	return nil
+}
+
+// Config returns the construction-time TAGE configuration (normalized by
+// the predictor). Snapshot envelopes use it to record the spec a restore
+// rebuilds the estimator from.
+func (e *Estimator) Config() tage.Config { return e.pred.Config() }
+
+// Options returns the construction-time options.
+func (e *Estimator) Options() Options { return e.opts }
+
+// AppendState appends the estimator's mutable state to dst.
+func (e *Estimator) AppendState(dst []byte) []byte {
+	dst = e.pred.AppendState(dst)
+	dst = e.cls.AppendState(dst)
+	if e.auto != nil {
+		dst = binary.AppendUvarint(dst, uint64(e.auto.DenomLog()))
+		dst = binary.LittleEndian.AppendUint64(dst, e.auto.Rand().State())
+	}
+	if e.ctl != nil {
+		dst = binary.AppendUvarint(dst, e.ctl.hiPreds)
+		dst = binary.AppendUvarint(dst, e.ctl.hiMisps)
+		dst = binary.AppendUvarint(dst, e.ctl.adjustments)
+	}
+	return dst
+}
+
+// RestoreState reads state written by AppendState into e, which must
+// have been built from the same configuration and options.
+func (e *Estimator) RestoreState(r *statecodec.Reader) error {
+	if err := e.pred.RestoreState(r); err != nil {
+		return err
+	}
+	if err := e.cls.RestoreState(r); err != nil {
+		return err
+	}
+	if e.auto != nil {
+		denomLog := r.Uvarint()
+		rngState := r.Uint64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if denomLog > counter.MaxDenomLog {
+			return fmt.Errorf("%w: denomLog %d out of range", statecodec.ErrCorrupt, denomLog)
+		}
+		e.auto.SetDenomLog(uint(denomLog))
+		e.auto.Rand().SetState(rngState)
+	}
+	if e.ctl != nil {
+		e.ctl.hiPreds = r.Uvarint()
+		e.ctl.hiMisps = r.Uvarint()
+		e.ctl.adjustments = r.Uvarint()
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	e.havePred = false
+	return nil
+}

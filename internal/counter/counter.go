@@ -190,6 +190,12 @@ func (p *Probabilistic) SetDenomLog(l uint) {
 	p.denomLog = l
 }
 
+// Rand exposes the automaton's random stream so snapshot codecs can
+// capture and restore the exact generator state; the probabilistic
+// saturation decisions are part of the predictor's bit-reproducible
+// behavior.
+func (p *Probabilistic) Rand() *xrand.Rand { return p.rng }
+
 // Probability returns the current saturation probability as a float.
 func (p *Probabilistic) Probability() float64 {
 	return 1.0 / float64(uint64(1)<<p.denomLog)

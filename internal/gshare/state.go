@@ -1,0 +1,48 @@
+// Snapshot codec for gshare: the counter table plus the global-history
+// register.
+package gshare
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/statecodec"
+)
+
+// AppendState appends the counter table and history register to dst.
+func (p *Predictor) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.table)))
+	for _, c := range p.table {
+		dst = append(dst, byte(c))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, p.ghist)
+	return dst
+}
+
+// RestoreState reads state written by AppendState into p, validating
+// the table length against p's configuration.
+func (p *Predictor) RestoreState(r *statecodec.Reader) error {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != uint64(len(p.table)) {
+		return fmt.Errorf("%w: gshare table %d entries, want %d", statecodec.ErrCorrupt, n, len(p.table))
+	}
+	raw := r.Bytes(len(p.table))
+	ghist := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for _, b := range raw {
+		if b > byte(counter.BimodalStrongTaken) {
+			return fmt.Errorf("%w: gshare counter value %d", statecodec.ErrCorrupt, b)
+		}
+	}
+	for i, b := range raw {
+		p.table[i] = counter.Bimodal(b)
+	}
+	p.ghist = ghist
+	return nil
+}

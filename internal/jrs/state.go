@@ -1,0 +1,44 @@
+// Snapshot codec for the JRS confidence estimator: the miss-distance
+// counter table plus its local global-history copy.
+package jrs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/statecodec"
+)
+
+// AppendState appends the counter table and history register to dst.
+func (e *Estimator) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.table)))
+	dst = append(dst, e.table...)
+	dst = binary.LittleEndian.AppendUint64(dst, e.ghist)
+	return dst
+}
+
+// RestoreState reads state written by AppendState into e, validating
+// the table length and counter ranges against e's configuration.
+func (e *Estimator) RestoreState(r *statecodec.Reader) error {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != uint64(len(e.table)) {
+		return fmt.Errorf("%w: jrs table %d entries, want %d", statecodec.ErrCorrupt, n, len(e.table))
+	}
+	raw := r.Bytes(len(e.table))
+	ghist := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	max := uint8(1<<e.bits) - 1
+	for _, b := range raw {
+		if b > max {
+			return fmt.Errorf("%w: jrs counter value %d", statecodec.ErrCorrupt, b)
+		}
+	}
+	copy(e.table, raw)
+	e.ghist = ghist
+	return nil
+}

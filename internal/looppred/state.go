@@ -1,0 +1,102 @@
+// Snapshot codecs for the loop predictor and the LTAGE combiner. The
+// loop table is serialized entry by entry (the fields are narrow, so
+// the varint encoding is compact for the mostly-empty table); LTAGE
+// nests the TAGE and loop codecs under its WITHLOOP counter. All
+// per-prediction scratch is dead at snapshot cut points.
+package looppred
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/statecodec"
+)
+
+// AppendState appends the loop table to dst.
+func (p *Predictor) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.entries)))
+	for i := range p.entries {
+		e := &p.entries[i]
+		var flags byte
+		if e.valid {
+			flags |= 1
+		}
+		if e.dir {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, uint64(e.tag))
+		dst = binary.AppendUvarint(dst, uint64(e.currentIter))
+		dst = binary.AppendUvarint(dst, uint64(e.trip))
+		dst = append(dst, e.conf, e.age)
+	}
+	return dst
+}
+
+// RestoreState reads state written by AppendState into p, validating
+// the table length and field ranges against p's configuration.
+func (p *Predictor) RestoreState(r *statecodec.Reader) error {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != uint64(len(p.entries)) {
+		return fmt.Errorf("%w: loop table %d entries, want %d", statecodec.ErrCorrupt, n, len(p.entries))
+	}
+	decoded := make([]entry, len(p.entries))
+	for i := range decoded {
+		flags := r.Byte()
+		tag := r.Uvarint()
+		cur := r.Uvarint()
+		trip := r.Uvarint()
+		conf := r.Byte()
+		age := r.Byte()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if flags > 3 || tag >= 1<<p.cfg.TagBits ||
+			cur > uint64(p.cfg.MaxTrip) || trip > uint64(p.cfg.MaxTrip) ||
+			conf > p.cfg.ConfMax {
+			return fmt.Errorf("%w: loop entry %d out of range", statecodec.ErrCorrupt, i)
+		}
+		decoded[i] = entry{
+			tag:         uint16(tag),
+			currentIter: uint16(cur),
+			trip:        uint16(trip),
+			conf:        conf,
+			age:         age,
+			dir:         flags&2 != 0,
+			valid:       flags&1 != 0,
+		}
+	}
+	copy(p.entries, decoded)
+	return nil
+}
+
+// AppendState appends the combined LTAGE state: the TAGE component, the
+// loop table, and the WITHLOOP counter.
+func (l *LTAGE) AppendState(dst []byte) []byte {
+	dst = l.tage.AppendState(dst)
+	dst = l.loop.AppendState(dst)
+	return binary.AppendVarint(dst, int64(l.withLoop))
+}
+
+// RestoreState reads state written by AppendState into l.
+func (l *LTAGE) RestoreState(r *statecodec.Reader) error {
+	if err := l.tage.RestoreState(r); err != nil {
+		return err
+	}
+	if err := l.loop.RestoreState(r); err != nil {
+		return err
+	}
+	wl := r.Varint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if wl < -64 || wl > 63 {
+		return fmt.Errorf("%w: ltage withLoop %d out of range", statecodec.ErrCorrupt, wl)
+	}
+	l.withLoop = int8(wl)
+	l.havePred = false
+	return nil
+}

@@ -25,6 +25,22 @@ func (c *Counts) Add(other Counts) {
 	c.Misps += other.Misps
 }
 
+// Sub removes other from c, clamping at zero. The serve engine uses it
+// to un-fold the tallies of an evicted session that is re-adopted from
+// its checkpoint, so its branches are counted exactly once.
+func (c *Counts) Sub(other Counts) {
+	if other.Preds > c.Preds {
+		c.Preds = 0
+	} else {
+		c.Preds -= other.Preds
+	}
+	if other.Misps > c.Misps {
+		c.Misps = 0
+	} else {
+		c.Misps -= other.Misps
+	}
+}
+
 // Record tallies one resolved prediction.
 func (c *Counts) Record(mispredicted bool) {
 	c.Preds++

@@ -1,0 +1,79 @@
+// Snapshot codec for O-GEHL: the counter tables, the adapted threshold
+// and its adaptation counter, the global-history buffer and the folded
+// per-table compressions. lastSum/lastIdx/lastPC are per-prediction
+// scratch, dead at snapshot cut points; RestoreState clears havePred.
+package ogehl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/statecodec"
+)
+
+// AppendState appends the predictor's mutable state to dst.
+func (p *Predictor) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.tables)))
+	dst = binary.AppendUvarint(dst, uint64(len(p.tables[0])))
+	for _, tbl := range p.tables {
+		for _, c := range tbl {
+			dst = append(dst, byte(c))
+		}
+	}
+	dst = binary.AppendVarint(dst, int64(p.theta))
+	dst = binary.AppendVarint(dst, int64(p.tc))
+	dst = p.ghist.AppendState(dst)
+	for t := 1; t < len(p.folded); t++ {
+		dst = binary.AppendUvarint(dst, uint64(p.folded[t].Value()))
+	}
+	return dst
+}
+
+// RestoreState reads state written by AppendState into p, validating
+// the recorded geometry and counter ranges against p's configuration.
+func (p *Predictor) RestoreState(r *statecodec.Reader) error {
+	nt := r.Uvarint()
+	rows := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nt != uint64(len(p.tables)) || rows != uint64(len(p.tables[0])) {
+		return fmt.Errorf("%w: ogehl geometry %dx%d, want %dx%d",
+			statecodec.ErrCorrupt, nt, rows, len(p.tables), len(p.tables[0]))
+	}
+	raw := r.Bytes(len(p.tables) * len(p.tables[0]))
+	theta := r.Varint()
+	tc := r.Varint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for _, b := range raw {
+		if c := int8(b); c < p.ctrMin || c > p.ctrMax {
+			return fmt.Errorf("%w: ogehl counter value %d", statecodec.ErrCorrupt, c)
+		}
+	}
+	if err := p.ghist.RestoreState(r); err != nil {
+		return err
+	}
+	folds := make([]uint32, len(p.folded))
+	for t := 1; t < len(p.folded); t++ {
+		folds[t] = uint32(r.Uvarint())
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	off := 0
+	for _, tbl := range p.tables {
+		for i := range tbl {
+			tbl[i] = int8(raw[off])
+			off++
+		}
+	}
+	p.theta = int32(theta)
+	p.tc = int32(tc)
+	for t := 1; t < len(p.folded); t++ {
+		p.folded[t].SetValue(folds[t])
+	}
+	p.havePred = false
+	return nil
+}

@@ -1,6 +1,9 @@
 package predictor
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/statecodec"
+)
 
 // Backend is the backend-agnostic estimator contract: one predictor
 // instance that predicts, trains, and grades its own predictions with
@@ -65,12 +68,24 @@ type graded struct {
 	predict func(pc uint64) (bool, core.Class, core.Level)
 	update  func(pc uint64, taken bool)
 	rebuild func() // swaps in a fresh underlying predictor
+	save    func(dst []byte) []byte
+	load    func(r *statecodec.Reader) error
 }
 
 func (g *graded) Predict(pc uint64) (bool, core.Class, core.Level) { return g.predict(pc) }
 func (g *graded) Update(pc uint64, taken bool)                     { g.update(pc, taken) }
 func (g *graded) Reset()                                           { g.rebuild() }
 func (g *graded) Label() string                                    { return g.label }
+
+// SnapshotSpec returns the canonical spec the backend was built from —
+// the rebuild recipe a snapshot envelope records.
+func (g *graded) SnapshotSpec() Spec { return g.spec }
+
+// AppendState implements Snapshotter through the family's save closure.
+func (g *graded) AppendState(dst []byte) []byte { return g.save(dst) }
+
+// RestoreState implements Snapshotter through the family's load closure.
+func (g *graded) RestoreState(r *statecodec.Reader) error { return g.load(r) }
 
 // levelClass maps a confidence level onto its bimodal-provider class,
 // the generic grading buckets (see the Backend doc).

@@ -12,6 +12,7 @@ import (
 	"repro/internal/looppred"
 	"repro/internal/ogehl"
 	"repro/internal/perceptron"
+	"repro/internal/statecodec"
 	"repro/internal/tage"
 )
 
@@ -201,6 +202,8 @@ func buildGshare(sp Spec) (Backend, error) {
 		return c.Taken(), class, level
 	}
 	g.update = func(pc uint64, taken bool) { pr.Update(pc, taken) }
+	g.save = func(dst []byte) []byte { return pr.AppendState(dst) }
+	g.load = func(r *statecodec.Reader) error { return pr.RestoreState(r) }
 	return g, nil
 }
 
@@ -227,6 +230,8 @@ func buildBimodal(sp Spec) (Backend, error) {
 		return c.Taken(), class, level
 	}
 	g.update = func(pc uint64, taken bool) { pr.Update(pc, taken) }
+	g.save = func(dst []byte) []byte { return pr.AppendState(dst) }
+	g.load = func(r *statecodec.Reader) error { return pr.RestoreState(r) }
 	return g, nil
 }
 
@@ -271,6 +276,8 @@ func buildPerceptron(sp Spec) (Backend, error) {
 		return pred, class, level
 	}
 	g.update = func(pc uint64, taken bool) { pr.Update(pc, taken) }
+	g.save = func(dst []byte) []byte { return pr.AppendState(dst) }
+	g.load = func(r *statecodec.Reader) error { return pr.RestoreState(r) }
 	return g, nil
 }
 
@@ -301,6 +308,8 @@ func buildOGEHL(sp Spec) (Backend, error) {
 		return pred, class, level
 	}
 	g.update = func(pc uint64, taken bool) { pr.Update(pc, taken) }
+	g.save = func(dst []byte) []byte { return pr.AppendState(dst) }
+	g.load = func(r *statecodec.Reader) error { return pr.RestoreState(r) }
 	return g, nil
 }
 
@@ -343,6 +352,16 @@ func buildJRS(sp Spec) (Backend, error) {
 	g.update = func(pc uint64, taken bool) {
 		est.Update(pc, lastPred, taken)
 		pr.Update(pc, taken)
+	}
+	g.save = func(dst []byte) []byte {
+		dst = pr.AppendState(dst)
+		return est.AppendState(dst)
+	}
+	g.load = func(r *statecodec.Reader) error {
+		if err := pr.RestoreState(r); err != nil {
+			return err
+		}
+		return est.RestoreState(r)
 	}
 	return g, nil
 }
@@ -392,6 +411,16 @@ func buildLTAGE(sp Spec) (Backend, error) {
 	g.update = func(pc uint64, taken bool) {
 		cls.Resolve(lt.Observation(), taken)
 		lt.Update(pc, taken)
+	}
+	g.save = func(dst []byte) []byte {
+		dst = lt.AppendState(dst)
+		return cls.AppendState(dst)
+	}
+	g.load = func(r *statecodec.Reader) error {
+		if err := lt.RestoreState(r); err != nil {
+			return err
+		}
+		return cls.RestoreState(r)
 	}
 	return g, nil
 }

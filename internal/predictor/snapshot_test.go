@@ -1,0 +1,305 @@
+package predictor_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/statecodec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// appendCRC seals an envelope body with the trailing CRC32-IEEE word.
+func appendCRC(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+// buildEnvelope assembles a snapshot blob from parts, bypassing
+// AppendSnapshot so tests can construct inconsistent-but-sealed blobs.
+func buildEnvelope(t *testing.T, spec string, state []byte) []byte {
+	t.Helper()
+	body := []byte{predictor.SnapshotVersion}
+	body = statecodec.AppendBytes(body, []byte(spec))
+	body = statecodec.AppendBytes(body, state)
+	return appendCRC(body)
+}
+
+// snapshotFamilySpecs is one representative spec per registry family
+// (the non-TAGE half of the bit-identity matrix, and the fuzz corpus).
+var snapshotFamilySpecs = []string{
+	"gshare-16K?hist=10",
+	"bimodal-16K",
+	"perceptron?log=8&hist=24",
+	"ogehl?tables=4&log=8&maxhist=60",
+	"jrs-16K?enhanced=true",
+	"ltage-16K",
+}
+
+func collectBranches(tb testing.TB, name string, limit uint64) []trace.Branch {
+	tb.Helper()
+	tr, err := workload.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := trace.Limit(tr, limit).Open()
+	out := make([]trace.Branch, 0, limit)
+	for {
+		br, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, br)
+	}
+	return out
+}
+
+// runRange replicates sim.Run's per-branch tally sequence over a branch
+// slice, so a run interrupted by a snapshot/restore cut can be compared
+// field-for-field against the uninterrupted sim.Run result.
+func runRange(b predictor.Backend, res *sim.Result, branches []trace.Branch) {
+	for _, br := range branches {
+		pred, class, _ := b.Predict(br.PC)
+		miss := pred != br.Taken
+		res.Total.Record(miss)
+		res.Class[class].Record(miss)
+		res.Branches++
+		res.Instructions += uint64(br.Instr)
+		b.Update(br.PC, br.Taken)
+	}
+}
+
+// runWithCuts drives a fresh backend for spec over the branches,
+// snapshotting and restoring at every cut index, and returns the final
+// result tallied exactly as sim.Run tallies.
+func runWithCuts(t *testing.T, spec, trName string, branches []trace.Branch, cuts []int) sim.Result {
+	t.Helper()
+	b, _, err := predictor.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Result{Trace: trName, Config: b.Label(), Mode: predictor.ModeOf(b)}
+	prev := 0
+	for _, cut := range cuts {
+		runRange(b, &res, branches[prev:cut])
+		prev = cut
+		blob, err := predictor.AppendSnapshot(nil, b)
+		if err != nil {
+			t.Fatalf("AppendSnapshot at %d: %v", cut, err)
+		}
+		restored, err := predictor.RestoreSnapshot(blob)
+		if err != nil {
+			t.Fatalf("RestoreSnapshot at %d: %v", cut, err)
+		}
+		if restored.Label() != b.Label() {
+			t.Fatalf("restored label %q, want %q", restored.Label(), b.Label())
+		}
+		b = restored
+	}
+	runRange(b, &res, branches[prev:])
+	res.FinalProbability = predictor.SaturationProbabilityOf(b)
+	return res
+}
+
+// TestSnapshotRestoreBitIdentity proves the tentpole contract: a backend
+// snapshotted and restored at arbitrary branch indices finishes with a
+// sim.Result equal to the uninterrupted run — for the full TAGE matrix
+// (2 configs × 3 modes × 2 traces) and one configuration of every other
+// registry family.
+func TestSnapshotRestoreBitIdentity(t *testing.T) {
+	const limit = 12_000
+	traces := []string{"INT-1", "SERV-2"}
+	branchesOf := map[string][]trace.Branch{}
+	for _, tr := range traces {
+		branchesOf[tr] = collectBranches(t, tr, limit)
+	}
+
+	type case_ struct {
+		spec   string
+		traces []string
+	}
+	var cases []case_
+	for _, cfg := range []string{"16K", "64K"} {
+		for _, mode := range []string{"standard", "probabilistic", "adaptive"} {
+			cases = append(cases, case_{spec: "tage-" + cfg + "?mode=" + mode, traces: traces})
+		}
+	}
+	for _, spec := range snapshotFamilySpecs {
+		cases = append(cases, case_{spec: spec, traces: traces[:1]})
+	}
+
+	for i, c := range cases {
+		for _, trName := range c.traces {
+			branches := branchesOf[trName]
+			tr, err := workload.ByName(trName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := predictor.Parse(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offline, err := sim.RunSpec(sp, trace.Limit(tr, limit), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One mid-run cut at a case-dependent arbitrary index; the
+			// first case also exercises the cold cut and back-to-back cuts.
+			cuts := []int{1000 + (i*2711)%(len(branches)-2000)}
+			if i == 0 {
+				cuts = []int{0, cuts[0], cuts[0], len(branches) - 1}
+			}
+			got := runWithCuts(t, c.spec, trName, branches, cuts)
+			if got != offline {
+				t.Errorf("%s on %s: snapshot-cut result diverges\n got: %+v\nwant: %+v", c.spec, trName, got, offline)
+			}
+		}
+	}
+}
+
+// TestSnapshotErrors checks that broken blobs fail cleanly and loudly.
+func TestSnapshotErrors(t *testing.T) {
+	b, _, err := predictor.New("gshare-16K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := predictor.AppendSnapshot(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, broken []byte) {
+		t.Helper()
+		if _, err := predictor.RestoreSnapshot(broken); !errors.Is(err, predictor.ErrSnapshot) {
+			t.Errorf("%s: error %v, want ErrSnapshot", name, err)
+		}
+	}
+	check("empty", nil)
+	check("truncated", blob[:len(blob)-5])
+	flipped := bytes.Clone(blob)
+	flipped[len(flipped)/2] ^= 0x40
+	check("bitflip", flipped)
+
+	// Version skew with a recomputed checksum must still be rejected.
+	skewed := bytes.Clone(blob)
+	skewed[0] = predictor.SnapshotVersion + 1
+	skewed = reseal(skewed)
+	check("version-skew", skewed)
+
+	// A structurally valid envelope whose state belongs to a different
+	// configuration must be rejected by the family codec.
+	other, _, err := predictor.New("gshare-64K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBlob, err := predictor.AppendSnapshot(nil, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in the larger predictor's state under the smaller spec by
+	// decoding both and cross-wiring.
+	spec, _, err := predictor.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, otherState, err := predictor.DecodeSnapshot(otherBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed := buildEnvelope(t, spec, otherState)
+	check("state-mismatch", crossed)
+}
+
+// reseal recomputes the trailing CRC32 so tests can tamper with the body
+// and still reach the field decoders.
+func reseal(blob []byte) []byte {
+	body := blob[:len(blob)-4]
+	out := bytes.Clone(body)
+	return appendCRC(out)
+}
+
+func TestFuzzSnapshotSeedsRoundTrip(t *testing.T) {
+	for _, spec := range append([]string{"tage-16K?mode=probabilistic"}, snapshotFamilySpecs...) {
+		b, _, err := predictor.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := predictor.AppendSnapshot(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := predictor.RestoreSnapshot(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		again, err := predictor.AppendSnapshot(nil, restored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, again) {
+			t.Errorf("%s: snapshot not stable across restore", spec)
+		}
+	}
+}
+
+// FuzzSnapshot fuzzes the snapshot decoder: corrupt, truncated or
+// version-skewed blobs must error cleanly (never panic), and any blob
+// that restores must re-encode to a stable fixed point.
+func FuzzSnapshot(f *testing.F) {
+	for _, spec := range append([]string{"tage-16K?mode=probabilistic", "tage-16K?mode=adaptive"}, snapshotFamilySpecs...) {
+		b, _, err := predictor.New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		// Seed both cold and lightly trained snapshots of every family.
+		blob, err := predictor.AppendSnapshot(nil, b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		for pc := uint64(0); pc < 64; pc++ {
+			b.Predict(pc << 2)
+			b.Update(pc<<2, pc%3 == 0)
+		}
+		trained, err := predictor.AppendSnapshot(nil, b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(trained)
+		f.Add(trained[:len(trained)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{predictor.SnapshotVersion})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		b, err := predictor.RestoreSnapshot(blob)
+		if err != nil {
+			if !errors.Is(err, predictor.ErrSnapshot) {
+				t.Fatalf("non-ErrSnapshot failure: %v", err)
+			}
+			return
+		}
+		again, err := predictor.AppendSnapshot(nil, b)
+		if err != nil {
+			t.Fatalf("re-snapshot of restored backend: %v", err)
+		}
+		b2, err := predictor.RestoreSnapshot(again)
+		if err != nil {
+			t.Fatalf("restore of re-snapshot: %v", err)
+		}
+		final, err := predictor.AppendSnapshot(nil, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, final) {
+			t.Fatal("snapshot encoding is not a fixed point after restore")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CheckpointStore persists session snapshots as one file per session key
+// under a directory. File names are the hex encoding of the key plus a
+// ".ckpt" suffix — hex, not the raw key, so a hostile key ("../../etc")
+// can never escape the directory — and writes go through a temp file and
+// rename, so a crash mid-write leaves either the previous checkpoint or
+// none, never a torn one (torn blobs are also caught by the snapshot
+// checksum, making the store safe even on filesystems without atomic
+// rename).
+type CheckpointStore struct {
+	dir string
+}
+
+// ckptExt is the checkpoint file suffix.
+const ckptExt = ".ckpt"
+
+// OpenCheckpointStore opens (creating if needed) a checkpoint directory.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (cs *CheckpointStore) Dir() string { return cs.dir }
+
+func (cs *CheckpointStore) path(key string) string {
+	return filepath.Join(cs.dir, hex.EncodeToString([]byte(key))+ckptExt)
+}
+
+// Write atomically persists the checkpoint blob for key, replacing any
+// previous one.
+func (cs *CheckpointStore) Write(key string, blob []byte) error {
+	path := cs.path(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Read returns the checkpoint blob for key, or an fs.ErrNotExist error
+// when none is stored.
+func (cs *CheckpointStore) Read(key string) ([]byte, error) {
+	return os.ReadFile(cs.path(key))
+}
+
+// Delete removes the checkpoint for key (no error when absent — a
+// session closed before its first checkpoint has nothing to delete).
+func (cs *CheckpointStore) Delete(key string) error {
+	err := os.Remove(cs.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Keys lists every session key with a stored checkpoint. Files that do
+// not look like checkpoints (foreign files, leftover temp files,
+// undecodable names) are skipped, not errors — the boot path must come
+// up on a best-effort directory.
+func (cs *CheckpointStore) Keys() ([]string, error) {
+	entries, err := os.ReadDir(cs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ckptExt))
+		if err != nil || len(raw) == 0 || len(raw) > maxSessionKey {
+			continue
+		}
+		keys = append(keys, string(raw))
+	}
+	return keys, nil
+}
+
+// notExist reports whether err is the store's missing-checkpoint error.
+func notExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -14,12 +14,25 @@ import (
 	"repro/internal/trace"
 )
 
+// ClientConfig hardens a client against slow or failing peers with
+// per-operation deadlines. Zero values disable the corresponding
+// deadline (the pre-hardening behavior).
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each response read (set per round trip).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request write (set per round trip).
+	WriteTimeout time.Duration
+}
+
 // Client speaks the wire protocol over one connection. It is not safe
 // for concurrent use; a load generator opens one Client per goroutine.
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	cfg  ClientConfig
 
 	frame  []byte
 	out    []byte
@@ -28,11 +41,18 @@ type Client struct {
 
 // Dial connects a client to a server's wire-protocol address.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects a client with deadlines.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.cfg = cfg
+	return c, nil
 }
 
 // NewClient wraps an established connection (tests use net.Pipe-like
@@ -54,11 +74,17 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip writes the frame already assembled in c.out and reads one
 // response frame, translating FrameError into *RemoteError.
 func (c *Client) roundTrip(want byte) ([]byte, error) {
+	if c.cfg.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
 	if _, err := c.bw.Write(c.out); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
+	}
+	if c.cfg.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
 	}
 	typ, payload, frame, err := ReadFrame(c.br, c.frame)
 	c.frame = frame
@@ -82,10 +108,12 @@ func (c *Client) roundTrip(want byte) ([]byte, error) {
 // ClientSession is one open session on a server, driven through a
 // Client.
 type ClientSession struct {
-	c      *Client
-	id     uint64
-	config string
-	opts   core.Options
+	c       *Client
+	id      uint64
+	key     string
+	config  string
+	opts    core.Options
+	resumed uint64
 }
 
 // Open creates a session with the named predictor configuration (empty
@@ -104,21 +132,82 @@ func (c *Client) OpenSpec(spec string) (*ClientSession, error) {
 	return c.open(OpenRequest{Spec: spec}, core.Options{})
 }
 
+// OpenSession creates a session from a full OpenRequest — the keyed
+// (durable) path: a request with a Key resumes the live or checkpointed
+// session holding it, and Resumed reports how many branches the session
+// had already served.
+func (c *Client) OpenSession(req OpenRequest) (*ClientSession, error) {
+	return c.open(req, req.Options)
+}
+
+// OpenSnapshot opens (or resumes) a session from a snapshot blob — the
+// migration/failover path. The blob must decode locally so the session
+// can carry its key and labels client-side.
+func (c *Client) OpenSnapshot(blob []byte) (*ClientSession, error) {
+	snap, err := DecodeSessionSnapshot(blob)
+	if err != nil {
+		return nil, err
+	}
+	c.out = AppendOpenSnap(c.out[:0], blob)
+	payload, err := c.roundTrip(FrameOpened)
+	if err != nil {
+		return nil, err
+	}
+	id, resolved, branches, err := DecodeOpened(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientSession{
+		c: c, id: id, key: snap.Key, config: resolved,
+		opts:    core.Options{Mode: snap.Res.Mode},
+		resumed: branches,
+	}, nil
+}
+
 func (c *Client) open(req OpenRequest, opts core.Options) (*ClientSession, error) {
 	c.out = AppendOpen(c.out[:0], req)
 	payload, err := c.roundTrip(FrameOpened)
 	if err != nil {
 		return nil, err
 	}
-	id, resolved, err := DecodeOpened(payload)
+	id, resolved, branches, err := DecodeOpened(payload)
 	if err != nil {
 		return nil, err
 	}
-	return &ClientSession{c: c, id: id, config: resolved, opts: opts}, nil
+	return &ClientSession{c: c, id: id, key: req.Key, config: resolved, opts: opts, resumed: branches}, nil
 }
 
 // ID returns the server-assigned session id.
 func (s *ClientSession) ID() uint64 { return s.id }
+
+// Key returns the session's durable key ("" for anonymous sessions).
+func (s *ClientSession) Key() string { return s.key }
+
+// Resumed returns how many branches the session had already served when
+// this client opened it — non-zero when a keyed open resumed a live or
+// checkpointed session. It is the replay cursor: a client streaming a
+// known trace skips this many branches.
+func (s *ClientSession) Resumed() uint64 { return s.resumed }
+
+// Snapshot fetches the session's durable snapshot blob from the server.
+// The blob is copied out of the frame buffer, so it stays valid across
+// further client calls — the failover token a router holds on to.
+func (s *ClientSession) Snapshot() ([]byte, error) {
+	c := s.c
+	c.out = AppendSnapGet(c.out[:0], s.id)
+	payload, err := c.roundTrip(FrameSnap)
+	if err != nil {
+		return nil, err
+	}
+	id, blob, err := DecodeSnap(payload)
+	if err != nil {
+		return nil, err
+	}
+	if id != s.id {
+		return nil, fmt.Errorf("%w: snapshot for session %d, want %d", ErrProtocol, id, s.id)
+	}
+	return append([]byte(nil), blob...), nil
+}
 
 // Config returns the server-resolved backend label of the session: the
 // canonical configuration name for TAGE sessions ("64Kbits"), the

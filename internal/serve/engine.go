@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,6 +31,27 @@ type Engine struct {
 
 	opened  atomic.Uint64
 	evicted atomic.Uint64
+
+	// Checkpoint counters (atomic: bumped on cold paths, read by
+	// scrapes).
+	ckptWritten         atomic.Uint64
+	ckptBytes           atomic.Uint64
+	ckptRestores        atomic.Uint64
+	ckptRestoreFailures atomic.Uint64
+	ckptWriteFailures   atomic.Uint64
+	lastCkptNano        atomic.Int64
+
+	// keyMu guards the durable-session namespace: the key→session-id
+	// index, the parked tallies of evicted keyed sessions, and the
+	// checkpoint store pointer. It is held across a whole keyed open,
+	// close, sweep, or checkpoint pass, so a key can never race itself
+	// (e.g. an eviction writing a final checkpoint while an open adopts
+	// the previous one). Lock order: keyMu → registry shard → session mu
+	// → retiredMu.
+	keyMu  sync.Mutex
+	keys   map[string]uint64
+	parked map[string]sim.Result
+	store  *CheckpointStore
 
 	// retired accumulates the tallies of closed and evicted sessions so
 	// service-wide counters never lose history when a session goes away;
@@ -85,17 +107,147 @@ func NewEngine(cfg EngineConfig) *Engine {
 		defaultSpec:    cfg.DefaultSpec,
 		retiredBy:      make(map[string]BackendCounts),
 		openedBy:       make(map[string]uint64),
+		keys:           make(map[string]uint64),
+		parked:         make(map[string]sim.Result),
 	}
 }
 
-// Open creates a session for the request. Failures carry a RemoteError
-// whose code the TCP layer forwards verbatim.
+// Open creates (or, for keyed requests, resumes) a session for the
+// request. Failures carry a RemoteError whose code the TCP layer
+// forwards verbatim.
 //
 // Backend resolution order: an explicit request spec wins; then an
 // explicit config name (the legacy TAGE path, with the request
 // options); then the engine's default spec; then the default
 // config/options pair.
+//
+// Keyed requests resolve in durability order: a live session holding the
+// key is resumed as-is (the request's predictor fields are ignored —
+// the key is the identity); else a stored checkpoint for the key is
+// restored; else a fresh keyed session is created. An unreadable or
+// corrupt checkpoint is counted as a restore failure and falls back to a
+// fresh session rather than failing the open.
 func (e *Engine) Open(req OpenRequest, now int64) (*Session, error) {
+	if req.Key == "" {
+		return e.openFresh(req, now)
+	}
+	if len(req.Key) > maxSessionKey {
+		return nil, &RemoteError{Code: ErrCodeMalformed,
+			Message: fmt.Sprintf("session key length %d exceeds %d", len(req.Key), maxSessionKey)}
+	}
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if id, ok := e.keys[req.Key]; ok {
+		if s, ok := e.reg.get(id); ok {
+			s.lastUsed.Store(now)
+			return s, nil
+		}
+		// Unreachable today: every path that retires a keyed session
+		// holds keyMu and deletes the index entry first. Self-heal
+		// anyway.
+		delete(e.keys, req.Key)
+	}
+	if e.store != nil {
+		blob, err := e.store.Read(req.Key)
+		switch {
+		case err == nil:
+			s, aerr := e.adoptLocked(req.Key, blob, now)
+			if aerr == nil {
+				return s, nil
+			}
+			var re *RemoteError
+			if errors.As(aerr, &re) {
+				// Resource-level failures (session cap) are the caller's
+				// problem, not the checkpoint's.
+				return nil, aerr
+			}
+			e.ckptRestoreFailures.Add(1)
+		case !notExist(err):
+			e.ckptRestoreFailures.Add(1)
+		}
+	}
+	s, err := e.openFresh(req, now)
+	if err != nil {
+		return nil, err
+	}
+	e.keys[req.Key] = s.id
+	return s, nil
+}
+
+// adoptLocked restores the stored checkpoint blob as a live session for
+// key. Caller holds keyMu.
+func (e *Engine) adoptLocked(key string, blob []byte, now int64) (*Session, error) {
+	snap, err := DecodeSessionSnapshot(blob)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Key != key {
+		return nil, fmt.Errorf("%w: checkpoint key %q stored under %q", predictor.ErrSnapshot, snap.Key, key)
+	}
+	return e.resumeLocked(snap, now)
+}
+
+// resumeLocked builds a live session from a decoded snapshot and
+// publishes it under its key, subtracting any tallies this engine parked
+// for the key at eviction time so every branch stays counted exactly
+// once across evict/restore cycles. Caller holds keyMu.
+func (e *Engine) resumeLocked(snap SessionSnapshot, now int64) (*Session, error) {
+	id, ok := e.reg.reserve()
+	if !ok {
+		return nil, &RemoteError{
+			Code:    ErrCodeSessionLimit,
+			Message: fmt.Sprintf("session limit %d reached", e.reg.max),
+		}
+	}
+	bk, err := predictor.RestoreSnapshot(snap.Predictor)
+	if err != nil {
+		e.reg.release()
+		return nil, err
+	}
+	s := newSession(id, bk, snap.Res.Config, snap.Res.Mode, now)
+	s.key = snap.Key
+	s.res = snap.Res
+	s.ckptBranches = snap.Res.Branches
+	if parked, ok := e.parked[snap.Key]; ok {
+		e.unfold(parked)
+		delete(e.parked, snap.Key)
+	}
+	e.keys[snap.Key] = id
+	e.reg.insert(s)
+	e.opened.Add(1)
+	e.ckptRestores.Add(1)
+	e.retiredMu.Lock()
+	e.openedBy[e.labelKeyLocked(snap.Res.Config)]++
+	e.retiredMu.Unlock()
+	return s, nil
+}
+
+// OpenSnapshot opens (or resumes) a session from a decoded snapshot blob
+// — the FrameOpenSnap migration/failover path. A live session already
+// holding the snapshot's key wins: the blob a failing-over client
+// carries is at most as fresh as the live state.
+func (e *Engine) OpenSnapshot(snap SessionSnapshot, now int64) (*Session, error) {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if id, ok := e.keys[snap.Key]; ok {
+		if s, ok := e.reg.get(id); ok {
+			s.lastUsed.Store(now)
+			return s, nil
+		}
+		delete(e.keys, snap.Key)
+	}
+	s, err := e.resumeLocked(snap, now)
+	if err != nil {
+		return nil, err
+	}
+	// Persist the adopted state immediately: a node that accepted a
+	// migrated session must survive its own crash from that point on.
+	e.writeCheckpointLocked(s, now)
+	return s, nil
+}
+
+// openFresh creates a brand-new session (the pre-durability Open body).
+func (e *Engine) openFresh(req OpenRequest, now int64) (*Session, error) {
 	spec := req.Spec
 	if spec == "" && req.Config == "" && req.Options == (core.Options{}) && e.defaultSpec != "" {
 		// The default spec serves only fully default requests; a legacy
@@ -140,6 +292,7 @@ func (e *Engine) Open(req OpenRequest, now int64) (*Session, error) {
 		bk, label, mode = core.NewEstimator(cfg, req.Options), cfg.Name, req.Options.Mode
 	}
 	s := newSession(id, bk, label, mode, now)
+	s.key = req.Key
 	e.reg.insert(s)
 	e.opened.Add(1)
 	e.retiredMu.Lock()
@@ -175,8 +328,13 @@ func (e *Engine) labelKeyLocked(label string) string {
 // per-batch hot path and performs no allocation.
 func (e *Engine) Lookup(id uint64) (*Session, bool) { return e.reg.get(id) }
 
-// Close retires a session and returns its final tallies.
+// Close retires a session and returns its final tallies. Closing a
+// keyed session consumes it: the key is released and its checkpoint
+// deleted — an explicit close is the client saying the stream is
+// complete, so there is nothing left to recover.
 func (e *Engine) Close(id uint64) (sim.Result, error) {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
 	s, ok := e.reg.remove(id)
 	if !ok {
 		return sim.Result{}, &RemoteError{
@@ -198,17 +356,40 @@ func (e *Engine) Close(id uint64) (sim.Result, error) {
 			Message: fmt.Sprintf("session %d already retired", id),
 		}
 	}
+	if s.key != "" {
+		delete(e.keys, s.key)
+		delete(e.parked, s.key)
+		if e.store != nil {
+			e.store.Delete(s.key)
+		}
+	}
 	e.fold(res)
 	e.reg.release()
 	return res, nil
 }
 
 // SweepIdle retires every session idle since before cutoff and returns
-// how many it evicted.
+// how many it evicted. An evicted keyed session is not lost: its final
+// state is checkpointed (when a store is attached) and its already-folded
+// tallies parked, so a later open with the same key restores the session
+// and the parked amount is subtracted — every branch counted exactly
+// once whether or not the session bounced through eviction.
 func (e *Engine) SweepIdle(cutoff int64) int {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
 	n := 0
+	now := cutoff
 	for _, s := range e.reg.sweepIdle(cutoff) {
 		if res, first := s.retire(); first {
+			if s.key != "" {
+				delete(e.keys, s.key)
+				if e.store != nil {
+					if blob, err := s.retiredSnapshot(); err == nil {
+						e.writeBlobLocked(s.key, blob, now)
+						e.parked[s.key] = res
+					}
+				}
+			}
 			e.fold(res)
 			e.reg.release()
 			e.evicted.Add(1)
@@ -216,6 +397,105 @@ func (e *Engine) SweepIdle(cutoff int64) int {
 		}
 	}
 	return n
+}
+
+// CheckpointDirty writes a checkpoint for every keyed session whose
+// branch count moved since its last checkpoint (every keyed session,
+// when force is set — the shutdown drain). It returns how many it
+// wrote. No-op without an attached store.
+func (e *Engine) CheckpointDirty(now int64, force bool) int {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if e.store == nil {
+		return 0
+	}
+	n := 0
+	e.reg.forEach(func(s *Session) {
+		blob, ok, err := s.checkpoint(force)
+		if err != nil {
+			e.ckptWriteFailures.Add(1)
+			return
+		}
+		if !ok {
+			return
+		}
+		if e.writeBlobLocked(s.key, blob, now) {
+			n++
+		}
+	})
+	return n
+}
+
+// writeCheckpointLocked force-writes one session's checkpoint. Caller
+// holds keyMu.
+func (e *Engine) writeCheckpointLocked(s *Session, now int64) {
+	if e.store == nil {
+		return
+	}
+	blob, ok, err := s.checkpoint(true)
+	if err != nil {
+		e.ckptWriteFailures.Add(1)
+		return
+	}
+	if ok {
+		e.writeBlobLocked(s.key, blob, now)
+	}
+}
+
+// writeBlobLocked persists one encoded checkpoint and bumps the
+// counters. Caller holds keyMu.
+func (e *Engine) writeBlobLocked(key string, blob []byte, now int64) bool {
+	if err := e.store.Write(key, blob); err != nil {
+		e.ckptWriteFailures.Add(1)
+		return false
+	}
+	e.ckptWritten.Add(1)
+	e.ckptBytes.Add(uint64(len(blob)))
+	e.lastCkptNano.Store(now)
+	return true
+}
+
+// AttachStore wires a checkpoint store into the engine and eagerly
+// restores every stored checkpoint as a live session — the WAL-free
+// warm-start path: a restarted server answers keyed opens from restored
+// state immediately, with no per-branch replay log. Corrupt or
+// unrestorable checkpoints are counted and skipped, never fatal.
+// It returns how many sessions were restored.
+func (e *Engine) AttachStore(cs *CheckpointStore, now int64) (int, error) {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if e.store != nil {
+		return 0, fmt.Errorf("serve: checkpoint store already attached")
+	}
+	e.store = cs
+	keys, err := cs.Keys()
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, key := range keys {
+		if _, live := e.keys[key]; live {
+			continue
+		}
+		blob, err := cs.Read(key)
+		if err != nil {
+			e.ckptRestoreFailures.Add(1)
+			continue
+		}
+		if _, err := e.adoptLocked(key, blob, now); err != nil {
+			e.ckptRestoreFailures.Add(1)
+			continue
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+// HasStore reports whether a checkpoint store is attached.
+func (e *Engine) HasStore() bool {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	return e.store != nil
 }
 
 func (e *Engine) fold(res sim.Result) {
@@ -230,6 +510,34 @@ func (e *Engine) fold(res sim.Result) {
 	bc := e.retiredBy[key]
 	bc.Branches += res.Branches
 	bc.Total.Add(res.Total)
+	e.retiredBy[key] = bc
+	e.retiredMu.Unlock()
+}
+
+// unfold reverses a fold: when a keyed session parked at eviction time
+// comes back to life, the tallies folded then are subtracted so the live
+// session (which re-reports them) does not double-count. Clamped at
+// zero, like metrics.Counts.Sub, so a logic slip can never wrap the
+// service counters.
+func (e *Engine) unfold(res sim.Result) {
+	sub := func(a *uint64, b uint64) {
+		if *a < b {
+			*a = 0
+			return
+		}
+		*a -= b
+	}
+	e.retiredMu.Lock()
+	sub(&e.retired.Branches, res.Branches)
+	sub(&e.retired.Instructions, res.Instructions)
+	e.retired.Total.Sub(res.Total)
+	for i := range res.Class {
+		e.retired.Class[i].Sub(res.Class[i])
+	}
+	key := e.labelKeyLocked(res.Config)
+	bc := e.retiredBy[key]
+	sub(&bc.Branches, res.Branches)
+	bc.Total.Sub(res.Total)
 	e.retiredBy[key] = bc
 	e.retiredMu.Unlock()
 }
@@ -257,6 +565,15 @@ type Snapshot struct {
 	Class           [core.NumClasses]metrics.Counts
 	// Backends carries the per-backend counters sorted by label.
 	Backends []BackendCounts
+	// Checkpoint counters (all zero when no store is attached).
+	CheckpointsWritten        uint64
+	CheckpointBytes           uint64
+	CheckpointRestores        uint64
+	CheckpointRestoreFailures uint64
+	CheckpointWriteFailures   uint64
+	// LastCheckpointUnixNano is the engine-clock time of the most recent
+	// successful checkpoint write (0 = never).
+	LastCheckpointUnixNano int64
 }
 
 // Level aggregates the snapshot's class counts into a confidence level,
@@ -318,13 +635,19 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 	sort.Slice(backends, func(i, j int) bool { return backends[i].Label < backends[j].Label })
 	return Snapshot{
-		LiveSessions:    e.reg.count(),
-		OpenedSessions:  e.opened.Load(),
-		EvictedSessions: e.evicted.Load(),
-		Branches:        agg.Branches,
-		Instructions:    agg.Instructions,
-		Total:           agg.Total,
-		Class:           agg.Class,
-		Backends:        backends,
+		LiveSessions:              e.reg.count(),
+		OpenedSessions:            e.opened.Load(),
+		EvictedSessions:           e.evicted.Load(),
+		Branches:                  agg.Branches,
+		Instructions:              agg.Instructions,
+		Total:                     agg.Total,
+		Class:                     agg.Class,
+		Backends:                  backends,
+		CheckpointsWritten:        e.ckptWritten.Load(),
+		CheckpointBytes:           e.ckptBytes.Load(),
+		CheckpointRestores:        e.ckptRestores.Load(),
+		CheckpointRestoreFailures: e.ckptRestoreFailures.Load(),
+		CheckpointWriteFailures:   e.ckptWriteFailures.Load(),
+		LastCheckpointUnixNano:    e.lastCkptNano.Load(),
 	}
 }

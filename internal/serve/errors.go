@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+
+	"repro/internal/predictor"
+)
+
+// IsRetryable classifies a client-side failure: true for transport-level
+// errors a fresh connection may cure (dial refused/reset, timeouts,
+// connections dropped mid-frame), false for errors that are properties
+// of the request or the stream contents (server-reported RemoteError,
+// protocol violations, unusable snapshots) where retrying the same bytes
+// cannot succeed.
+//
+// The router and hardened clients retry only retryable failures; fatal
+// ones surface immediately.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, ErrProtocol) || errors.Is(err, predictor.ErrSnapshot) {
+		return false
+	}
+	if errors.Is(err, ErrIO) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}

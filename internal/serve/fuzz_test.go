@@ -33,12 +33,17 @@ func FuzzFrame(f *testing.F) {
 		AppendOpen(nil, OpenRequest{Config: "64K", Options: core.Options{Mode: core.ModeAdaptive, TargetMKP: 10}}),
 		AppendOpen(nil, OpenRequest{Spec: "gshare-64K?hist=13"}),
 		AppendOpen(nil, OpenRequest{Spec: "tage-16K?mkp=4&mode=adaptive"}),
-		AppendOpened(nil, 7, "64Kbits"),
+		AppendOpen(nil, OpenRequest{Spec: "tage-16K", Key: "trace/INT-1#0"}),
+		AppendOpened(nil, 7, "64Kbits", 0),
+		AppendOpened(nil, 7, "64Kbits", 123456),
 		AppendBatch(nil, 7, sampleBranches(20, 5)),
 		AppendPredictions(nil, 7, grades),
 		AppendClose(nil, 7),
 		AppendStats(nil, 7, res),
 		AppendError(nil, ErrCodeMalformed, "bad"),
+		AppendSnapGet(nil, 7),
+		AppendSnap(nil, 7, []byte("not a real snapshot blob")),
+		AppendOpenSnap(nil, []byte("not a real snapshot blob")),
 		{0xFF, 0xFF, 0xFF, 0xFF, 0x01},
 		[]byte("garbage data, not a frame"),
 		{},
@@ -52,8 +57,11 @@ func FuzzFrame(f *testing.F) {
 		br := bufio.NewReader(bytes.NewReader(data))
 		typ, payload, _, err := ReadFrame(br, nil)
 		if err != nil {
-			if !errors.Is(err, ErrProtocol) && err != io.EOF {
-				t.Fatalf("ReadFrame error is neither ErrProtocol nor io.EOF: %v", err)
+			// Truncated inputs surface as ErrIO (the stream died
+			// mid-frame), illegal lengths as ErrProtocol, and a clean end
+			// as bare io.EOF.
+			if !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrIO) && err != io.EOF {
+				t.Fatalf("ReadFrame error is neither ErrProtocol, ErrIO nor io.EOF: %v", err)
 			}
 			return
 		}
@@ -69,14 +77,14 @@ func FuzzFrame(f *testing.F) {
 				t.Fatalf("open round trip: %+v -> %+v (%v)", req, got, err)
 			}
 		case FrameOpened:
-			id, config, err := DecodeOpened(payload)
+			id, config, branches, err := DecodeOpened(payload)
 			if err != nil {
 				return
 			}
-			reenc := AppendOpened(nil, id, config)
-			id2, config2, err := DecodeOpened(reenc[5:])
-			if err != nil || id2 != id || config2 != config {
-				t.Fatalf("opened round trip: %d/%q -> %d/%q (%v)", id, config, id2, config2, err)
+			reenc := AppendOpened(nil, id, config, branches)
+			id2, config2, branches2, err := DecodeOpened(reenc[5:])
+			if err != nil || id2 != id || config2 != config || branches2 != branches {
+				t.Fatalf("opened round trip: %d/%q/%d -> %d/%q/%d (%v)", id, config, branches, id2, config2, branches2, err)
 			}
 		case FrameBatch:
 			id, records, err := DecodeBatch(payload, nil)
@@ -148,6 +156,42 @@ func FuzzFrame(f *testing.F) {
 			re2, err := DecodeError(reenc[5:])
 			if err != nil || re2.Code != re.Code || re2.Message != re.Message {
 				t.Fatalf("error round trip: %+v -> %+v (%v)", re, re2, err)
+			}
+		case FrameSnapGet:
+			id, err := DecodeSnapGet(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendSnapGet(nil, id)
+			if id2, err := DecodeSnapGet(reenc[5:]); err != nil || id2 != id {
+				t.Fatalf("snapget round trip: %d -> %d (%v)", id, id2, err)
+			}
+		case FrameSnap:
+			id, blob, err := DecodeSnap(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendSnap(nil, id, blob)
+			id2, blob2, err := DecodeSnap(reenc[5:])
+			if err != nil || id2 != id || !bytes.Equal(blob, blob2) {
+				t.Fatalf("snap round trip failed: %v", err)
+			}
+			// A blob that decodes as a session snapshot must re-encode to
+			// the same sealed bytes.
+			if snap, err := DecodeSessionSnapshot(blob); err == nil {
+				if !bytes.Equal(AppendSessionSnapshot(nil, snap), blob) {
+					t.Fatal("session snapshot is not a re-encoding fixed point")
+				}
+			}
+		case FrameOpenSnap:
+			blob, err := DecodeOpenSnap(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendOpenSnap(nil, blob)
+			blob2, err := DecodeOpenSnap(reenc[5:])
+			if err != nil || !bytes.Equal(blob, blob2) {
+				t.Fatalf("opensnap round trip failed: %v", err)
 			}
 		}
 	})

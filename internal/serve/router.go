@@ -1,0 +1,530 @@
+// Failover-aware session routing: a Router spreads durable (keyed)
+// sessions across a cluster of serve nodes with a consistent-hash ring,
+// and a RouterSession survives node crashes — it reconnects to the same
+// node with capped exponential backoff, resynchronizes its replay cursor
+// from the node's restored state, and when the node stays dead fails
+// over to the next ring node carrying the last snapshot blob it fetched.
+// Tally exactness is preserved across every recovery: the client rewinds
+// its trace reader to the server's cursor and re-replays, so the final
+// Result still matches an uninterrupted offline run bit for bit.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Router defaults.
+const (
+	DefaultReplicas      = 64
+	DefaultMaxRetries    = 6
+	DefaultRetryBackoff  = 50 * time.Millisecond
+	DefaultSnapshotEvery = 8
+	maxRetryBackoff      = 2 * time.Second
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Nodes are the wire-protocol addresses of the cluster.
+	Nodes []string
+	// Replicas is the virtual-node count per node on the hash ring
+	// (0 selects DefaultReplicas). More replicas smooth the key
+	// distribution at the cost of a larger ring.
+	Replicas int
+	// Client configures the per-node connections (deadlines).
+	Client ClientConfig
+	// MaxRetries bounds the consecutive recovery attempts (each attempt
+	// tries every node once) before an operation gives up; 0 selects
+	// DefaultMaxRetries.
+	MaxRetries int
+	// RetryBackoff is the initial backoff between recovery attempts; it
+	// doubles per attempt, capped at 2s. 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// SnapshotEvery is the batch cadence at which a replaying session
+	// refreshes its client-held snapshot blob — the failover token; 0
+	// selects DefaultSnapshotEvery, negative disables refreshing (the
+	// session can then only fail over to a node that shares state).
+	SnapshotEvery int
+}
+
+// NodeStats is one node's roll-up of router activity.
+type NodeStats struct {
+	Addr      string
+	Sessions  uint64 // sessions currently placed on the node
+	Retries   uint64 // failed connection/open attempts against the node
+	Failovers uint64 // sessions that failed over onto the node
+}
+
+type vnode struct {
+	hash uint64
+	node int
+}
+
+// Router places session keys on cluster nodes with a consistent-hash
+// ring. It is safe for concurrent use; each RouterSession owns its own
+// connection.
+type Router struct {
+	cfg  RouterConfig
+	ring []vnode
+
+	mu    sync.Mutex
+	stats map[string]*NodeStats
+}
+
+// NewRouter builds a router over the configured nodes.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("serve: router requires at least one node")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	r := &Router{cfg: cfg, stats: make(map[string]*NodeStats)}
+	for i, node := range cfg.Nodes {
+		r.stats[node] = &NodeStats{Addr: node}
+		for rep := 0; rep < cfg.Replicas; rep++ {
+			r.ring = append(r.ring, vnode{hash: ringHash(fmt.Sprintf("%s#%d", node, rep)), node: i})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	return r, nil
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NodeFor returns the primary node for a session key.
+func (r *Router) NodeFor(key string) string { return r.nodesFor(key)[0] }
+
+// nodesFor returns every distinct node in ring order starting at the
+// key's position — the session's failover order.
+func (r *Router) nodesFor(key string) []string {
+	h := ringHash(key)
+	start := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	seen := make(map[int]bool, len(r.cfg.Nodes))
+	order := make([]string, 0, len(r.cfg.Nodes))
+	for i := 0; i < len(r.ring) && len(order) < len(r.cfg.Nodes); i++ {
+		v := r.ring[(start+i)%len(r.ring)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			order = append(order, r.cfg.Nodes[v.node])
+		}
+	}
+	return order
+}
+
+// Stats returns the per-node roll-up sorted by address.
+func (r *Router) Stats() []NodeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeStats, 0, len(r.stats))
+	for _, ns := range r.stats {
+		out = append(out, *ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func (r *Router) bump(node string, f func(*NodeStats)) {
+	r.mu.Lock()
+	if ns, ok := r.stats[node]; ok {
+		f(ns)
+	}
+	r.mu.Unlock()
+}
+
+// RouterSession is one durable session driven through the router. It is
+// not safe for concurrent use.
+type RouterSession struct {
+	r   *Router
+	key string
+	req OpenRequest
+
+	nodes   []string // failover order for the key, primary first
+	nodeIdx int      // current node (index into nodes)
+
+	c      *Client
+	sess   *ClientSession
+	snap   []byte // last fetched snapshot blob — the failover token
+	placed bool   // session counted in a node's Sessions roll-up
+}
+
+// Open places (or resumes) the keyed session on its ring node. The key
+// is required: anonymous sessions have no identity to recover.
+func (r *Router) Open(key string, req OpenRequest) (*RouterSession, error) {
+	if key == "" {
+		return nil, fmt.Errorf("serve: router sessions require a key")
+	}
+	req.Key = key
+	rs := &RouterSession{r: r, key: key, req: req, nodes: r.nodesFor(key)}
+	if err := rs.establish(); err != nil {
+		return nil, err
+	}
+	r.bump(rs.Node(), func(ns *NodeStats) { ns.Sessions++ })
+	rs.placed = true
+	return rs, nil
+}
+
+// Node returns the node currently hosting the session.
+func (rs *RouterSession) Node() string { return rs.nodes[rs.nodeIdx] }
+
+// Session returns the underlying client session (nil between a failed
+// operation and its recovery).
+func (rs *RouterSession) Session() *ClientSession { return rs.sess }
+
+// recoverable classifies an error for the router: transport-level
+// failures retry, and so does an unknown-session rejection — after a
+// node restart or idle eviction the keyed re-open restores the session
+// from its checkpoint.
+func recoverable(err error) bool {
+	if IsRetryable(err) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == ErrCodeUnknownSession
+}
+
+// reconnect makes one pass over the nodes (current first, then the ring
+// failover order): dial, then open the session — by key on the current
+// node, from the held snapshot blob on a failover node. It reports the
+// last failure when every node refused.
+func (rs *RouterSession) reconnect() error {
+	var lastErr error
+	for try := 0; try < len(rs.nodes); try++ {
+		idx := (rs.nodeIdx + try) % len(rs.nodes)
+		node := rs.nodes[idx]
+		c, err := DialConfig(node, rs.r.cfg.Client)
+		if err != nil {
+			lastErr = err
+			rs.r.bump(node, func(ns *NodeStats) { ns.Retries++ })
+			continue
+		}
+		sess, err := rs.openOn(c, idx)
+		if err != nil {
+			c.Close()
+			lastErr = err
+			if !recoverable(err) {
+				return err
+			}
+			rs.r.bump(node, func(ns *NodeStats) { ns.Retries++ })
+			continue
+		}
+		if idx != rs.nodeIdx {
+			rs.r.bump(node, func(ns *NodeStats) { ns.Failovers++ })
+			if rs.placed {
+				// Move the placement roll-up with the session. A session
+				// failing over during its initial Open is not counted yet
+				// (Open bumps after establish succeeds) — transferring it
+				// here would double-count it on the failover node.
+				rs.r.bump(node, func(ns *NodeStats) { ns.Sessions++ })
+				rs.r.bump(rs.nodes[rs.nodeIdx], func(ns *NodeStats) {
+					if ns.Sessions > 0 {
+						ns.Sessions--
+					}
+				})
+			}
+			rs.nodeIdx = idx
+		}
+		rs.c, rs.sess = c, sess
+		return nil
+	}
+	return lastErr
+}
+
+func (rs *RouterSession) openOn(c *Client, idx int) (*ClientSession, error) {
+	if idx != rs.nodeIdx && rs.snap != nil {
+		// Failover: seed the replacement node with the last snapshot. If
+		// the node already holds a live session for the key, the live
+		// state wins server-side; either way the sync that follows reads
+		// back the authoritative cursor.
+		return c.OpenSnapshot(rs.snap)
+	}
+	return c.OpenSession(rs.req)
+}
+
+// establish runs reconnect under the retry policy: capped exponential
+// backoff between attempts, fatal errors surfacing immediately.
+func (rs *RouterSession) establish() error {
+	cfg := rs.r.cfg
+	backoff := cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+		}
+		err := rs.reconnect()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !recoverable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("serve: no node reachable for session %q after %d attempts: %w",
+		rs.key, cfg.MaxRetries+1, lastErr)
+}
+
+// sync reads the server's authoritative state for the session and
+// rewinds the client to it: local tallies are overwritten with the
+// server's, the replay cursor moves to the server's branch count, and
+// the snapshot blob becomes the new failover token.
+func (rs *RouterSession) sync(local *sim.Result, pos *uint64) error {
+	blob, err := rs.sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap, err := DecodeSessionSnapshot(blob)
+	if err != nil {
+		return err
+	}
+	rs.snap = blob
+	next := snap.Res
+	next.Trace = local.Trace
+	// Label like the client session labels its Close result (OpenSession
+	// carries the request's mode, OpenSnapshot the snapshot's), so the
+	// final local-vs-server cross-check compares like with like.
+	next.Mode = rs.sess.opts.Mode
+	*local = next
+	*pos = snap.Res.Branches
+	return nil
+}
+
+// recoverAndSync is the full client-side recovery path: drop the broken
+// connection, re-establish (same node, else failover), and resync the
+// replay cursor — all under the retry policy.
+func (rs *RouterSession) recoverAndSync(local *sim.Result, pos *uint64) error {
+	cfg := rs.r.cfg
+	backoff := cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+		}
+		if rs.c != nil {
+			rs.c.Close()
+			rs.c, rs.sess = nil, nil
+		}
+		if err := rs.reconnect(); err != nil {
+			lastErr = err
+			if !recoverable(err) {
+				return err
+			}
+			continue
+		}
+		if err := rs.sync(local, pos); err != nil {
+			lastErr = err
+			if !recoverable(err) {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("serve: session %q unrecoverable after %d attempts: %w",
+		rs.key, cfg.MaxRetries+1, lastErr)
+}
+
+// Replay streams tr (truncated to limit records; 0 = full trace) through
+// the routed session in batches of batchSize branches, surviving node
+// crashes and failovers, and returns the final tallies labeled with the
+// trace name — still bit-identical to an uninterrupted offline sim.Run
+// over the same stream, because every recovery rewinds the reader to the
+// server's cursor before continuing.
+//
+// Per-branch grades during a recovery window are re-served from the
+// restored state (the tallies stay exact; a caller consuming grades live
+// sees the affected batches again). When lat is non-nil one round-trip
+// latency sample is recorded per served batch.
+func (rs *RouterSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat *metrics.Latency) (sim.Result, error) {
+	if batchSize <= 0 || batchSize > MaxBatch {
+		batchSize = 1024
+	}
+	local := sim.Result{Trace: tr.Name(), Config: rs.sess.Config(), Mode: rs.sess.opts.Mode}
+	pos := uint64(0)
+	if rs.sess.Resumed() > 0 {
+		// The open resumed server-side state: adopt its tallies and
+		// cursor before streaming.
+		if err := rs.sync(&local, &pos); err != nil {
+			if !recoverable(err) {
+				return sim.Result{}, err
+			}
+			if err := rs.recoverAndSync(&local, &pos); err != nil {
+				return sim.Result{}, err
+			}
+		}
+	}
+	batch := make([]trace.Branch, 0, batchSize)
+	batches := 0
+	for {
+		rd, err := openReaderAt(tr, limit, pos)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res, done, drained, err := rs.replayFrom(rd, &local, &pos, batch[:0], batchSize, &batches, lat)
+		if !drained {
+			// A drained (or self-closed) reader must not be touched
+			// again; anything else still owns resources.
+			closeReader(rd)
+		}
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if done {
+			res.Trace = tr.Name()
+			local.FinalProbability = res.FinalProbability
+			if local != res {
+				return sim.Result{}, fmt.Errorf("serve: routed replay disagrees with server stats for %s: client %+v server %+v",
+					tr.Name(), local, res)
+			}
+			return res, nil
+		}
+		// A recovery rewound the cursor; reopen the reader at pos and
+		// continue.
+	}
+}
+
+// replayFrom streams the open reader through the session. It returns
+// done=false (with a rewound cursor already synced) when a recovery
+// interrupted the stream, and done=true with the server's final stats
+// once the trace drained and the session closed. drained reports whether
+// the reader reached io.EOF (or closed itself on a decode error) — a
+// drained reader must not be closed again by the caller.
+func (rs *RouterSession) replayFrom(rd trace.Reader, local *sim.Result, pos *uint64,
+	batch []trace.Branch, batchSize int, batches *int, lat *metrics.Latency) (res sim.Result, done, drained bool, err error) {
+	cfg := rs.r.cfg
+	for eof := false; !eof; {
+		batch = batch[:0]
+		for len(batch) < batchSize {
+			b, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				eof = true
+				drained = true
+				break
+			}
+			if err != nil {
+				// Readers close themselves on decode errors.
+				return sim.Result{}, false, true, err
+			}
+			batch = append(batch, b)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		start := time.Now()
+		grades, err := rs.sess.Predict(batch)
+		if err != nil {
+			if !recoverable(err) {
+				return sim.Result{}, false, drained, err
+			}
+			if err := rs.recoverAndSync(local, pos); err != nil {
+				return sim.Result{}, false, drained, err
+			}
+			return sim.Result{}, false, drained, nil
+		}
+		if lat != nil {
+			lat.Observe(time.Since(start))
+		}
+		for i, g := range grades {
+			miss := g.Pred != batch[i].Taken
+			local.Total.Record(miss)
+			local.Class[g.Class].Record(miss)
+			local.Branches++
+			// Mirror the wire codec's clamp (Instr 0 travels as 1).
+			instr := batch[i].Instr
+			if instr == 0 {
+				instr = 1
+			}
+			local.Instructions += uint64(instr)
+		}
+		*pos += uint64(len(grades))
+		*batches++
+		if cfg.SnapshotEvery > 0 && *batches%cfg.SnapshotEvery == 0 {
+			// Refresh the failover token. Best-effort: a failure here
+			// means the connection is likely broken and the next Predict
+			// runs the real recovery.
+			if blob, serr := rs.sess.Snapshot(); serr == nil {
+				rs.snap = blob
+			}
+		}
+	}
+	res, err = rs.sess.Close()
+	if err != nil {
+		if !recoverable(err) {
+			return sim.Result{}, false, drained, err
+		}
+		if err := rs.recoverAndSync(local, pos); err != nil {
+			return sim.Result{}, false, drained, err
+		}
+		return sim.Result{}, false, drained, nil
+	}
+	rs.c.Close()
+	rs.c, rs.sess = nil, nil
+	rs.r.bump(rs.Node(), func(ns *NodeStats) {
+		if ns.Sessions > 0 {
+			ns.Sessions--
+		}
+	})
+	rs.placed = false
+	return res, true, drained, nil
+}
+
+// Close abandons the routed session client-side without retiring it on
+// the server (Replay retires it on success). Safe to call after Replay.
+func (rs *RouterSession) Close() error {
+	if rs.c != nil {
+		err := rs.c.Close()
+		rs.c, rs.sess = nil, nil
+		return err
+	}
+	return nil
+}
+
+// openReaderAt opens the trace reader and skips to the replay cursor.
+func openReaderAt(tr trace.Trace, limit, skip uint64) (trace.Reader, error) {
+	rd := trace.Limit(tr, limit).Open()
+	for i := uint64(0); i < skip; i++ {
+		if _, err := rd.Next(); err != nil {
+			closeReader(rd)
+			return nil, fmt.Errorf("serve: rewinding %s to branch %d: %w", tr.Name(), skip, err)
+		}
+	}
+	return rd, nil
+}
+
+// closeReader releases a reader's resources when it was not drained to
+// io.EOF (a drained reader must not be touched again).
+func closeReader(rd trace.Reader) {
+	if c, ok := rd.(interface{ Close() }); ok {
+		c.Close()
+	}
+}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestRouterRing pins the consistent-hash placement properties the
+// cluster depends on: determinism, full coverage, distinct failover
+// order, and placement stability when a node leaves the ring.
+func TestRouterRing(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Fatal("router with no nodes accepted")
+	}
+	nodes := []string{"10.0.0.1:7", "10.0.0.2:7", "10.0.0.3:7"}
+	r1, err := NewRouter(RouterConfig{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRouter(RouterConfig{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("session/%d", i)
+		if r1.NodeFor(key) != r2.NodeFor(key) {
+			t.Fatalf("placement of %q not deterministic", key)
+		}
+		order := r1.nodesFor(key)
+		if len(order) != len(nodes) {
+			t.Fatalf("failover order for %q covers %d nodes, want %d", key, len(order), len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("failover order for %q repeats %q", key, n)
+			}
+			seen[n] = true
+		}
+		placed[order[0]]++
+	}
+	for _, n := range nodes {
+		if placed[n] == 0 {
+			t.Errorf("node %s received no sessions out of 1000", n)
+		}
+	}
+	// Consistent-hashing stability: removing one node must not move keys
+	// placed on the surviving nodes.
+	r3, err := NewRouter(RouterConfig{Nodes: nodes[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("session/%d", i)
+		if primary := r1.NodeFor(key); primary != nodes[2] {
+			if got := r3.NodeFor(key); got != primary {
+				t.Fatalf("key %q moved %s -> %s when %s left", key, primary, got, nodes[2])
+			}
+		}
+	}
+}
+
+// keyOn finds a session key whose primary placement is the given node.
+func keyOn(t *testing.T, r *Router, node string) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("failover/key-%d", i)
+		if r.NodeFor(key) == node {
+			return key
+		}
+	}
+	t.Fatal("no key maps to node")
+	return ""
+}
+
+// TestRouterFailover is the cluster acceptance pin: a routed replay
+// survives its primary node dying mid-stream — the session fails over to
+// the next ring node carrying the client-held snapshot, the cursor
+// resyncs, and the final tallies still match an uninterrupted offline
+// run bit for bit. Node roll-ups record the failover.
+func TestRouterFailover(t *testing.T) {
+	srv1 := startServer(t, Config{})
+	srv2 := startServer(t, Config{})
+	addr1, addr2 := srv1.Addr().String(), srv2.Addr().String()
+	r, err := NewRouter(RouterConfig{
+		Nodes:        []string{addr1, addr2},
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOn(t, r, addr1)
+
+	const (
+		limit     = 400_000
+		batchSize = 512
+		spec      = "tage-16K?mode=probabilistic"
+	)
+	tr, err := workload.ByName("MM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := r.Open(key, OpenRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Node() != addr1 {
+		t.Fatalf("session placed on %s, want primary %s", rs.Node(), addr1)
+	}
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := rs.Replay(tr, limit, batchSize, nil)
+		done <- outcome{res, err}
+	}()
+
+	// Kill the primary once the replay is far enough in to have refreshed
+	// its failover snapshot at least once (SnapshotEvery defaults to 8
+	// batches), but nowhere near done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if srv1.Engine().Snapshot().Branches >= 16*batchSize {
+			break
+		}
+		select {
+		case o := <-done:
+			t.Fatalf("replay finished before the induced failure (err=%v)", o.err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replay never progressed on the primary")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown primary: %v", err)
+	}
+	cancel()
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("routed replay did not finish after failover")
+	}
+	if o.err != nil {
+		t.Fatalf("routed replay: %v", o.err)
+	}
+	sp, err := predictor.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := sim.RunSpec(sp, tr, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Router sessions label results with the request's (zero) mode.
+	offline.Mode = o.res.Mode
+	if o.res != offline {
+		t.Errorf("failover replay %+v != offline %+v", o.res, offline)
+	}
+	stats := r.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats cover %d nodes, want 2", len(stats))
+	}
+	byAddr := map[string]NodeStats{}
+	for _, ns := range stats {
+		byAddr[ns.Addr] = ns
+	}
+	if byAddr[addr2].Failovers != 1 {
+		t.Errorf("node %s records %d failovers, want 1", addr2, byAddr[addr2].Failovers)
+	}
+	if byAddr[addr1].Retries == 0 {
+		t.Errorf("node %s records no retries despite dying mid-replay", addr1)
+	}
+	if byAddr[addr1].Sessions != 0 || byAddr[addr2].Sessions != 0 {
+		t.Errorf("sessions still placed after completed replay: %+v", stats)
+	}
+}
+
+// TestRouterResumeAfterRestart pins the same-node recovery path: when
+// the session's node comes back (same address, state restored from its
+// checkpoint directory), the router reconnects to it rather than failing
+// over, resumes from the checkpoint cursor, and the replay still matches
+// offline bit for bit. This is the in-process twin of the kill-9 test in
+// crash_test.go.
+func TestRouterResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	srvA := startServer(t, Config{StateDir: dir, CheckpointInterval: 5 * time.Millisecond})
+	addr := srvA.Addr().String()
+	r, err := NewRouter(RouterConfig{
+		Nodes:        []string{addr},
+		MaxRetries:   10,
+		RetryBackoff: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		limit     = 300_000
+		batchSize = 512
+		spec      = "gshare-64K"
+		key       = "restart/FP-2"
+	)
+	tr, err := workload.ByName("FP-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := r.Open(key, OpenRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := rs.Replay(tr, limit, batchSize, nil)
+		done <- outcome{res, err}
+	}()
+
+	// Let it run past a few checkpoints, then take the node down and bring
+	// a replacement up on the same address and state directory — the
+	// in-process twin of a node restart.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap := srvA.Engine().Snapshot()
+		if snap.CheckpointsWritten >= 2 && snap.Branches >= 16*batchSize {
+			break
+		}
+		select {
+		case o := <-done:
+			t.Fatalf("replay finished before the induced restart (err=%v)", o.err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint written in time")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	cancel()
+	srvB := NewServer(Config{StateDir: dir, CheckpointInterval: 5 * time.Millisecond})
+	lnB, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srvB.Serve(lnB) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srvB.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown replacement: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("replacement serve returned: %v", err)
+		}
+	})
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("replay did not finish after restart")
+	}
+	if o.err != nil {
+		t.Fatalf("replay: %v", o.err)
+	}
+	if got := srvB.Engine().Snapshot().CheckpointRestores; got != 1 {
+		t.Errorf("restarted node restored %d sessions, want 1", got)
+	}
+	sp, err := predictor.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := sim.RunSpec(sp, tr, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline.Mode = o.res.Mode
+	if o.res != offline {
+		t.Errorf("restart replay %+v != offline %+v", o.res, offline)
+	}
+}

@@ -28,11 +28,25 @@ type Config struct {
 	// IdleTimeout evicts sessions with no traffic for this long; 0
 	// selects DefaultIdleTimeout, negative disables eviction.
 	IdleTimeout time.Duration
+	// StateDir, when non-empty, makes keyed sessions durable: Serve
+	// opens (creating if needed) a checkpoint store there, restores
+	// every stored checkpoint on boot, and checkpoints dirty sessions
+	// periodically and on shutdown. Ignored when a store was already
+	// attached to the engine directly.
+	StateDir string
+	// CheckpointInterval paces the background checkpoint loop; 0 selects
+	// DefaultCheckpointInterval, negative disables the loop (checkpoints
+	// are still written at eviction and shutdown).
+	CheckpointInterval time.Duration
 }
 
 // DefaultIdleTimeout is the idle-session eviction horizon when none is
 // configured.
 const DefaultIdleTimeout = 5 * time.Minute
+
+// DefaultCheckpointInterval is the checkpoint cadence when none is
+// configured.
+const DefaultCheckpointInterval = 10 * time.Second
 
 // Server runs the wire protocol over TCP: one goroutine per connection,
 // many sessions per server (a connection may open several, and a session
@@ -57,6 +71,9 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
 	}
 	return &Server{
 		cfg:      cfg,
@@ -113,6 +130,25 @@ func (s *Server) Serve(ln net.Listener) error {
 	if err := s.startMetrics(); err != nil {
 		ln.Close()
 		return err
+	}
+	if s.cfg.StateDir != "" && !s.eng.HasStore() {
+		cs, err := OpenCheckpointStore(s.cfg.StateDir)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		if _, err := s.eng.AttachStore(cs, time.Now().UnixNano()); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	if s.eng.HasStore() && s.cfg.CheckpointInterval > 0 {
+		s.mu.Lock()
+		if !s.closed {
+			s.wg.Add(1)
+			go s.checkpointLoop()
+		}
+		s.mu.Unlock()
 	}
 	if s.cfg.IdleTimeout > 0 {
 		// Registered under the mutex so a Shutdown racing this startup
@@ -182,9 +218,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Graceful drain: with every handler stopped, write a final
+		// checkpoint for every live keyed session, so a SIGTERM'd server
+		// restarts exactly where its clients left it.
+		s.eng.CheckpointDirty(time.Now().UnixNano(), true)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepEnd:
+			return
+		case now := <-t.C:
+			s.eng.CheckpointDirty(now.UnixNano(), false)
+		}
 	}
 }
 
@@ -270,6 +324,18 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(w, "tage_serve_backend_predictions_total{backend=%q} %d\n", bc.Label, bc.Total.Preds)
 		fmt.Fprintf(w, "tage_serve_backend_mispredictions_total{backend=%q} %d\n", bc.Label, bc.Total.Misps)
 	}
+	fmt.Fprintf(w, "tage_serve_checkpoints_written_total %d\n", snap.CheckpointsWritten)
+	fmt.Fprintf(w, "tage_serve_checkpoint_bytes_total %d\n", snap.CheckpointBytes)
+	fmt.Fprintf(w, "tage_serve_checkpoint_restores_total %d\n", snap.CheckpointRestores)
+	fmt.Fprintf(w, "tage_serve_checkpoint_restore_failures_total %d\n", snap.CheckpointRestoreFailures)
+	fmt.Fprintf(w, "tage_serve_checkpoint_write_failures_total %d\n", snap.CheckpointWriteFailures)
+	if snap.LastCheckpointUnixNano != 0 {
+		age := float64(time.Now().UnixNano()-snap.LastCheckpointUnixNano) / 1e9
+		if age < 0 {
+			age = 0
+		}
+		fmt.Fprintf(w, "tage_serve_checkpoint_last_age_seconds %g\n", age)
+	}
 }
 
 // connState is the per-connection scratch reused across frames, which is
@@ -350,7 +416,7 @@ func (s *Server) handleFrame(st *connState, typ byte, payload []byte) (fatal boo
 			st.out = appendRemoteError(st.out, err)
 			return false
 		}
-		st.out = AppendOpened(st.out, sess.ID(), sess.ConfigName())
+		st.out = AppendOpened(st.out, sess.ID(), sess.ConfigName(), sess.Branches())
 	case FrameBatch:
 		id, records, err := DecodeBatch(payload, st.records)
 		st.records = records[:0]
@@ -380,6 +446,53 @@ func (s *Server) handleFrame(st *connState, typ byte, payload []byte) (fatal boo
 			return false
 		}
 		st.out = AppendStats(st.out, id, res)
+	case FrameSnapGet:
+		id, err := DecodeSnapGet(payload)
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeMalformed, err.Error())
+			return false
+		}
+		sess, ok := s.eng.Lookup(id)
+		if !ok {
+			st.out = AppendError(st.out, ErrCodeUnknownSession,
+				fmt.Sprintf("unknown session %d", id))
+			return false
+		}
+		blob, err := sess.Snapshot()
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeSnapshot, err.Error())
+			return false
+		}
+		// A blob the frame cannot carry answers with a clean error
+		// instead of a connection-fatal oversized frame.
+		if len(blob)+16 > MaxFrame {
+			st.out = AppendError(st.out, ErrCodeSnapshot,
+				fmt.Sprintf("snapshot of %d bytes exceeds frame limit", len(blob)))
+			return false
+		}
+		st.out = AppendSnap(st.out, id, blob)
+	case FrameOpenSnap:
+		blob, err := DecodeOpenSnap(payload)
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeMalformed, err.Error())
+			return false
+		}
+		snap, err := DecodeSessionSnapshot(blob)
+		if err != nil {
+			st.out = AppendError(st.out, ErrCodeSnapshot, err.Error())
+			return false
+		}
+		sess, err := s.eng.OpenSnapshot(snap, now)
+		if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				st.out = AppendError(st.out, re.Code, re.Message)
+			} else {
+				st.out = AppendError(st.out, ErrCodeSnapshot, err.Error())
+			}
+			return false
+		}
+		st.out = AppendOpened(st.out, sess.ID(), sess.ConfigName(), sess.Branches())
 	default:
 		// Unknown frame types are unrecoverable: a future peer speaking
 		// a newer protocol would race our misinterpretation of its

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -22,11 +23,19 @@ import (
 // batches for different sessions don't contend).
 type Session struct {
 	id uint64
+	// key is the session's durable identity; empty for anonymous
+	// sessions, which are never checkpointed. Immutable after
+	// construction.
+	key string
 
 	mu      sync.Mutex
 	bk      predictor.Backend
 	res     sim.Result
 	retired bool
+	// ckptBranches is the branch count at the last written checkpoint —
+	// the dirty bit: the checkpoint loop skips sessions whose count has
+	// not moved since.
+	ckptBranches uint64
 
 	// lastUsed is the engine-clock nanosecond of the last Open/Serve,
 	// read by the idle evictor without taking the session lock.
@@ -49,6 +58,17 @@ func newSession(id uint64, bk predictor.Backend, label string, mode core.Automat
 
 // ID returns the registry-assigned session id.
 func (s *Session) ID() uint64 { return s.id }
+
+// Key returns the session's durable key ("" for anonymous sessions).
+func (s *Session) Key() string { return s.key }
+
+// Branches returns the session's served branch count — the replay cursor
+// a resumed client continues from.
+func (s *Session) Branches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res.Branches
+}
 
 // ConfigName returns the session's backend label (the resolved predictor
 // configuration name, or the canonical backend spec). It is immutable
@@ -112,6 +132,69 @@ func (s *Session) liveStats() (sim.Result, bool) {
 		return sim.Result{}, false
 	}
 	return s.statsLocked(), true
+}
+
+// snapshotLocked encodes the session's durable snapshot. Caller holds
+// s.mu, which is what makes the cut exact: Serve holds the lock for the
+// whole batch, so a snapshot always lands on a batch boundary where the
+// backend is between a resolved Update and the next Predict and every
+// served branch is tallied exactly once.
+func (s *Session) snapshotLocked() ([]byte, error) {
+	pb, err := predictor.AppendSnapshot(nil, s.bk)
+	if err != nil {
+		return nil, err
+	}
+	res := s.res
+	res.Trace = ""
+	res.FinalProbability = 0
+	return AppendSessionSnapshot(nil, SessionSnapshot{Key: s.key, Res: res, Predictor: pb}), nil
+}
+
+// Snapshot encodes the session's durable snapshot (FrameSnapGet, tests).
+// It fails once the session has been retired — the engine owns a retired
+// session's final checkpoint.
+func (s *Session) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.key == "" {
+		// An anonymous blob would fail the decoder's key check anyway;
+		// reject it here so the client gets a meaningful error.
+		return nil, fmt.Errorf("serve: session %d is anonymous (no durable key)", s.id)
+	}
+	if s.retired {
+		return nil, fmt.Errorf("serve: session %d retired", s.id)
+	}
+	return s.snapshotLocked()
+}
+
+// checkpoint encodes the session snapshot for the background checkpoint
+// loop, reporting ok=false when there is nothing to write: the session
+// is anonymous, already retired (its final checkpoint is the evictor's
+// job), or — unless force — clean since the last checkpoint.
+func (s *Session) checkpoint(force bool) (blob []byte, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.key == "" || s.retired {
+		return nil, false, nil
+	}
+	if !force && s.res.Branches == s.ckptBranches {
+		return nil, false, nil
+	}
+	blob, err = s.snapshotLocked()
+	if err != nil {
+		return nil, false, err
+	}
+	s.ckptBranches = s.res.Branches
+	return blob, true, nil
+}
+
+// retiredSnapshot encodes the snapshot of an already-retired session —
+// the evictor's final checkpoint. Safe because retirement froze the
+// tallies and no Serve can touch the backend again.
+func (s *Session) retiredSnapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
 }
 
 // retire freezes the session and returns its final tallies. The second

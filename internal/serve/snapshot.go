@@ -1,0 +1,122 @@
+// Session snapshot codec: the durable form of one serve session — its
+// key, labels, running tallies and the full predictor snapshot — sealed
+// with a version byte and a CRC32 like the predictor envelope it wraps.
+// A blob is self-contained: any node (or a freshly restarted one) can
+// resume the session from it, and a resumed session continues
+// bit-identically to the snapshotted one, which is what makes crash
+// recovery and cross-node migration exact rather than approximate.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/statecodec"
+)
+
+// SessionSnapshotVersion is the current session snapshot format version.
+const SessionSnapshotVersion = 1
+
+// SessionSnapshot is the decoded durable form of one session.
+type SessionSnapshot struct {
+	// Key is the session's durable identity (never empty in a valid
+	// snapshot — anonymous sessions are not checkpointed).
+	Key string
+	// Res carries the session's tallies and labels at the cut point.
+	// Trace is always empty and FinalProbability zero: both are
+	// recomputed from the live backend, not persisted.
+	Res sim.Result
+	// Predictor is the predictor.AppendSnapshot envelope of the backend.
+	Predictor []byte
+}
+
+// AppendSessionSnapshot appends a versioned, checksummed session snapshot
+// to dst:
+//
+//	version byte | key | label | mode byte | branches | instructions |
+//	NumClasses × (preds, misps)            | predictor blob | CRC32 LE32
+//
+// where strings and the predictor blob are uvarint length-prefixed and
+// counters are uvarints. Only per-class tallies travel; Total is their
+// exact sum and is reconstructed on decode.
+func AppendSessionSnapshot(dst []byte, snap SessionSnapshot) []byte {
+	start := len(dst)
+	dst = append(dst, SessionSnapshotVersion)
+	dst = statecodec.AppendBytes(dst, []byte(snap.Key))
+	dst = statecodec.AppendBytes(dst, []byte(snap.Res.Config))
+	dst = append(dst, byte(snap.Res.Mode))
+	dst = binary.AppendUvarint(dst, snap.Res.Branches)
+	dst = binary.AppendUvarint(dst, snap.Res.Instructions)
+	for _, c := range snap.Res.Class {
+		dst = binary.AppendUvarint(dst, c.Preds)
+		dst = binary.AppendUvarint(dst, c.Misps)
+	}
+	dst = statecodec.AppendBytes(dst, snap.Predictor)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeSessionSnapshot verifies and decodes a session snapshot blob.
+// The predictor blob is cloned out of the input, so the snapshot stays
+// valid after the caller's buffer is reused. Failures wrap
+// predictor.ErrSnapshot — they are fatal, not retryable.
+func DecodeSessionSnapshot(blob []byte) (SessionSnapshot, error) {
+	var snap SessionSnapshot
+	if len(blob) < 5 {
+		return snap, fmt.Errorf("%w: session snapshot %d bytes", predictor.ErrSnapshot, len(blob))
+	}
+	body, sum := blob[:len(blob)-4], blob[len(blob)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(sum); got != want {
+		return snap, fmt.Errorf("%w: session snapshot checksum %08x, want %08x", predictor.ErrSnapshot, got, want)
+	}
+	r := statecodec.NewReader(body)
+	if v := r.Byte(); r.Err() == nil && v != SessionSnapshotVersion {
+		return snap, fmt.Errorf("%w: session snapshot version %d, want %d", predictor.ErrSnapshot, v, SessionSnapshotVersion)
+	}
+	key := r.Blob()
+	label := r.Blob()
+	mode := r.Byte()
+	branches := r.Uvarint()
+	instructions := r.Uvarint()
+	var class [core.NumClasses]metrics.Counts
+	for i := range class {
+		class[i] = metrics.Counts{Preds: r.Uvarint(), Misps: r.Uvarint()}
+	}
+	pb := r.Blob()
+	if err := r.Finish(); err != nil {
+		return snap, fmt.Errorf("%w: session snapshot: %v", predictor.ErrSnapshot, err)
+	}
+	if len(key) == 0 || len(key) > maxSessionKey {
+		return snap, fmt.Errorf("%w: session snapshot key length %d", predictor.ErrSnapshot, len(key))
+	}
+	if len(label) > maxConfigName {
+		return snap, fmt.Errorf("%w: session snapshot label length %d", predictor.ErrSnapshot, len(label))
+	}
+	if core.AutomatonMode(mode) > core.ModeAdaptive {
+		return snap, fmt.Errorf("%w: session snapshot mode %d", predictor.ErrSnapshot, mode)
+	}
+	snap.Key = string(key)
+	snap.Res.Config = string(label)
+	snap.Res.Mode = core.AutomatonMode(mode)
+	snap.Res.Branches = branches
+	snap.Res.Instructions = instructions
+	for i := range class {
+		if class[i].Misps > class[i].Preds {
+			return snap, fmt.Errorf("%w: session snapshot class %d misps %d exceed preds %d",
+				predictor.ErrSnapshot, i, class[i].Misps, class[i].Preds)
+		}
+		snap.Res.Class[i] = class[i]
+		snap.Res.Total.Add(class[i])
+	}
+	if snap.Res.Total.Preds != branches {
+		return snap, fmt.Errorf("%w: session snapshot class sum %d does not match branches %d",
+			predictor.ErrSnapshot, snap.Res.Total.Preds, branches)
+	}
+	snap.Predictor = append([]byte(nil), pb...)
+	return snap, nil
+}

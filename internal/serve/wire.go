@@ -21,6 +21,29 @@
 // coalesced into one write, and a client that stops reading eventually
 // blocks the handler's write — the TCP window is the queue, so a slow
 // consumer cannot make the server buffer unboundedly.
+//
+// # Durability
+//
+// Sessions opened with a key are durable. Attach a CheckpointStore
+// (Config.StateDir, or Engine.AttachStore directly) and the engine
+// checkpoints dirty keyed sessions periodically, on eviction and on
+// graceful shutdown; a restarted server restores every checkpoint before
+// accepting traffic, and a keyed re-open resumes exactly at the
+// checkpointed branch cursor (FrameOpened carries it). The checkpoint
+// blob is the versioned session snapshot — spec line, predictor state
+// image, per-class tallies, CRC — also fetchable live over the wire
+// (FrameSnapGet → FrameSnap) and installable on another server
+// (FrameOpenSnap), which is how sessions migrate.
+//
+// Router places keyed sessions on a multi-node cluster by consistent
+// hashing and recovers them client-side: transport failures and
+// unknown-session rejections retry with capped exponential backoff —
+// reconnecting to the same node (which restores from its checkpoint) or
+// failing over to the next ring node seeded with the last fetched
+// snapshot — and RouterSession.Replay rewinds its trace cursor to the
+// server's authoritative branch count after every recovery, so the final
+// tallies stay bit-identical to an uninterrupted offline sim.Run even
+// across a kill -9 (crash_test.go proves exactly that).
 package serve
 
 import (
@@ -45,12 +68,16 @@ const (
 	// serialized options (mode byte, denomLog uvarint, bimWindow
 	// svarint, targetMKP float64 LE bits, adaptiveWindow uvarint),
 	// followed by a backend spec (uvarint length + bytes; zero length
-	// means no spec). A non-empty spec selects any registered backend
-	// family and overrides the config/options fields.
+	// means no spec), followed by a session key (uvarint length + bytes;
+	// zero length means anonymous). A non-empty spec selects any
+	// registered backend family and overrides the config/options fields;
+	// a non-empty key makes the session durable (see OpenRequest.Key).
 	FrameOpen byte = 0x01
-	// FrameOpened acknowledges FrameOpen with the session id (uvarint)
-	// followed by the resolved configuration name (uvarint length +
-	// bytes) — canonical even when the request named an alias or relied
+	// FrameOpened acknowledges FrameOpen with the session id (uvarint),
+	// the branches the session has already served (uvarint; non-zero when
+	// a keyed open resumed a live or checkpointed session — the client's
+	// replay cursor), and the resolved configuration name (uvarint length
+	// + bytes) — canonical even when the request named an alias or relied
 	// on the server default.
 	FrameOpened byte = 0x02
 	// FrameBatch streams branches into a session: session id uvarint,
@@ -71,6 +98,18 @@ const (
 	// (uvarint length + bytes). The connection stays usable unless the
 	// failure was a framing error.
 	FrameError byte = 0x07
+	// FrameSnapGet requests a durable snapshot of a live session: session
+	// id uvarint. Answered with FrameSnap.
+	FrameSnapGet byte = 0x09
+	// FrameSnap answers FrameSnapGet: session id uvarint, snapshot blob
+	// (uvarint length + bytes). The blob is a self-contained session
+	// snapshot (AppendSessionSnapshot) any node can resume from.
+	FrameSnap byte = 0x0A
+	// FrameOpenSnap opens (or resumes) a session from a snapshot blob
+	// (uvarint length + bytes): the migration/failover path. Answered with
+	// FrameOpened; if a live session already holds the snapshot's key it
+	// wins and the blob is ignored.
+	FrameOpenSnap byte = 0x0B
 )
 
 // Protocol limits. Frames above MaxFrame or batches above MaxBatch are
@@ -82,6 +121,7 @@ const (
 	maxConfigName = 256
 	maxSpecLen    = predictor.MaxSpecLen
 	maxErrMsg     = 1 << 12
+	maxSessionKey = 128
 )
 
 // Error codes carried by FrameError.
@@ -90,10 +130,17 @@ const (
 	ErrCodeUnknownSession uint64 = 2 // session id not live
 	ErrCodeSessionLimit   uint64 = 3 // max-sessions cap reached
 	ErrCodeBadConfig      uint64 = 4 // unknown predictor config/options
+	ErrCodeSnapshot       uint64 = 5 // unusable snapshot blob or state
 )
 
-// ErrProtocol reports a malformed frame or payload.
+// ErrProtocol reports a malformed frame or payload: the stream's contents
+// violate the protocol, so retrying the same bytes cannot succeed.
 var ErrProtocol = fmt.Errorf("serve: protocol error")
+
+// ErrIO reports a transport-level failure (truncated read mid-frame, a
+// reset connection). Unlike ErrProtocol it says nothing about the peer's
+// correctness — a client may retry on a fresh connection (IsRetryable).
+var ErrIO = fmt.Errorf("serve: io error")
 
 // RemoteError is a server-reported request failure (FrameError).
 type RemoteError struct {
@@ -131,10 +178,10 @@ func ReadFrame(br *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, 
 		if err == io.EOF {
 			return 0, nil, buf, io.EOF
 		}
-		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrProtocol, err)
+		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrIO, err)
 	}
 	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
-		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrProtocol, err)
+		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrIO, err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[:])
 	if length == 0 || length > MaxFrame {
@@ -146,7 +193,7 @@ func ReadFrame(br *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, 
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return 0, nil, buf, fmt.Errorf("%w: body: %v", ErrProtocol, err)
+		return 0, nil, buf, fmt.Errorf("%w: body: %v", ErrIO, err)
 	}
 	return buf[0], buf[1:], buf, nil
 }
@@ -173,6 +220,12 @@ type OpenRequest struct {
 	// heterogeneous sessions (gshare next to TAGE next to perceptron)
 	// share one server.
 	Spec string
+	// Key, when non-empty, names a durable session: an open with a key
+	// held by a live session resumes that session (the request's
+	// config/options/spec are ignored), an open whose key has a
+	// checkpoint on the server's state dir restores it, and only keyed
+	// sessions are checkpointed. At most maxSessionKey bytes.
+	Key string
 }
 
 // AppendOpen appends a complete FrameOpen to dst.
@@ -188,6 +241,8 @@ func AppendOpen(dst []byte, req OpenRequest) []byte {
 	dst = binary.AppendUvarint(dst, req.Options.AdaptiveWindow)
 	dst = binary.AppendUvarint(dst, uint64(len(req.Spec)))
 	dst = append(dst, req.Spec...)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Key)))
+	dst = append(dst, req.Key...)
 	return EndFrame(dst, start)
 }
 
@@ -252,6 +307,16 @@ func DecodeOpen(payload []byte) (OpenRequest, error) {
 	}
 	req.Spec = string(payload[:specLen])
 	payload = payload[specLen:]
+	keyLen, n, err := uvarint(payload)
+	if err != nil {
+		return req, fmt.Errorf("key length: %w", err)
+	}
+	payload = payload[n:]
+	if keyLen > maxSessionKey || keyLen > uint64(len(payload)) {
+		return req, fmt.Errorf("%w: session key length %d", ErrProtocol, keyLen)
+	}
+	req.Key = string(payload[:keyLen])
+	payload = payload[keyLen:]
 	if len(payload) != 0 {
 		return req, fmt.Errorf("%w: %d trailing bytes after open request", ErrProtocol, len(payload))
 	}
@@ -261,33 +326,110 @@ func DecodeOpen(payload []byte) (OpenRequest, error) {
 	return req, nil
 }
 
-// AppendOpened appends a complete FrameOpened to dst.
-func AppendOpened(dst []byte, sessionID uint64, config string) []byte {
+// AppendOpened appends a complete FrameOpened to dst. branches is the
+// session's already-served branch count (0 for a fresh session).
+func AppendOpened(dst []byte, sessionID uint64, config string, branches uint64) []byte {
 	start := len(dst)
 	dst = BeginFrame(dst, FrameOpened)
 	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, branches)
 	dst = binary.AppendUvarint(dst, uint64(len(config)))
 	dst = append(dst, config...)
 	return EndFrame(dst, start)
 }
 
-// DecodeOpened decodes a FrameOpened payload into the session id and the
-// server-resolved configuration name.
-func DecodeOpened(payload []byte) (uint64, string, error) {
+// DecodeOpened decodes a FrameOpened payload into the session id, the
+// server-resolved configuration name, and the session's already-served
+// branch count.
+func DecodeOpened(payload []byte) (id uint64, config string, branches uint64, err error) {
 	id, n, err := uvarint(payload)
 	if err != nil {
-		return 0, "", fmt.Errorf("opened session id: %w", err)
+		return 0, "", 0, fmt.Errorf("opened session id: %w", err)
+	}
+	payload = payload[n:]
+	branches, n, err = uvarint(payload)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("opened branches: %w", err)
 	}
 	payload = payload[n:]
 	nameLen, n, err := uvarint(payload)
 	if err != nil {
-		return 0, "", fmt.Errorf("opened config length: %w", err)
+		return 0, "", 0, fmt.Errorf("opened config length: %w", err)
 	}
 	payload = payload[n:]
 	if nameLen > maxConfigName || nameLen != uint64(len(payload)) {
-		return 0, "", fmt.Errorf("%w: opened config length %d", ErrProtocol, nameLen)
+		return 0, "", 0, fmt.Errorf("%w: opened config length %d", ErrProtocol, nameLen)
 	}
-	return id, string(payload), nil
+	return id, string(payload), branches, nil
+}
+
+// AppendSnapGet appends a complete FrameSnapGet to dst.
+func AppendSnapGet(dst []byte, sessionID uint64) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameSnapGet)
+	dst = binary.AppendUvarint(dst, sessionID)
+	return EndFrame(dst, start)
+}
+
+// DecodeSnapGet decodes a FrameSnapGet payload.
+func DecodeSnapGet(payload []byte) (uint64, error) {
+	id, n, err := uvarint(payload)
+	if err != nil || n != len(payload) {
+		return 0, fmt.Errorf("%w: snapget payload", ErrProtocol)
+	}
+	return id, nil
+}
+
+// AppendSnap appends a complete FrameSnap to dst.
+func AppendSnap(dst []byte, sessionID uint64, blob []byte) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameSnap)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, uint64(len(blob)))
+	dst = append(dst, blob...)
+	return EndFrame(dst, start)
+}
+
+// DecodeSnap decodes a FrameSnap payload. The returned blob is a
+// sub-slice of payload, valid until the frame buffer is reused.
+func DecodeSnap(payload []byte) (uint64, []byte, error) {
+	id, n, err := uvarint(payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("snap session id: %w", err)
+	}
+	payload = payload[n:]
+	blobLen, n, err := uvarint(payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("snap blob length: %w", err)
+	}
+	payload = payload[n:]
+	if blobLen > MaxFrame || blobLen != uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("%w: snap blob length %d", ErrProtocol, blobLen)
+	}
+	return id, payload, nil
+}
+
+// AppendOpenSnap appends a complete FrameOpenSnap to dst.
+func AppendOpenSnap(dst []byte, blob []byte) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameOpenSnap)
+	dst = binary.AppendUvarint(dst, uint64(len(blob)))
+	dst = append(dst, blob...)
+	return EndFrame(dst, start)
+}
+
+// DecodeOpenSnap decodes a FrameOpenSnap payload. The returned blob is a
+// sub-slice of payload.
+func DecodeOpenSnap(payload []byte) ([]byte, error) {
+	blobLen, n, err := uvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("opensnap blob length: %w", err)
+	}
+	payload = payload[n:]
+	if blobLen > MaxFrame || blobLen != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: opensnap blob length %d", ErrProtocol, blobLen)
+	}
+	return payload, nil
 }
 
 // AppendBatch appends a complete FrameBatch to dst. PC deltas restart

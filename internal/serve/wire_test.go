@@ -65,14 +65,14 @@ func TestOpenRoundTrip(t *testing.T) {
 }
 
 func TestOpenedRoundTrip(t *testing.T) {
-	frame := AppendOpened(nil, 1234567, "64Kbits")
+	frame := AppendOpened(nil, 1234567, "64Kbits", 987654)
 	typ, payload := readOne(t, frame)
 	if typ != FrameOpened {
 		t.Fatalf("type %#02x", typ)
 	}
-	id, config, err := DecodeOpened(payload)
-	if err != nil || id != 1234567 || config != "64Kbits" {
-		t.Fatalf("got id=%d config=%q err=%v", id, config, err)
+	id, config, branches, err := DecodeOpened(payload)
+	if err != nil || id != 1234567 || config != "64Kbits" || branches != 987654 {
+		t.Fatalf("got id=%d config=%q branches=%d err=%v", id, config, branches, err)
 	}
 }
 
@@ -197,11 +197,16 @@ func TestReadFrameLimits(t *testing.T) {
 	if _, _, _, err := ReadFrame(br, nil); err != io.EOF {
 		t.Fatalf("clean EOF: err = %v", err)
 	}
-	// EOF inside a frame is a protocol error.
+	// EOF inside a frame is a transport failure — retryable on a fresh
+	// connection, unlike a protocol violation.
 	frame := AppendClose(nil, 1)
 	br = bufio.NewReader(bytes.NewReader(frame[:len(frame)-1]))
-	if _, _, _, err := ReadFrame(br, nil); !errors.Is(err, ErrProtocol) {
+	if _, _, _, err := ReadFrame(br, nil); !errors.Is(err, ErrIO) {
 		t.Fatalf("mid-frame EOF: err = %v", err)
+	}
+	// And the two classes never overlap.
+	if _, _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame[:3])), nil); !errors.Is(err, ErrIO) || errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated header: err = %v", err)
 	}
 }
 
@@ -228,8 +233,16 @@ func TestDecodeTruncations(t *testing.T) {
 	}{
 		{"open", payloadOf(AppendOpen(nil, OpenRequest{Config: "64K", Options: core.Options{Mode: core.ModeAdaptive, TargetMKP: 5}})),
 			func(p []byte) error { _, err := DecodeOpen(p); return err }},
-		{"opened", payloadOf(AppendOpened(nil, 42, "64Kbits")),
-			func(p []byte) error { _, _, err := DecodeOpened(p); return err }},
+		{"open-keyed", payloadOf(AppendOpen(nil, OpenRequest{Spec: "tage-16K", Key: "trace/INT-1#0"})),
+			func(p []byte) error { _, err := DecodeOpen(p); return err }},
+		{"opened", payloadOf(AppendOpened(nil, 42, "64Kbits", 77)),
+			func(p []byte) error { _, _, _, err := DecodeOpened(p); return err }},
+		{"snapget", payloadOf(AppendSnapGet(nil, 42)),
+			func(p []byte) error { _, err := DecodeSnapGet(p); return err }},
+		{"snap", payloadOf(AppendSnap(nil, 42, []byte("blobby"))),
+			func(p []byte) error { _, _, err := DecodeSnap(p); return err }},
+		{"opensnap", payloadOf(AppendOpenSnap(nil, []byte("blobby"))),
+			func(p []byte) error { _, err := DecodeOpenSnap(p); return err }},
 		{"batch", payloadOf(AppendBatch(nil, 42, records)),
 			func(p []byte) error { _, _, err := DecodeBatch(p, nil); return err }},
 		{"predictions", payloadOf(AppendPredictions(nil, 42, grades)),

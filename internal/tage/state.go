@@ -1,0 +1,79 @@
+// Snapshot codec for the TAGE predictor. Because the whole predictor
+// lives in one packed arena (bimodal words + one-word tagged entries),
+// the bulk of the state is a single length-prefixed word copy; the rest
+// is the folded-history registers, the global/path history, the
+// USE_ALT_ON_NA counter, the aging tick and the allocation RNG stream.
+// Per-prediction scratch (lastObs, pos, tagc, ...) is dead between a
+// resolved Update and the next Predict — the only points snapshots are
+// taken at — so it is not serialized; RestoreState clears it.
+package tage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/statecodec"
+)
+
+// AppendState appends the predictor's mutable state to dst.
+func (p *Predictor) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p.arena)))
+	for _, w := range p.arena {
+		dst = binary.LittleEndian.AppendUint32(dst, w)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(p.folds)))
+	for i := range p.folds {
+		dst = binary.AppendUvarint(dst, uint64(p.folds[i].Value()))
+	}
+	dst = p.ghist.AppendState(dst)
+	dst = binary.AppendUvarint(dst, uint64(p.phist.Value()))
+	dst = binary.AppendVarint(dst, int64(p.useAltOnNA))
+	dst = binary.AppendUvarint(dst, p.tick)
+	dst = binary.LittleEndian.AppendUint64(dst, p.rng.State())
+	return dst
+}
+
+// RestoreState reads state written by AppendState into p, which must
+// have been built from the same configuration (the recorded arena and
+// fold lengths are validated against p's allocated structures). Restore
+// is bit-identical: the restored predictor continues exactly like the
+// snapshotted one.
+func (p *Predictor) RestoreState(r *statecodec.Reader) error {
+	words := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if words != uint64(len(p.arena)) {
+		return fmt.Errorf("%w: tage arena %d words, want %d", statecodec.ErrCorrupt, words, len(p.arena))
+	}
+	for i := range p.arena {
+		p.arena[i] = r.Uint32()
+	}
+	nf := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nf != uint64(len(p.folds)) {
+		return fmt.Errorf("%w: tage folds %d, want %d", statecodec.ErrCorrupt, nf, len(p.folds))
+	}
+	for i := range p.folds {
+		p.folds[i].SetValue(uint32(r.Uvarint()))
+	}
+	if err := p.ghist.RestoreState(r); err != nil {
+		return err
+	}
+	p.phist.SetValue(uint32(r.Uvarint()))
+	ualt := r.Varint()
+	p.tick = r.Uvarint()
+	rngState := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if ualt < -8 || ualt > 7 {
+		return fmt.Errorf("%w: tage useAltOnNA %d out of range", statecodec.ErrCorrupt, ualt)
+	}
+	p.useAltOnNA = int8(ualt)
+	p.rng.SetState(rngState)
+	p.havePred = false
+	return nil
+}

@@ -81,6 +81,22 @@ func (r *Rand) Seed(seed uint64) {
 	r.state = v
 }
 
+// State returns the raw generator state, for snapshot codecs. Restoring
+// it with SetState reproduces the stream bit for bit; Seed would not,
+// because it mixes the seed before storing it.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state captured by State. A zero state — never
+// produced by a seeded generator, but possible in a corrupt snapshot —
+// is remapped to the same non-zero constant Seed uses, because the
+// all-zero state is a fixed point of xorshift.
+func (r *Rand) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 bits from the stream.
 func (r *Rand) Uint64() uint64 {
 	x := r.state
