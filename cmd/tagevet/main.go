@@ -1,0 +1,133 @@
+// Command tagevet is the repository's static-analysis suite: a
+// multichecker of repo-specific analyzers (hotpath, statecodec,
+// lockcheck, frames) enforcing the invariants the runtime pins only
+// catch after the fact. See PERF.md "Static invariants" for the
+// directive conventions.
+//
+// Standalone (the CI entry point):
+//
+//	go run ./cmd/tagevet ./...
+//	go run ./cmd/tagevet -test=false ./internal/serve
+//
+// As a vet tool (integrates with go vet's per-package driver and build
+// cache):
+//
+//	go build -o /tmp/tagevet ./cmd/tagevet
+//	go vet -vettool=/tmp/tagevet ./...
+//
+// Exit status: 0 when clean, 1 on findings, 2 on internal errors.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	// go vet -vettool probes the tool before use: -V=full for the build
+	// cache key, -flags for the flag set it may forward.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVetTool(os.Args[1]))
+	}
+	os.Exit(runStandalone())
+}
+
+// printVersion emits the "<name> version <id>" line go vet's build
+// cache keys vet results by; the id hashes the tool binary so edits to
+// the analyzers invalidate cached verdicts.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version tagevet-%s\n", name, id)
+}
+
+func runStandalone() int {
+	fs := flag.NewFlagSet("tagevet", flag.ExitOnError)
+	tests := fs.Bool("test", true, "also analyze packages' test files")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tagevet [-test=false] packages...\n\nAnalyzers:\n")
+		for _, a := range suite.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	units, facts, err := load.Load(load.Config{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagevet: %v\n", err)
+		return 2
+	}
+
+	var lines []string
+	seen := make(map[string]bool)
+	for _, u := range units {
+		pass := func(a *analysis.Analyzer) *analysis.Pass {
+			return &analysis.Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Types,
+				TypesInfo: u.Info,
+				Dirs:      u.Dirs,
+				Facts:     facts,
+				Report: func(d analysis.Diagnostic) {
+					line := fmt.Sprintf("%s: %s [%s]", u.Fset.Position(d.Pos), d.Message, d.Analyzer)
+					if !seen[line] {
+						seen[line] = true
+						lines = append(lines, line)
+					}
+				},
+			}
+		}
+		for _, a := range suite.All() {
+			if err := a.Run(pass(a)); err != nil {
+				fmt.Fprintf(os.Stderr, "tagevet: %s on %s: %v\n", a.Name, u.PkgPath, err)
+				return 2
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if len(lines) > 0 {
+		fmt.Fprintf(os.Stderr, "tagevet: %d finding(s)\n", len(lines))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,214 @@
+package main
+
+// go vet -vettool support: the go command drives one process per
+// package, handing it a JSON config describing the package's files,
+// its import map, and the export-data files of every dependency — the
+// unitchecker protocol. Type information comes from the supplied export
+// data; module-local hot-path facts are rebuilt syntactically from the
+// dependency sources (resolved through the module root), since the
+// protocol's fact files are an x/tools serialization this stdlib-only
+// driver does not speak.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// vetConfig mirrors the go command's per-package vet configuration.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagevet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tagevet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The output facts file is an action output the go command caches;
+	// this driver keeps no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "tagevet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tagevet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	tpkg, info, err := load.Check(fset, pkgPath, files, load.Importer(fset, cfg.PackageFile, cfg.ImportMap))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "tagevet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	facts := vetToolFacts(&cfg, fset, pkgPath, files)
+
+	dirs := analysis.NewDirectives(fset, files)
+	var lines []string
+	seen := make(map[string]bool)
+	for _, a := range suite.All() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Dirs:      dirs,
+			Facts:     facts,
+			Report: func(d analysis.Diagnostic) {
+				line := fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+				if !seen[line] {
+					seen[line] = true
+					lines = append(lines, line)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "tagevet: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 2
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if len(lines) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetToolFacts rebuilds module-local //repro:hotpath facts from source:
+// the current package plus every module-local entry of the import map,
+// located under the module root.
+func vetToolFacts(cfg *vetConfig, fset *token.FileSet, pkgPath string, files []*ast.File) *analysis.ModuleFacts {
+	facts := analysis.NewModuleFacts()
+	facts.ModulePath = cfg.ModulePath
+	if facts.ModulePath == "" {
+		facts.ModulePath = modulePathFromRoot(cfg.Dir)
+	}
+	load.CollectHotpathFacts(facts, pkgPath, files)
+
+	root := moduleRoot(cfg.Dir)
+	if root == "" || facts.ModulePath == "" {
+		return facts
+	}
+	seen := map[string]bool{pkgPath: true}
+	for _, m := range []map[string]string{cfg.ImportMap, cfg.PackageFile} {
+		for dep := range m {
+			dep = strings.TrimSuffix(dep, " ["+cfg.ID+"]")
+			if i := strings.Index(dep, " ["); i >= 0 {
+				dep = dep[:i]
+			}
+			if seen[dep] || (dep != facts.ModulePath && !strings.HasPrefix(dep, facts.ModulePath+"/")) {
+				continue
+			}
+			seen[dep] = true
+			dir := filepath.Join(root, strings.TrimPrefix(dep, facts.ModulePath))
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				continue
+			}
+			depFset := token.NewFileSet()
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				f, err := parser.ParseFile(depFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					continue
+				}
+				load.CollectHotpathFacts(facts, dep, []*ast.File{f})
+			}
+		}
+	}
+	return facts
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// modulePathFromRoot reads the module path out of the enclosing go.mod.
+func modulePathFromRoot(dir string) string {
+	root := moduleRoot(dir)
+	if root == "" {
+		return ""
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text       string
+		ok         bool
+		name, args string
+	}{
+		{"// repro:hotpath", false, "", ""}, // space after slashes: ordinary comment
+		{"//repro:hotpath", true, "hotpath", ""},
+		{"//repro:allow-alloc cold error path", true, "allow-alloc", "cold error path"},
+		{"//repro:guardedby mu", true, "guardedby", "mu"},
+		{"//repro:frames ignore why not // want \"x\"", true, "frames", "ignore why not"},
+		{"//repro:allow-alloc // want \"y\"", true, "allow-alloc", ""},
+		{"//not-a-directive", false, "", ""},
+	}
+	for _, c := range cases {
+		dir, ok := ParseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if dir.Name != c.name || dir.Args != c.args {
+			t.Errorf("ParseDirective(%q) = (%q, %q), want (%q, %q)", c.text, dir.Name, dir.Args, c.name, c.args)
+		}
+	}
+}
+
+const directivesSrc = `package p
+
+//repro:hotpath
+func hot() {
+	x := 1 //repro:allow-alloc trailing escape
+	_ = x
+}
+`
+
+func TestDirectivesLineApplication(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directivesSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirectives(fset, []*ast.File{f})
+
+	// Line 4 is the func declaration: the leading block on line 3 applies.
+	fn := f.Decls[0].(*ast.FuncDecl)
+	if !d.Has(fn.Pos(), "hotpath") {
+		t.Errorf("hotpath directive does not apply to the declaration below it")
+	}
+
+	// The trailing allow-alloc applies to its own line and is consumed by Get.
+	body := fn.Body.List[0].(*ast.AssignStmt)
+	dir, ok := d.Get(body.Pos(), "allow-alloc")
+	if !ok {
+		t.Fatalf("trailing allow-alloc does not apply to its own line")
+	}
+	if dir.Args != "trailing escape" {
+		t.Errorf("allow-alloc args = %q, want %q", dir.Args, "trailing escape")
+	}
+	if unused := d.Unused("allow-alloc"); len(unused) != 0 {
+		t.Errorf("consumed directive still reported unused: %v", unused)
+	}
+	if unused := d.Unused("hotpath"); len(unused) != 0 {
+		t.Errorf("Has did not mark the hotpath directive used: %v", unused)
+	}
+}

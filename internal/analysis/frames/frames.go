@@ -1,0 +1,202 @@
+// Package frames implements the frame-exhaustive analyzer: every wire
+// frame constant is classified, and every frame-dispatch switch handles
+// its whole direction.
+//
+// The serve protocol grows by adding Frame* constants (FrameSnapGet,
+// FrameOpenSnap, ... in PR 6); each addition must reach every dispatch
+// switch — the server's request demux, the client's response demux, the
+// fuzzer's corpus walker — or the new frame is silently treated as a
+// protocol error on one side only. The analyzer enforces, within any
+// package declaring byte constants named Frame*:
+//
+//   - every Frame* constant carries //repro:frame request or
+//     //repro:frame response (the wire's direction taxonomy);
+//   - every switch whose cases mention two or more Frame* constants is a
+//     dispatch switch and must be annotated //repro:frames request,
+//     //repro:frames response, //repro:frames all, or //repro:frames
+//     ignore <why> (for deliberate partial demuxes);
+//   - an annotated switch lists every constant of its direction — adding
+//     a frame without extending each dispatch switch fails vet.
+package frames
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the frame-exhaustive analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "frames",
+	Doc:  "every Frame* constant is classified and handled in each //repro:frames dispatch switch",
+	Run:  run,
+}
+
+// frameConst is one classified wire-frame constant.
+type frameConst struct {
+	obj       *types.Const
+	direction string // "request" or "response"; "" when unclassified
+}
+
+func run(pass *analysis.Pass) error {
+	frames := collectFrames(pass)
+	if len(frames) == 0 {
+		return nil
+	}
+	byDirection := map[string][]*frameConst{}
+	for _, fc := range frames {
+		if fc.direction != "" {
+			byDirection[fc.direction] = append(byDirection[fc.direction], fc)
+			byDirection["all"] = append(byDirection["all"], fc)
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, frames, byDirection, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectFrames gathers the package's Frame* byte constants and their
+// //repro:frame classification.
+func collectFrames(pass *analysis.Pass) map[*types.Const]*frameConst {
+	frames := make(map[*types.Const]*frameConst)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isFrameName(name.Name) {
+						continue
+					}
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isByte(obj.Type()) {
+						continue
+					}
+					fc := &frameConst{obj: obj}
+					if dir, ok := specDirective(vs, "frame"); ok {
+						switch dir.Args {
+						case "request", "response":
+							fc.direction = dir.Args
+						default:
+							pass.Reportf(dir.Pos, "//repro:frame wants direction request or response, got %q", dir.Args)
+						}
+					} else {
+						pass.Reportf(name.Pos(), "frame constant %s must be classified //repro:frame request|response so dispatch switches can be checked", name.Name)
+					}
+					frames[obj] = fc
+				}
+			}
+		}
+	}
+	return frames
+}
+
+// isFrameName matches exported and unexported frame constant names
+// (FrameOpen, frameOpen) without tripping on e.g. FrameSize bounds —
+// the byte-typed requirement does that filtering.
+func isFrameName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Frame")
+	if !ok {
+		rest, ok = strings.CutPrefix(name, "frame")
+	}
+	return ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z'
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func specDirective(vs *ast.ValueSpec, name string) (analysis.Directive, bool) {
+	for _, g := range []*ast.CommentGroup{vs.Doc, vs.Comment} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if dir, ok := analysis.ParseDirective(c.Text); ok && dir.Name == name {
+				dir.Pos = c.Pos()
+				return dir, true
+			}
+		}
+	}
+	return analysis.Directive{}, false
+}
+
+func checkSwitch(pass *analysis.Pass, frames map[*types.Const]*frameConst, byDirection map[string][]*frameConst, sw *ast.SwitchStmt) {
+	handled := make(map[*types.Const]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			var id *ast.Ident
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			case *ast.BinaryExpr:
+				// Tagless dispatch: case typ == FrameOpen.
+				for _, op := range []ast.Expr{e.X, e.Y} {
+					if opID, ok := ast.Unparen(op).(*ast.Ident); ok {
+						if c, ok := pass.TypesInfo.Uses[opID].(*types.Const); ok && frames[c] != nil {
+							handled[c] = true
+						}
+					}
+				}
+				continue
+			default:
+				continue
+			}
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && frames[c] != nil {
+				handled[c] = true
+			}
+		}
+	}
+
+	dir, annotated := pass.Dirs.Get(sw.Pos(), "frames")
+	if !annotated {
+		if len(handled) >= 2 {
+			pass.Reportf(sw.Pos(), "switch dispatches on %d frame constants; annotate //repro:frames request|response|all, or //repro:frames ignore <why> for a deliberate partial demux", len(handled))
+		}
+		return
+	}
+	verb, _, _ := strings.Cut(dir.Args, " ")
+	switch verb {
+	case "ignore":
+		return
+	case "request", "response", "all":
+	default:
+		pass.Reportf(dir.Pos, "//repro:frames wants request, response, all or ignore, got %q", dir.Args)
+		return
+	}
+	var missing []string
+	for _, fc := range byDirection[verb] {
+		if !handled[fc.obj] {
+			missing = append(missing, fc.obj.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(sw.Pos(), "frame dispatch switch (//repro:frames %s) does not handle %s", verb, name)
+	}
+}

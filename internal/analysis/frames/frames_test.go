@@ -1,0 +1,12 @@
+package frames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/frames"
+)
+
+func TestFrames(t *testing.T) {
+	analysistest.Run(t, "testdata/wire", frames.Analyzer)
+}

@@ -1,0 +1,85 @@
+// Package wire is the frames analyzer fixture: classified and rogue
+// frame constants, exhaustive and partial dispatch switches, and the
+// ignore escape hatch.
+package wire
+
+const (
+	//repro:frame request
+	FrameOpen byte = 0x01
+	//repro:frame response
+	FrameOpened byte = 0x02
+	//repro:frame request
+	FrameClose byte = 0x03
+	//repro:frame response
+	FrameClosed byte = 0x04
+	FrameRogue  byte = 0x05 // want "frame constant FrameRogue must be classified"
+	//repro:frame sideways // want "wants direction request or response"
+	FrameOdd byte = 0x06
+	// FrameSize is not byte-typed and is no frame constant at all.
+	FrameSize int = 12
+)
+
+// demux handles every request frame.
+func demux(typ byte) int {
+	//repro:frames request
+	switch typ {
+	case FrameOpen:
+		return 1
+	case FrameClose:
+		return 2
+	}
+	return 0
+}
+
+// partial claims the response direction but misses FrameClosed.
+func partial(typ byte) int {
+	//repro:frames response
+	switch typ { // want "does not handle FrameClosed"
+	case FrameOpened:
+		return 1
+	}
+	return 0
+}
+
+// sniff dispatches on two frame constants without any annotation.
+func sniff(typ byte) bool {
+	switch typ { // want "switch dispatches on 2 frame constants"
+	case FrameOpen, FrameOpened:
+		return true
+	}
+	return false
+}
+
+// tap is a deliberate partial demux.
+func tap(typ byte) bool {
+	//repro:frames ignore metrics-only tap, deliberately partial
+	switch typ {
+	case FrameOpen, FrameClose:
+		return true
+	}
+	return false
+}
+
+// tagless covers every classified frame through == comparisons.
+func tagless(typ byte) int {
+	//repro:frames all
+	switch {
+	case typ == FrameOpen, typ == FrameOpened:
+		return 1
+	case typ == FrameClose:
+		return 2
+	case typ == FrameClosed:
+		return 3
+	}
+	return 0
+}
+
+// askew names a direction the taxonomy does not have.
+func askew(typ byte) int {
+	//repro:frames sideways // want "wants request, response, all or ignore"
+	switch typ {
+	case FrameOpen, FrameClose:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,552 @@
+// Package hotpath implements the hotpath analyzer: functions annotated
+// //repro:hotpath must be statically allocation-free.
+//
+// The repo's per-branch paths — every predictor's Predict/Update, the
+// history folds, the wire codec, the serve session step — are pinned at
+// 0 allocs/op by runtime benchmarks, but those fire only after a
+// regression ships. This analyzer rejects the allocation at vet time:
+// inside a //repro:hotpath function it reports
+//
+//   - make, new, slice/map composite literals, &T{...} literals
+//   - append to a slice that is provably fresh in this function (declared
+//     empty, so the append must grow); append into caller-provided or
+//     reused storage is the repo's amortized-zero idiom and is allowed
+//   - map reads, writes, deletes and iteration; channel operations, go
+//     statements, select; defer inside a loop
+//   - closures (func literals capture and escape)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - implicit interface conversions (boxing) at call arguments,
+//     assignments and returns
+//   - calls whose callee is statically known and is neither another
+//     //repro:hotpath function nor on the small stdlib allow-list of
+//     alloc-free primitives (sync lock/unlock, sync/atomic, math,
+//     math/bits, encoding/binary varint and byte-order helpers). Calls
+//     through interfaces and func values are the dynamic boundary and
+//     are accepted — the runtime alloc pins still cover them.
+//
+// A finding is suppressed by //repro:allow-alloc <justification> on the
+// offending line (or the comment block immediately above); the
+// justification is mandatory, and an allow-alloc that suppresses nothing
+// is itself reported so stale escapes cannot linger.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "reject statically-visible allocations in //repro:hotpath functions",
+	Run:  run,
+}
+
+// stdlibAllow lists stdlib callees accepted inside hot paths. A nil set
+// allows every function of the package; otherwise the function (or
+// Type.Method) key must be present.
+var stdlibAllow = map[string]map[string]bool{
+	"sync": {
+		"Mutex.Lock": true, "Mutex.Unlock": true, "Mutex.TryLock": true,
+		"RWMutex.Lock": true, "RWMutex.Unlock": true,
+		"RWMutex.RLock": true, "RWMutex.RUnlock": true,
+		"RWMutex.TryLock": true, "RWMutex.TryRLock": true,
+	},
+	"sync/atomic": nil,
+	"math":        nil,
+	"math/bits":   nil,
+	"encoding/binary": {
+		"Uvarint": true, "Varint": true,
+		"PutUvarint": true, "PutVarint": true,
+		"AppendUvarint": true, "AppendVarint": true,
+		"littleEndian.Uint16": true, "littleEndian.Uint32": true, "littleEndian.Uint64": true,
+		"littleEndian.PutUint16": true, "littleEndian.PutUint32": true, "littleEndian.PutUint64": true,
+		"littleEndian.AppendUint16": true, "littleEndian.AppendUint32": true, "littleEndian.AppendUint64": true,
+		"bigEndian.Uint16": true, "bigEndian.Uint32": true, "bigEndian.Uint64": true,
+		"bigEndian.PutUint16": true, "bigEndian.PutUint32": true, "bigEndian.PutUint64": true,
+		"bigEndian.AppendUint16": true, "bigEndian.AppendUint32": true, "bigEndian.AppendUint64": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, justified: make(map[token.Pos]bool)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := analysis.FuncDirective(fn, "hotpath"); !ok {
+				continue
+			}
+			c.checkFunc(fn)
+		}
+	}
+	for _, dir := range pass.Dirs.Unused("allow-alloc") {
+		pass.Reportf(dir.Pos, "unused //repro:allow-alloc (no hot-path finding on this line; remove the stale escape)")
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// fresh holds local slice vars of the current function declared with
+	// no backing storage: any append to one must grow.
+	fresh map[*types.Var]bool
+	// enclosingSig is the signature of the hot function being checked
+	// (for boxing checks at return statements).
+	enclosingSig *types.Signature
+	// justified dedupes missing-justification reports per directive.
+	justified map[token.Pos]bool
+}
+
+// report emits a finding unless the line carries a justified
+// //repro:allow-alloc escape.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if dir, ok := c.pass.Dirs.Get(pos, "allow-alloc"); ok {
+		if dir.Args == "" && !c.justified[dir.Pos] {
+			c.justified[dir.Pos] = true
+			c.pass.Reportf(dir.Pos, "//repro:allow-alloc requires a justification (why is this allocation acceptable on a hot path?)")
+		}
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.fresh = make(map[*types.Var]bool)
+	c.enclosingSig = nil
+	if o, ok := c.pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		c.enclosingSig, _ = o.Type().(*types.Signature)
+	}
+	c.collectFresh(fn.Body)
+	c.walk(fn.Body, 0)
+}
+
+// collectFresh records local slice variables declared empty — var s []T,
+// s := []T(nil) — whose appends must therefore allocate. Variables
+// initialized from parameters, fields or slicings keep their backing
+// storage and stay appendable.
+func (c *checker) collectFresh(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if v, ok := c.pass.TypesInfo.Defs[name].(*types.Var); ok && isSlice(v.Type()) {
+						c.fresh[v] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := c.pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok || !isSlice(v.Type()) {
+					continue
+				}
+				if tv, ok := c.pass.TypesInfo.Types[n.Rhs[i]]; ok && tv.IsNil() {
+					c.fresh[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// rootVar resolves an append destination to the variable it names, or
+// nil for field/index/call-rooted destinations.
+func (c *checker) rootVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// walk checks one statement tree; loopDepth counts enclosing loops (for
+// the defer rule).
+func (c *checker) walk(n ast.Node, loopDepth int) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			c.walkLoop(n.Init, n.Cond, n.Post, nil, n.Body, loopDepth)
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					c.report(n.Pos(), "range over map in hot path (map iteration; hot paths use flat storage)")
+				case *types.Chan:
+					c.report(n.Pos(), "range over channel in hot path")
+				}
+			}
+			c.walkLoop(nil, nil, nil, n, n.Body, loopDepth)
+			return false
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				c.report(n.Pos(), "defer inside a loop allocates per iteration; unlock/clean up explicitly")
+			}
+			c.checkCall(n.Call)
+			c.walkChildren(n.Call, loopDepth)
+			return false
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement in hot path (spawning allocates and breaks the serial per-branch contract)")
+		case *ast.SelectStmt:
+			c.report(n.Pos(), "select in hot path (channel operations)")
+		case *ast.SendStmt:
+			c.report(n.Pos(), "channel send in hot path")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.report(n.Pos(), "channel receive in hot path")
+			}
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal may escape and allocate in hot path")
+				}
+			}
+		case *ast.FuncLit:
+			c.report(n.Pos(), "closure in hot path (func literals capture and allocate)")
+			return false // the literal's body is not part of the annotated path
+		case *ast.CompositeLit:
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					c.report(n.Pos(), "slice literal allocates in hot path")
+				case *types.Map:
+					c.report(n.Pos(), "map literal allocates in hot path")
+				}
+			}
+		case *ast.IndexExpr:
+			if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					c.report(n.Pos(), "map access in hot path (hashing and possible growth; hot paths use flat storage)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						c.report(n.Pos(), "string concatenation allocates in hot path")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					if tv, ok := c.pass.TypesInfo.Types[n.Lhs[i]]; ok {
+						c.checkBoxing(n.Rhs[i], tv.Type)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+// walkChildren inspects the children of a node already handled.
+func (c *checker) walkChildren(n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		c.walk(child, loopDepth)
+		return false
+	})
+}
+
+func (c *checker) walkLoop(init, cond, post ast.Node, rng *ast.RangeStmt, body *ast.BlockStmt, loopDepth int) {
+	for _, h := range []ast.Node{init, cond, post} {
+		if h != nil {
+			c.walk(h, loopDepth)
+		}
+	}
+	if rng != nil {
+		if rng.Key != nil {
+			c.walk(rng.Key, loopDepth)
+		}
+		if rng.Value != nil {
+			c.walk(rng.Value, loopDepth)
+		}
+		c.walk(rng.X, loopDepth)
+	}
+	c.walk(body, loopDepth+1)
+}
+
+// checkCall classifies one call: builtin, conversion, or function call.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion T(x).
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[f.Sel]
+	default:
+		// Call of a call result or other dynamic callee: the call itself
+		// does not allocate.
+		c.checkCallArgs(call)
+		return
+	}
+
+	switch o := obj.(type) {
+	case *types.Builtin:
+		c.checkBuiltin(call, o.Name())
+		return
+	case *types.Func:
+		c.checkCallee(call, o)
+	case *types.Var:
+		// func-valued variable or field: the indirect call is alloc-free.
+	}
+	c.checkCallArgs(call)
+}
+
+func (c *checker) checkBuiltin(call *ast.CallExpr, name string) {
+	switch name {
+	case "make":
+		c.report(call.Pos(), "make allocates in hot path; preallocate at construction")
+	case "new":
+		c.report(call.Pos(), "new allocates in hot path; preallocate at construction")
+	case "append":
+		if len(call.Args) > 0 {
+			if v := c.rootVar(call.Args[0]); v != nil && c.fresh[v] {
+				c.report(call.Pos(), "append to %s grows a fresh slice in hot path; append into reused or caller-provided storage", v.Name())
+			}
+		}
+	case "delete":
+		c.report(call.Pos(), "map delete in hot path")
+	case "close":
+		c.report(call.Pos(), "channel close in hot path")
+	case "print", "println":
+		c.report(call.Pos(), "%s allocates in hot path", name)
+	case "panic":
+		// The crash path may allocate; reaching it means the invariant is
+		// already lost, so panic itself is accepted (its argument
+		// expression is still checked).
+	}
+}
+
+// checkCallee validates a statically-resolved callee: it must be another
+// hot-path function, a stdlib allow-list entry, or dynamic.
+func (c *checker) checkCallee(call *ast.CallExpr, f *types.Func) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return // dynamic dispatch: the boundary the runtime pins cover
+	}
+	pkg := f.Pkg()
+	if pkg == nil {
+		return // error.Error, unsafe builtins
+	}
+	path := pkg.Path()
+	if c.pass.Facts != nil && c.moduleLocal(path) {
+		if !c.pass.Facts.Hotpath[analysis.TypeFuncKey(f)] {
+			c.report(call.Pos(), "call to %s: callee is not //repro:hotpath (annotate it or justify with //repro:allow-alloc)", calleeName(f))
+		}
+		return
+	}
+	allowed, ok := stdlibAllow[path]
+	if !ok {
+		c.report(call.Pos(), "call to %s: package %s is not on the hot-path stdlib allow-list", calleeName(f), path)
+		return
+	}
+	if allowed == nil {
+		return
+	}
+	key := f.Name()
+	if recv := sig.Recv(); recv != nil {
+		if base := recvName(recv.Type()); base != "" {
+			key = base + "." + key
+		}
+	}
+	if !allowed[key] {
+		c.report(call.Pos(), "call to %s: not on the hot-path stdlib allow-list", calleeName(f))
+	}
+}
+
+// moduleLocal reports whether path belongs to the module under analysis.
+func (c *checker) moduleLocal(path string) bool {
+	mod := c.pass.Facts.ModulePath
+	if mod == "" {
+		return path == c.pass.Pkg.Path()
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+func calleeName(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if base := recvName(sig.Recv().Type()); base != "" {
+			name = base + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		name = f.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// checkConversion flags converting between string and byte/rune slices.
+func (c *checker) checkConversion(call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	srcTV, ok := c.pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	src := srcTV.Type
+	if isString(dst) && isByteOrRuneSlice(src) {
+		c.report(call.Pos(), "[]byte/[]rune to string conversion allocates in hot path")
+	}
+	if isByteOrRuneSlice(dst) && isString(src) {
+		c.report(call.Pos(), "string to %s conversion allocates in hot path", dst.String())
+	}
+	if types.IsInterface(dst) && !types.IsInterface(src) && !isPointerLike(src) && !srcTV.IsNil() {
+		c.report(call.Pos(), "conversion to interface boxes %s in hot path", src.String())
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerLike reports whether values of t fit an interface word
+// without boxing.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// checkCallArgs flags implicit interface conversions at call arguments.
+func (c *checker) checkCallArgs(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= n-1 && call.Ellipsis == token.NoPos {
+			if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < n {
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.checkBoxing(arg, pt)
+		}
+	}
+}
+
+// checkBoxing flags an expression of concrete non-pointer type used
+// where an interface is expected.
+func (c *checker) checkBoxing(expr ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) || isPointerLike(src) {
+		return
+	}
+	c.report(expr.Pos(), "implicit conversion of %s to interface boxes (allocates) in hot path", src.String())
+}
+
+// checkReturn flags boxing at return statements.
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		return
+	}
+	// Func literals are reported and not entered, so the enclosing
+	// function is always the annotated declaration.
+	sig := c.enclosingSig
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		c.checkBoxing(r, sig.Results().At(i).Type())
+	}
+}

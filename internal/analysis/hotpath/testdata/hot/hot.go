@@ -1,0 +1,112 @@
+// Package hot is the hotpath analyzer fixture: annotated functions with
+// deliberate allocations (each carrying a // want expectation), plus
+// negative cases proving the escape hatches and the dynamic-dispatch
+// boundary stay silent.
+package hot
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type ring struct {
+	mu    sync.Mutex
+	n     atomic.Int64
+	buf   []int
+	items map[int]int
+}
+
+//repro:hotpath
+func double(x int) int { return x + x }
+
+// cold is deliberately unannotated: hot callers must not call it, and
+// its own allocations are not the analyzer's business.
+func cold(n int) []int { return make([]int, n) }
+
+// clean is the golden hot path: locks, atomics, annotated callees and
+// append into reused storage, all alloc-free.
+//repro:hotpath
+func clean(r *ring, xs []int) int {
+	r.mu.Lock()
+	s := 0
+	for _, x := range xs {
+		s += double(x)
+	}
+	r.buf = append(r.buf[:0], s)
+	r.n.Add(1)
+	r.mu.Unlock()
+	return s
+}
+
+//repro:hotpath
+func allocating(r *ring, n int) {
+	s := make([]int, n) // want "make allocates in hot path"
+	_ = s
+	var fresh []int
+	fresh = append(fresh, n) // want "append to fresh grows a fresh slice"
+	_ = fresh
+	v := r.items[n] // want "map access in hot path"
+	fmt.Println(v)  // want "call to fmt.Println: package fmt is not on the hot-path stdlib allow-list" "implicit conversion of int to interface boxes"
+	_ = cold(n)     // want "call to hot.cold: callee is not //repro:hotpath"
+	p := &ring{}    // want "&composite literal may escape"
+	_ = p
+	f := func() int { return n } // want "closure in hot path"
+	_ = f
+}
+
+//repro:hotpath
+func boxes(n int) any {
+	return n // want "implicit conversion of int to interface boxes"
+}
+
+//repro:hotpath
+func strings2(a, b string) []byte {
+	c := a + b       // want "string concatenation allocates in hot path"
+	return []byte(c) // want "conversion allocates in hot path"
+}
+
+//repro:hotpath
+func deferLoop(ms []*sync.Mutex) {
+	for _, m := range ms {
+		m.Lock()
+		defer m.Unlock() // want "defer inside a loop"
+	}
+}
+
+//repro:hotpath
+func spawns(f func()) {
+	go f() // want "go statement in hot path"
+}
+
+//repro:hotpath
+func sends(ch chan int, v int) {
+	ch <- v // want "channel send in hot path"
+}
+
+type sink interface{ put(int) }
+
+// viaInterface calls through an interface: the dynamic boundary the
+// runtime alloc pins cover, accepted without annotation on the callee.
+//repro:hotpath
+func viaInterface(s sink, n int) { s.put(n) }
+
+// justified shows the escape hatch: the finding is suppressed and the
+// directive counts as used.
+//repro:hotpath
+func justified(n int) {
+	_ = make([]byte, n) //repro:allow-alloc warmup scratch, measured off the steady-state path
+}
+
+// unjustified escapes without saying why: the directive itself is the
+// finding.
+//repro:hotpath
+func unjustified(n int) {
+	_ = make([]byte, n) //repro:allow-alloc // want "requires a justification"
+}
+
+// stale carries an escape that suppresses nothing.
+//repro:hotpath
+func stale(n int) int {
+	return n + n //repro:allow-alloc nothing allocates here // want "unused //repro:allow-alloc"
+}

@@ -1,0 +1,72 @@
+// Package locks is the lockcheck analyzer fixture: guarded fields
+// accessed with and without their mutex, the two audited-accessor
+// escape hatches, and the malformed-annotation diagnostics.
+package locks
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	val  int //repro:guardedby mu
+	gone int //repro:guardedby missing // want "no sync.Mutex/sync.RWMutex field"
+	bare int //repro:guardedby // want "needs the guarding mutex field name"
+}
+
+type tagged struct {
+	mu             sync.Mutex
+	sync.WaitGroup //repro:guardedby mu // want "embedded field is not supported"
+}
+
+func locked(b *box) int {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+func unlocked(b *box) int {
+	return b.val // want "accessed without mu held"
+}
+
+// drainLocked is audited by naming convention: the caller holds b.mu.
+func drainLocked(b *box) int { return b.val }
+
+//repro:locked caller holds b.mu across the whole fold
+func audited(b *box) int { return b.val }
+
+// mixed locks a but not b: the roots are discriminated per object.
+func mixed(a, b *box) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.val + b.val // want "accessed without mu held"
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[uint64]int //repro:guardedby mu
+}
+
+func get(s *shard, k uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+func peek(s *shard, k uint64) int {
+	return s.m[k] // want "accessed without mu held"
+}
+
+// viaClosure leaks an unguarded access through a func literal, which is
+// checked as part of the enclosing function.
+func viaClosure(b *box) func() int {
+	return func() int {
+		return b.val // want "accessed without mu held"
+	}
+}
+
+func lockedClosure(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := func() int { return b.val }
+	return f()
+}

@@ -1,0 +1,186 @@
+// Package statecheck implements the statecodec analyzer: every struct
+// participating in an AppendState/RestoreState snapshot pair must
+// account for all of its fields.
+//
+// The durable-session layer (PR 6) snapshots every backend family
+// through per-type AppendState([]byte) []byte / RestoreState(*Reader)
+// error codecs. The classic drift bug is adding a field to predictor
+// state and forgetting the codec: snapshots still round-trip, restore
+// still succeeds, and results silently diverge after a failover. This
+// analyzer makes that a vet error: for each type declaring both an
+// AppendState and a RestoreState method (matched by name, so helper
+// types in other packages qualify too), every struct field must either
+//
+//   - be referenced by AppendState or RestoreState (directly or through
+//     same-package helpers they call), or
+//   - carry a //repro:derived comment declaring it deliberately
+//     unserialized (configuration rebuilt by the constructor,
+//     per-prediction scratch dead at snapshot points, ...).
+//
+// A field marked //repro:derived that AppendState nevertheless encodes
+// is reported as a contradiction — the marker would be lying.
+package statecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statecodec analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecodec",
+	Doc:  "every field of an AppendState/RestoreState type is encoded or //repro:derived",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index method declarations by receiver base type name, and all
+	// function declarations by their defined object (for call closure).
+	methods := make(map[string]map[string]*ast.FuncDecl) // type → method name → decl
+	declOf := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				declOf[obj] = fn
+			}
+			recv := analysis.RecvBaseName(fn)
+			if recv == "" {
+				continue
+			}
+			m := methods[recv]
+			if m == nil {
+				m = make(map[string]*ast.FuncDecl)
+				methods[recv] = m
+			}
+			m[fn.Name.Name] = fn
+		}
+	}
+
+	// Locate each struct type's field syntax for directive lookup.
+	fieldSyntax := make(map[*types.Var]*ast.Field)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						fieldSyntax[v] = f
+					}
+				}
+				if len(f.Names) == 0 { // embedded field
+					if v, ok := pass.TypesInfo.Implicits[f].(*types.Var); ok {
+						fieldSyntax[v] = f
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for typeName, m := range methods {
+		appendDecl, hasAppend := m["AppendState"]
+		restoreDecl, hasRestore := m["RestoreState"]
+		if !hasAppend || !hasRestore {
+			if hasAppend != hasRestore {
+				one, name := appendDecl, "RestoreState"
+				if !hasAppend {
+					one, name = restoreDecl, "AppendState"
+				}
+				pass.Reportf(one.Pos(), "type %s has %s but no %s: the snapshot codec must be a pair", typeName, one.Name.Name, name)
+			}
+			continue
+		}
+		obj := pass.Pkg.Scope().Lookup(typeName)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue // codec over a non-struct (e.g. a named slice) has no fields to drift
+		}
+
+		encoded := fieldsReferenced(pass, tn, st, declOf, appendDecl)
+		restored := fieldsReferenced(pass, tn, st, declOf, restoreDecl)
+
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			syntax := fieldSyntax[field]
+			var derived bool
+			var derivedPos = field.Pos()
+			if syntax != nil {
+				if dir, ok := analysis.FieldDirective(syntax, "derived"); ok {
+					derived = true
+					derivedPos = dir.Pos
+				}
+			}
+			switch {
+			case derived && encoded[i]:
+				pass.Reportf(derivedPos, "field %s of %s is marked //repro:derived but AppendState encodes it; drop the marker", field.Name(), typeName)
+			case !derived && !encoded[i] && !restored[i]:
+				pass.Reportf(field.Pos(), "field %s of %s is neither encoded by AppendState/RestoreState nor marked //repro:derived: snapshots will silently drop it", field.Name(), typeName)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsReferenced returns, by field index, whether the struct's fields
+// are selected anywhere in entry's body or in the bodies of
+// same-package functions it (transitively) calls.
+func fieldsReferenced(pass *analysis.Pass, tn *types.TypeName, st *types.Struct, declOf map[types.Object]*ast.FuncDecl, entry *ast.FuncDecl) map[int]bool {
+	referenced := make(map[int]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fn *ast.FuncDecl)
+	visit = func(fn *ast.FuncDecl) {
+		if fn == nil || fn.Body == nil || visited[fn] {
+			return
+		}
+		visited[fn] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if baseNamed(sel.Recv()) == tn {
+					referenced[sel.Index()[0]] = true
+				}
+			case *ast.Ident:
+				// Calls resolve through Uses; follow same-package helpers.
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					if callee, ok := declOf[obj]; ok {
+						visit(callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(entry)
+	return referenced
+}
+
+// baseNamed strips pointers and returns the named type's object.
+func baseNamed(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj()
+	case *types.Alias:
+		return t.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package statecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statecheck"
+)
+
+func TestStatecodec(t *testing.T) {
+	analysistest.Run(t, "testdata/codec", statecheck.Analyzer)
+}

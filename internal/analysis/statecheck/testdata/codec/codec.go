@@ -1,0 +1,57 @@
+// Package codec is the statecodec analyzer fixture: one snapshot pair
+// with every field shape the analyzer distinguishes, and a half-pair.
+package codec
+
+import "encoding/binary"
+
+// reader is a minimal restore cursor (its own methods are not a codec
+// pair and must not be reported).
+type reader struct{ buf []byte }
+
+func (r *reader) u64() uint64 {
+	v, n := binary.Uvarint(r.buf)
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+type snap struct {
+	table []uint8
+	mask  uint64 //repro:derived recomputed from len(table) on restore
+	tick  uint64
+	stray int  // want "field stray of snap is neither encoded by AppendState/RestoreState nor marked"
+	lying bool //repro:derived scratch // want "field lying of snap is marked //repro:derived but AppendState encodes it"
+}
+
+func (s *snap) AppendState(dst []byte) []byte {
+	dst = append(dst, s.table...)
+	if s.lying {
+		dst = append(dst, 1)
+	}
+	return s.encodeTail(dst)
+}
+
+// encodeTail is a same-package helper: fields it touches count as
+// encoded through the call closure.
+func (s *snap) encodeTail(dst []byte) []byte {
+	return binary.AppendUvarint(dst, s.tick)
+}
+
+func (s *snap) RestoreState(r *reader) error {
+	copy(s.table, r.bytes(len(s.table)))
+	s.tick = r.u64()
+	s.mask = uint64(len(s.table) - 1)
+	return nil
+}
+
+// halfOnly declares AppendState with no RestoreState.
+type halfOnly struct{ n uint64 }
+
+func (h *halfOnly) AppendState(dst []byte) []byte { // want "type halfOnly has AppendState but no RestoreState: the snapshot codec must be a pair"
+	return binary.AppendUvarint(dst, h.n)
+}

@@ -1,0 +1,21 @@
+// Package suite enumerates the repository's analyzers — the set
+// cmd/tagevet runs and CI requires.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/frames"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/statecheck"
+)
+
+// All returns every analyzer in the tagevet suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpath.Analyzer,
+		statecheck.Analyzer,
+		lockcheck.Analyzer,
+		frames.Analyzer,
+	}
+}

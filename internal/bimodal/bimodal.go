@@ -18,8 +18,8 @@ import (
 // Predictor is a PC-indexed table of 2-bit counters.
 type Predictor struct {
 	table   []counter.Bimodal
-	mask    uint64
-	logSize uint
+	mask    uint64 //repro:derived from logSize at construction
+	logSize uint   //repro:derived construction parameter, fixed for the predictor's lifetime
 }
 
 // New returns a bimodal predictor with 2^logSize entries, initialized to
@@ -38,25 +38,30 @@ func New(logSize uint) *Predictor {
 
 // index maps a branch PC to a table slot. The low two bits of typical RISC
 // branch addresses are constant, so they are shifted out before masking.
+//repro:hotpath
 func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
 
 // Predict returns the predicted direction for pc.
+//repro:hotpath
 func (p *Predictor) Predict(pc uint64) bool {
 	return p.table[p.index(pc)].Taken()
 }
 
 // Counter returns the raw 2-bit counter state for pc, which the confidence
 // classifier inspects (a weak counter makes the prediction low confidence).
+//repro:hotpath
 func (p *Predictor) Counter(pc uint64) counter.Bimodal {
 	return p.table[p.index(pc)]
 }
 
 // Weak reports whether pc's counter is in a weak state.
+//repro:hotpath
 func (p *Predictor) Weak(pc uint64) bool {
 	return p.table[p.index(pc)].Weak()
 }
 
 // Update trains the counter for pc toward the resolved direction.
+//repro:hotpath
 func (p *Predictor) Update(pc uint64, taken bool) {
 	i := p.index(pc)
 	p.table[i] = p.table[i].Update(taken)
@@ -116,21 +121,26 @@ func NewPacked(logSize uint) *Packed {
 }
 
 // index maps a branch PC to a table slot (same mapping as Predictor).
+//repro:hotpath
 func (p *Packed) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
 
 // Counter returns the raw 2-bit counter state for pc.
+//repro:hotpath
 func (p *Packed) Counter(pc uint64) counter.Bimodal {
 	i := p.index(pc)
 	return counter.Bimodal(p.words[i/packedPerWord] >> (i % packedPerWord * 2) & 3)
 }
 
 // Predict returns the predicted direction for pc.
+//repro:hotpath
 func (p *Packed) Predict(pc uint64) bool { return p.Counter(pc).Taken() }
 
 // Weak reports whether pc's counter is in a weak state.
+//repro:hotpath
 func (p *Packed) Weak(pc uint64) bool { return p.Counter(pc).Weak() }
 
 // Update trains the counter for pc toward the resolved direction.
+//repro:hotpath
 func (p *Packed) Update(pc uint64, taken bool) {
 	i := p.index(pc)
 	w, sh := i/packedPerWord, i%packedPerWord*2

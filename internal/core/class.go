@@ -69,6 +69,7 @@ func (c Class) String() string {
 }
 
 // Tagged reports whether the class is provided by a tagged component.
+//repro:hotpath
 func (c Class) Tagged() bool { return c >= Wtag }
 
 // Level is one of the three aggregate confidence levels of §6.1.
@@ -105,6 +106,7 @@ func (l Level) String() string {
 // The mapping is meaningful as a confidence estimate when the predictor
 // runs the modified (probabilistic-saturation) automaton; with the standard
 // automaton Stag retains a near-average misprediction rate (§5.3).
+//repro:hotpath
 func (c Class) Level() Level {
 	switch c {
 	case LowConfBim, Wtag, NWtag:

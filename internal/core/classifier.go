@@ -19,7 +19,7 @@ const DefaultBimWindow = 8
 // predictor's Predict, then call Resolve with the same observation and the
 // branch outcome (before predicting the next branch).
 type Classifier struct {
-	ctrBits   uint
+	ctrBits   uint //repro:derived construction parameter, fixed for the classifier's lifetime
 	window    int
 	remaining int
 }
@@ -51,6 +51,7 @@ func (c *Classifier) Window() int { return c.window }
 
 // Classify grades one prediction. It reads only the observation and the
 // window counter; it does not modify any state.
+//repro:hotpath
 func (c *Classifier) Classify(obs tage.Observation) Class {
 	if obs.Tagged() {
 		return taggedClass(obs.ProviderCtr, c.ctrBits)
@@ -68,6 +69,7 @@ func (c *Classifier) Classify(obs tage.Observation) Class {
 // weak (1) → Wtag, nearly weak (3) → NWtag, saturated → Stag, anything in
 // between → NStag. For the paper's 3-bit counters the in-between value is
 // exactly 5; the rule extends to the §6 4-bit widening experiment.
+//repro:hotpath
 func taggedClass(ctr int8, bits uint) Class {
 	switch s := counter.Strength(ctr); {
 	case s == 1:
@@ -84,6 +86,7 @@ func taggedClass(ctr int8, bits uint) Class {
 // Resolve advances the medium-conf-bim window state with the branch
 // outcome. It must be called once per prediction, after Classify, with the
 // same observation.
+//repro:hotpath
 func (c *Classifier) Resolve(obs tage.Observation, taken bool) {
 	if obs.Tagged() {
 		return

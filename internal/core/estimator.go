@@ -83,15 +83,15 @@ type Estimator struct {
 	cls  *Classifier
 	auto *counter.Probabilistic // nil in ModeStandard
 	ctl  *Adaptive              // nil unless ModeAdaptive
-	mode AutomatonMode
+	mode AutomatonMode //repro:derived fixed by opts at construction
 
 	// cfg/opts are the construction inputs, kept so Reset can rebuild
 	// the identical cold estimator.
-	cfg  tage.Config
-	opts Options
+	cfg  tage.Config //repro:derived construction input, immutable
+	opts Options     //repro:derived construction input, immutable
 
-	lastObs   tage.Observation
-	lastClass Class
+	lastObs   tage.Observation //repro:derived per-prediction scratch; havePred is cleared on restore
+	lastClass Class            //repro:derived per-prediction scratch; havePred is cleared on restore
 	havePred  bool
 }
 
@@ -133,6 +133,7 @@ func NewEstimator(cfg tage.Config, opts Options) *Estimator {
 
 // Predict returns the prediction for pc together with its confidence class
 // and level. Each Predict must be followed by one Update for the same pc.
+//repro:hotpath
 func (e *Estimator) Predict(pc uint64) (pred bool, class Class, level Level) {
 	e.lastObs = e.pred.Predict(pc)
 	e.lastClass = e.cls.Classify(e.lastObs)
@@ -142,13 +143,15 @@ func (e *Estimator) Predict(pc uint64) (pred bool, class Class, level Level) {
 
 // Observation returns the raw component observation of the most recent
 // Predict.
+//repro:hotpath
 func (e *Estimator) Observation() tage.Observation { return e.lastObs }
 
 // Update resolves the most recent prediction, training the predictor,
 // advancing the classifier window and feeding the adaptive controller.
+//repro:hotpath
 func (e *Estimator) Update(pc uint64, taken bool) {
 	if !e.havePred || e.lastObs.PC != pc {
-		panic(fmt.Sprintf("core: Update(%#x) without matching Predict", pc))
+		panic(fmt.Sprintf("core: Update(%#x) without matching Predict", pc)) //repro:allow-alloc guard path: protocol violation aborts the run, allocation cost is irrelevant
 	}
 	e.havePred = false
 	e.cls.Resolve(e.lastObs, taken)

@@ -20,12 +20,14 @@ import "repro/internal/xrand"
 
 // SignedMin returns the minimum value of a signed saturating counter of the
 // given width in bits. A 3-bit counter spans [-4, 3].
+//repro:hotpath
 func SignedMin(bits uint) int8 {
 	return int8(-1) << (bits - 1)
 }
 
 // SignedMax returns the maximum value of a signed saturating counter of the
 // given width in bits.
+//repro:hotpath
 func SignedMax(bits uint) int8 {
 	return int8(1<<(bits-1)) - 1
 }
@@ -33,6 +35,7 @@ func SignedMax(bits uint) int8 {
 // UpdateSigned moves a signed saturating counter of the given width one step
 // toward taken (increment) or not-taken (decrement), saturating at the
 // bounds. It is the "Standard" automaton as a pure function.
+//repro:hotpath
 func UpdateSigned(v int8, bits uint, taken bool) int8 {
 	if taken {
 		if v < SignedMax(bits) {
@@ -48,16 +51,19 @@ func UpdateSigned(v int8, bits uint, taken bool) int8 {
 
 // TakenSigned reports the prediction encoded by a signed counter:
 // taken if and only if the counter is non-negative.
+//repro:hotpath
 func TakenSigned(v int8) bool { return v >= 0 }
 
 // WeakSigned reports whether a signed counter is in one of its two weak
 // states (0 or -1), i.e. whether the prediction has minimal strength.
+//repro:hotpath
 func WeakSigned(v int8) bool { return v == 0 || v == -1 }
 
 // Strength returns |2v+1|, the symmetric magnitude of a signed prediction
 // counter used by the paper to grade tagged-table predictions:
 // 1 = weak (Wtag), 3 = nearly weak (NWtag), 5 = nearly saturated (NStag),
 // 7 = saturated (Stag) for a 3-bit counter.
+//repro:hotpath
 func Strength(v int8) int {
 	s := int(2*int16(v) + 1)
 	if s < 0 {
@@ -67,6 +73,7 @@ func Strength(v int8) int {
 }
 
 // SaturatedSigned reports whether the counter sits at either bound.
+//repro:hotpath
 func SaturatedSigned(v int8, bits uint) bool {
 	return v == SignedMin(bits) || v == SignedMax(bits)
 }
@@ -74,11 +81,13 @@ func SaturatedSigned(v int8, bits uint) bool {
 // NearlySaturatedSigned reports whether the counter is one step away from a
 // bound (2 or -3 for a 3-bit counter) — the states whose outgoing
 // "saturating" transition the paper's modified automaton throttles.
+//repro:hotpath
 func NearlySaturatedSigned(v int8, bits uint) bool {
 	return v == SignedMin(bits)+1 || v == SignedMax(bits)-1
 }
 
 // IncUnsigned increments an unsigned saturating counter of the given width.
+//repro:hotpath
 func IncUnsigned(v uint8, bits uint) uint8 {
 	if v < uint8(1<<bits)-1 {
 		return v + 1
@@ -87,6 +96,7 @@ func IncUnsigned(v uint8, bits uint) uint8 {
 }
 
 // DecUnsigned decrements an unsigned saturating counter toward zero.
+//repro:hotpath
 func DecUnsigned(v uint8) uint8 {
 	if v > 0 {
 		return v - 1
@@ -108,14 +118,17 @@ const (
 )
 
 // Taken reports the prediction encoded by the counter.
+//repro:hotpath
 func (b Bimodal) Taken() bool { return b >= 2 }
 
 // Weak reports whether the counter is in a weak state (1 or 2). The paper's
 // low-conf-bim class is exactly the BIM-provided predictions with Weak()
 // true.
+//repro:hotpath
 func (b Bimodal) Weak() bool { return b == BimodalWeakNotTaken || b == BimodalWeakTaken }
 
 // Update moves the counter one step toward the observed outcome.
+//repro:hotpath
 func (b Bimodal) Update(taken bool) Bimodal {
 	if taken {
 		if b < BimodalStrongTaken {
@@ -144,6 +157,7 @@ type Automaton interface {
 type Standard struct{}
 
 // Update implements Automaton.
+//repro:hotpath
 func (Standard) Update(v int8, bits uint, taken bool) int8 {
 	return UpdateSigned(v, bits, taken)
 }
@@ -179,10 +193,12 @@ func NewProbabilistic(seed uint64, denomLog uint) *Probabilistic {
 
 // DenomLog returns the current log2 of the saturation-probability
 // denominator (0 => always saturate, 7 => 1/128, 10 => 1/1024).
+//repro:hotpath
 func (p *Probabilistic) DenomLog() uint { return p.denomLog }
 
 // SetDenomLog sets the saturation probability to 2^-l, clamped to
 // [0, MaxDenomLog].
+//repro:hotpath
 func (p *Probabilistic) SetDenomLog(l uint) {
 	if l > MaxDenomLog {
 		l = MaxDenomLog
@@ -202,6 +218,7 @@ func (p *Probabilistic) Probability() float64 {
 }
 
 // Update implements Automaton.
+//repro:hotpath
 func (p *Probabilistic) Update(v int8, bits uint, taken bool) int8 {
 	max := SignedMax(bits)
 	min := SignedMin(bits)

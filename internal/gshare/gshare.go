@@ -17,8 +17,8 @@ import (
 // Predictor is a gshare branch predictor.
 type Predictor struct {
 	table    []counter.Bimodal
-	mask     uint64
-	histBits uint
+	mask     uint64 //repro:derived from logSize at construction
+	histBits uint   //repro:derived construction parameter, fixed for the predictor's lifetime
 	ghist    uint64
 }
 
@@ -41,17 +41,20 @@ func New(logSize, histBits uint) *Predictor {
 
 // Index exposes the table index for pc under the current history; the JRS
 // estimator uses the same indexing scheme.
+//repro:hotpath
 func (p *Predictor) Index(pc uint64) uint64 {
 	return ((pc >> 2) ^ (p.ghist & ((1 << p.histBits) - 1))) & p.mask
 }
 
 // Predict returns the predicted direction for pc.
+//repro:hotpath
 func (p *Predictor) Predict(pc uint64) bool {
 	return p.table[p.Index(pc)].Taken()
 }
 
 // Counter returns the counter backing pc's prediction under the current
 // history.
+//repro:hotpath
 func (p *Predictor) Counter(pc uint64) counter.Bimodal {
 	return p.table[p.Index(pc)]
 }
@@ -59,12 +62,14 @@ func (p *Predictor) Counter(pc uint64) counter.Bimodal {
 // Update trains the indexed counter and shifts the outcome into the global
 // history. It must be called with the same pc the prediction was made for,
 // before any further Predict calls for subsequent branches.
+//repro:hotpath
 func (p *Predictor) Update(pc uint64, taken bool) {
 	i := p.Index(pc)
 	p.table[i] = p.table[i].Update(taken)
 	p.pushHistory(taken)
 }
 
+//repro:hotpath
 func (p *Predictor) pushHistory(taken bool) {
 	p.ghist <<= 1
 	if taken {

@@ -21,7 +21,7 @@ import (
 type Buffer struct {
 	bits []uint8
 	head int // index of the most recent bit
-	mask int
+	mask int //repro:derived from capacity at construction
 }
 
 // NewBuffer returns a buffer able to serve Bit(i) for i in [0, capacity].
@@ -37,6 +37,7 @@ func NewBuffer(capacity int) *Buffer {
 }
 
 // Push records the outcome of a new branch as the most recent history bit.
+//repro:hotpath
 func (b *Buffer) Push(taken bool) {
 	b.head = (b.head - 1) & b.mask
 	if taken {
@@ -48,6 +49,7 @@ func (b *Buffer) Push(taken bool) {
 
 // Bit returns the i-th most recent outcome bit (0 = newest). i must be less
 // than the buffer capacity.
+//repro:hotpath
 func (b *Buffer) Bit(i int) uint8 {
 	return b.bits[(b.head+i)&b.mask]
 }
@@ -60,6 +62,7 @@ func (b *Buffer) Reset() {
 }
 
 // Len returns the number of bits the buffer can address.
+//repro:hotpath
 func (b *Buffer) Len() int { return len(b.bits) }
 
 // Folded is an incrementally maintained compression ("cyclic shift
@@ -104,6 +107,7 @@ func MakeFolded(origLen, compLen int) Folded {
 
 // Update folds the newest history bit in and the bit leaving the origLen
 // window out. It must be called once per Buffer.Push, after the push.
+//repro:hotpath
 func (f *Folded) Update(b *Buffer) {
 	f.UpdateBits(b.Bit(0), b.Bit(f.origLen))
 }
@@ -112,6 +116,7 @@ func (f *Folded) Update(b *Buffer) {
 // predictors that maintain several folds over the same history window
 // (TAGE keeps three per table) load the newest and leaving bit once and
 // feed every fold of the window from registers.
+//repro:hotpath
 func (f *Folded) UpdateBits(newest, leaving uint8) {
 	f.comp = (f.comp << 1) | uint32(newest)
 	f.comp ^= uint32(leaving) << f.outPoint
@@ -120,6 +125,7 @@ func (f *Folded) UpdateBits(newest, leaving uint8) {
 }
 
 // Value returns the current compLen-bit folded history.
+//repro:hotpath
 func (f *Folded) Value() uint32 { return f.comp }
 
 // Reset clears the folded state (used together with clearing the buffer).
@@ -162,11 +168,13 @@ func NewPath(width uint) *Path {
 }
 
 // Push shifts in the low bit of pc.
+//repro:hotpath
 func (p *Path) Push(pc uint64) {
 	p.value = ((p.value << 1) | uint32(pc&1)) & ((1 << p.width) - 1)
 }
 
 // Value returns the current path history bits.
+//repro:hotpath
 func (p *Path) Value() uint32 { return p.value }
 
 // Width returns the register width in bits.

@@ -28,12 +28,12 @@ import (
 // sim.BinaryEstimator interface.
 type Estimator struct {
 	table     []uint8
-	mask      uint64
+	mask      uint64 //repro:derived from logSize at construction
 	bits      uint
-	threshold uint8
-	histBits  uint
+	threshold uint8 //repro:derived construction parameter, fixed for the estimator's lifetime
+	histBits  uint  //repro:derived construction parameter, fixed for the estimator's lifetime
 	ghist     uint64
-	usePred   bool
+	usePred   bool //repro:derived construction parameter, fixed for the estimator's lifetime
 }
 
 // DefaultCounterBits is the counter width shown as a good trade-off in the
@@ -78,6 +78,7 @@ func (e *Estimator) Enhanced() *Estimator {
 	return e
 }
 
+//repro:hotpath
 func (e *Estimator) index(pc uint64, pred bool) uint64 {
 	idx := (pc >> 2) ^ (e.ghist & ((1 << e.histBits) - 1))
 	if e.usePred && pred {
@@ -88,6 +89,7 @@ func (e *Estimator) index(pc uint64, pred bool) uint64 {
 }
 
 // HighConfidence implements sim.BinaryEstimator.
+//repro:hotpath
 func (e *Estimator) HighConfidence(pc uint64, pred bool) bool {
 	return e.table[e.index(pc, pred)] >= e.threshold
 }
@@ -95,6 +97,7 @@ func (e *Estimator) HighConfidence(pc uint64, pred bool) bool {
 // Update implements sim.BinaryEstimator: increment on a correct
 // prediction, reset on a misprediction, then advance the local history
 // copy.
+//repro:hotpath
 func (e *Estimator) Update(pc uint64, pred, taken bool) {
 	i := e.index(pc, pred)
 	if pred == taken {

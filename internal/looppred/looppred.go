@@ -83,7 +83,7 @@ type entry struct {
 type Predictor struct {
 	cfg     Config
 	entries []entry
-	mask    uint64
+	mask    uint64 //repro:derived from cfg.LogSize at construction
 }
 
 // New builds a loop predictor.
@@ -98,8 +98,10 @@ func New(cfg Config) *Predictor {
 	}
 }
 
+//repro:hotpath
 func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
 
+//repro:hotpath
 func (p *Predictor) tag(pc uint64) uint16 {
 	return uint16((pc >> (2 + p.cfg.LogSize)) & ((1 << p.cfg.TagBits) - 1))
 }
@@ -114,6 +116,7 @@ type Prediction struct {
 }
 
 // Predict looks up pc.
+//repro:hotpath
 func (p *Predictor) Predict(pc uint64) Prediction {
 	e := &p.entries[p.index(pc)]
 	if !e.valid || e.tag != p.tag(pc) || e.conf < p.cfg.ConfMax || e.trip == 0 {
@@ -128,6 +131,7 @@ func (p *Predictor) Predict(pc uint64) Prediction {
 // Update trains the entry for pc with the resolved direction;
 // tageMispredicted gates allocation (entries are allocated only when the
 // main predictor failed, as in L-TAGE).
+//repro:hotpath
 func (p *Predictor) Update(pc uint64, taken bool, tageMispredicted bool) {
 	e := &p.entries[p.index(pc)]
 	tg := p.tag(pc)
@@ -152,6 +156,7 @@ func (p *Predictor) Update(pc uint64, taken bool, tageMispredicted bool) {
 	}
 }
 
+//repro:hotpath
 func (p *Predictor) train(e *entry, pc uint64, taken bool) {
 	if taken == e.dir {
 		// Another body iteration.
@@ -207,6 +212,7 @@ func (p *Predictor) StorageBits() int { return p.cfg.StorageBits() }
 
 // Invalidate frees the entry for pc (used by the combiner when a
 // confident loop prediction turns out wrong, as in the original L-TAGE).
+//repro:hotpath
 func (p *Predictor) Invalidate(pc uint64) {
 	e := &p.entries[p.index(pc)]
 	if e.valid && e.tag == p.tag(pc) {
@@ -224,12 +230,12 @@ type LTAGE struct {
 	// the loop prediction is trusted when valid.
 	withLoop int8
 
-	lastLoop  Prediction
-	lastTage  tage.Observation
-	lastPred  bool
-	usedLoop  bool
+	lastLoop  Prediction        //repro:derived per-prediction scratch; havePred is cleared on restore
+	lastTage  tage.Observation  //repro:derived per-prediction scratch; havePred is cleared on restore
+	lastPred  bool              //repro:derived per-prediction scratch; havePred is cleared on restore
+	usedLoop  bool              //repro:derived per-prediction scratch; havePred is cleared on restore
 	havePred  bool
-	predictPC uint64
+	predictPC uint64 //repro:derived per-prediction scratch; havePred is cleared on restore
 }
 
 // NewLTAGE builds the combined predictor.
@@ -242,6 +248,7 @@ func NewLTAGE(tageCfg tage.Config, loopCfg Config) *LTAGE {
 
 // Predict returns the combined prediction. The underlying TAGE observation
 // remains available through Observation.
+//repro:hotpath
 func (l *LTAGE) Predict(pc uint64) bool {
 	l.lastTage = l.tage.Predict(pc)
 	l.lastLoop = l.loop.Predict(pc)
@@ -257,16 +264,19 @@ func (l *LTAGE) Predict(pc uint64) bool {
 }
 
 // Observation returns the TAGE component observation of the last Predict.
+//repro:hotpath
 func (l *LTAGE) Observation() tage.Observation { return l.lastTage }
 
 // UsedLoop reports whether the last prediction came from the loop
 // predictor.
+//repro:hotpath
 func (l *LTAGE) UsedLoop() bool { return l.usedLoop }
 
 // Update resolves the branch and trains both components.
+//repro:hotpath
 func (l *LTAGE) Update(pc uint64, taken bool) {
 	if !l.havePred || l.predictPC != pc {
-		panic(fmt.Sprintf("looppred: Update(%#x) without matching Predict", pc))
+		panic(fmt.Sprintf("looppred: Update(%#x) without matching Predict", pc)) //repro:allow-alloc guard path: protocol violation aborts the run, allocation cost is irrelevant
 	}
 	l.havePred = false
 	// WITHLOOP monitors the loop predictor only when it disagrees with

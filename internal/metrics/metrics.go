@@ -42,6 +42,7 @@ func (c *Counts) Sub(other Counts) {
 }
 
 // Record tallies one resolved prediction.
+//repro:hotpath
 func (c *Counts) Record(mispredicted bool) {
 	c.Preds++
 	if mispredicted {
@@ -106,6 +107,7 @@ type Binary struct {
 }
 
 // Record tallies one resolved prediction.
+//repro:hotpath
 func (b *Binary) Record(highConfidence, mispredicted bool) {
 	switch {
 	case highConfidence && !mispredicted:

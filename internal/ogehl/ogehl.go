@@ -70,9 +70,9 @@ func (c Config) StorageBits() int {
 // Predictor is an O-GEHL predictor instance. Call Predict then Update for
 // each branch in order.
 type Predictor struct {
-	cfg     Config
+	cfg     Config //repro:derived construction input, immutable
 	tables  [][]int8
-	lengths []int
+	lengths []int //repro:derived geometric history lengths fixed by cfg
 	ghist   *history.Buffer
 	folded  []*history.Folded // nil for table 0
 
@@ -81,10 +81,10 @@ type Predictor struct {
 
 	theta    int32 // update threshold (adapted)
 	tc       int32 // threshold adaptation counter
-	lastSum  int32
-	lastIdx  []uint32
+	lastSum  int32    //repro:derived per-prediction scratch; havePred is cleared on restore
+	lastIdx  []uint32 //repro:derived per-prediction scratch; havePred is cleared on restore
 	havePred bool
-	lastPC   uint64
+	lastPC   uint64 //repro:derived per-prediction scratch; havePred is cleared on restore
 }
 
 // tcSaturation is the threshold-counter saturation driving θ adaptation.
@@ -123,6 +123,7 @@ func (p *Predictor) Config() Config { return p.cfg }
 // Theta returns the current update threshold.
 func (p *Predictor) Theta() int32 { return p.theta }
 
+//repro:hotpath
 func (p *Predictor) index(pc uint64, t int) uint32 {
 	mask := (uint32(1) << p.cfg.LogSize) - 1
 	if t == 0 {
@@ -134,6 +135,7 @@ func (p *Predictor) index(pc uint64, t int) uint32 {
 
 // Predict computes the prediction for pc (sum of the indexed counters,
 // taken if non-negative).
+//repro:hotpath
 func (p *Predictor) Predict(pc uint64) bool {
 	sum := int32(len(p.tables)) / 2 // centering term of the reference design
 	for t := range p.tables {
@@ -148,10 +150,12 @@ func (p *Predictor) Predict(pc uint64) bool {
 }
 
 // LastSum returns the sum computed by the most recent Predict.
+//repro:hotpath
 func (p *Predictor) LastSum() int32 { return p.lastSum }
 
 // HighConfidence is the storage-free self-confidence estimate of the most
 // recent prediction: |sum| at or above the update threshold θ.
+//repro:hotpath
 func (p *Predictor) HighConfidence() bool {
 	s := p.lastSum
 	if s < 0 {
@@ -162,9 +166,10 @@ func (p *Predictor) HighConfidence() bool {
 
 // Update trains the predictor with the resolved direction. It must follow
 // the Predict call for the same pc.
+//repro:hotpath
 func (p *Predictor) Update(pc uint64, taken bool) {
 	if !p.havePred || p.lastPC != pc {
-		panic(fmt.Sprintf("ogehl: Update(%#x) without matching Predict", pc))
+		panic(fmt.Sprintf("ogehl: Update(%#x) without matching Predict", pc)) //repro:allow-alloc guard path: protocol violation aborts the run, allocation cost is irrelevant
 	}
 	p.havePred = false
 	pred := p.lastSum >= 0

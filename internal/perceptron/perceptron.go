@@ -17,11 +17,11 @@ import (
 // history.
 type Predictor struct {
 	weights [][]int16 // [entry][histLen+1], index 0 is the bias weight
-	mask    uint64
+	mask    uint64 //repro:derived from logSize at construction
 	histLen int
-	theta   int32
+	theta   int32 //repro:derived fixed by histLen (θ = ⌊1.93·h + 14⌋)
 	ghist   []int8 // +1 taken, -1 not-taken; ghist[0] = most recent
-	lastSum int32
+	lastSum int32 //repro:derived per-prediction scratch
 }
 
 // New returns a perceptron predictor with 2^logSize perceptrons over
@@ -48,9 +48,11 @@ func New(logSize uint, histLen int) *Predictor {
 	}
 }
 
+//repro:hotpath
 func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
 
 // sum computes the perceptron output for pc under the current history.
+//repro:hotpath
 func (p *Predictor) sum(pc uint64) int32 {
 	w := p.weights[p.index(pc)]
 	s := int32(w[0])
@@ -66,12 +68,14 @@ func (p *Predictor) sum(pc uint64) int32 {
 
 // Predict returns the predicted direction for pc and records the output sum
 // for the subsequent Update/Confidence calls.
+//repro:hotpath
 func (p *Predictor) Predict(pc uint64) bool {
 	p.lastSum = p.sum(pc)
 	return p.lastSum >= 0
 }
 
 // LastSum returns the output sum computed by the most recent Predict.
+//repro:hotpath
 func (p *Predictor) LastSum() int32 { return p.lastSum }
 
 // Theta returns the training threshold θ.
@@ -81,6 +85,7 @@ func (p *Predictor) Theta() int32 { return p.theta }
 // prediction: |sum| at or above the training threshold. About one third of
 // low-confidence predictions are mispredicted on the O-GEHL-style
 // predictors evaluated in the literature.
+//repro:hotpath
 func (p *Predictor) HighConfidence() bool {
 	s := p.lastSum
 	if s < 0 {
@@ -95,6 +100,7 @@ const weightMin = -128
 // Update trains the perceptron (on misprediction or weak sum) and shifts
 // the outcome into the history. Must be called after Predict for the same
 // branch.
+//repro:hotpath
 func (p *Predictor) Update(pc uint64, taken bool) {
 	predTaken := p.lastSum >= 0
 	mag := p.lastSum
@@ -126,6 +132,7 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	}
 }
 
+//repro:hotpath
 func clampWeight(v int16) int16 {
 	if v > weightMax {
 		return weightMax

@@ -63,11 +63,11 @@ func SaturationProbabilityOf(b Backend) float64 {
 // closures over the underlying predictor, and Reset rebuilds the
 // predictor from its spec through the registry.
 type graded struct {
-	label   string
-	spec    Spec
-	predict func(pc uint64) (bool, core.Class, core.Level)
-	update  func(pc uint64, taken bool)
-	rebuild func() // swaps in a fresh underlying predictor
+	label   string                                         //repro:derived rebuild recipe, fixed at registration
+	spec    Spec                                           //repro:derived rebuild recipe, fixed at registration
+	predict func(pc uint64) (bool, core.Class, core.Level) //repro:derived closure over the predictor; state lives behind save/load
+	update  func(pc uint64, taken bool)                    //repro:derived closure over the predictor; state lives behind save/load
+	rebuild func()                                         //repro:derived closure over the predictor; state lives behind save/load
 	save    func(dst []byte) []byte
 	load    func(r *statecodec.Reader) error
 }

@@ -65,6 +65,7 @@ func FuzzFrame(f *testing.F) {
 			}
 			return
 		}
+		//repro:frames all
 		switch typ {
 		case FrameOpen:
 			req, err := DecodeOpen(payload)

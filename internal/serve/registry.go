@@ -20,11 +20,12 @@ type registry struct {
 
 type regShard struct {
 	mu sync.RWMutex
-	m  map[uint64]*Session
+	m  map[uint64]*Session //repro:guardedby mu
 }
 
 // newRegistry builds a registry with the given shard count (rounded up
 // to a power of two, minimum 1) and live-session cap (0 = unlimited).
+//repro:locked construction: the registry is not yet shared, no locking needed
 func newRegistry(shards, maxSessions int) *registry {
 	n := 1
 	for n < shards {

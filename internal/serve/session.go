@@ -29,13 +29,13 @@ type Session struct {
 	key string
 
 	mu      sync.Mutex
-	bk      predictor.Backend
-	res     sim.Result
-	retired bool
+	bk      predictor.Backend //repro:guardedby mu
+	res     sim.Result        //repro:guardedby mu
+	retired bool              //repro:guardedby mu
 	// ckptBranches is the branch count at the last written checkpoint —
 	// the dirty bit: the checkpoint loop skips sessions whose count has
 	// not moved since.
-	ckptBranches uint64
+	ckptBranches uint64 //repro:guardedby mu
 
 	// lastUsed is the engine-clock nanosecond of the last Open/Serve,
 	// read by the idle evictor without taking the session lock.
@@ -73,11 +73,14 @@ func (s *Session) Branches() uint64 {
 // ConfigName returns the session's backend label (the resolved predictor
 // configuration name, or the canonical backend spec). It is immutable
 // after construction, so reading it takes no lock.
+//repro:locked res.Config is immutable after construction; audited lock-free read
 func (s *Session) ConfigName() string { return s.res.Config }
 
 // step serves one branch: predict, tally, train — the exact per-branch
 // sequence of sim.Run — and returns the encoded grade byte. Caller holds
 // s.mu.
+//repro:hotpath
+//repro:locked caller holds s.mu (Serve/batch loop)
 func (s *Session) step(b trace.Branch) byte {
 	pred, class, level := s.bk.Predict(b.PC)
 	miss := pred != b.Taken
@@ -94,6 +97,7 @@ func (s *Session) step(b trace.Branch) byte {
 // path allocates nothing). It reports ok=false when the session has
 // already been retired by Close or the idle evictor — the tallies of a
 // retired session are frozen, so no branch is ever half-counted.
+//repro:hotpath
 func (s *Session) Serve(records []trace.Branch, grades []byte, now int64) (out []byte, ok bool) {
 	s.lastUsed.Store(now)
 	s.mu.Lock()

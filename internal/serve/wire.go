@@ -72,6 +72,7 @@ const (
 	// zero length means anonymous). A non-empty spec selects any
 	// registered backend family and overrides the config/options fields;
 	// a non-empty key makes the session durable (see OpenRequest.Key).
+	//repro:frame request
 	FrameOpen byte = 0x01
 	// FrameOpened acknowledges FrameOpen with the session id (uvarint),
 	// the branches the session has already served (uvarint; non-zero when
@@ -79,36 +80,46 @@ const (
 	// replay cursor), and the resolved configuration name (uvarint length
 	// + bytes) — canonical even when the request named an alias or relied
 	// on the server default.
+	//repro:frame response
 	FrameOpened byte = 0x02
 	// FrameBatch streams branches into a session: session id uvarint,
 	// record count uvarint, then count records in the TBT1 per-record
 	// codec (trace.AppendRecord), PC deltas restarting from 0 each batch.
+	//repro:frame request
 	FrameBatch byte = 0x03
 	// FramePredictions answers FrameBatch: session id uvarint, count
 	// uvarint, then one grade byte per branch (see EncodeGrade).
+	//repro:frame response
 	FramePredictions byte = 0x04
 	// FrameClose retires a session: session id uvarint.
+	//repro:frame request
 	FrameClose byte = 0x05
 	// FrameStats answers FrameClose with the session's final tallies:
 	// session id uvarint, branches uvarint, instructions uvarint, then
 	// per class (NumClasses of them, in class order) preds and misps
 	// uvarints, then the final saturation probability (float64 LE bits).
+	//repro:frame response
 	FrameStats byte = 0x06
 	// FrameError reports a request failure: code uvarint, message
 	// (uvarint length + bytes). The connection stays usable unless the
-	// failure was a framing error.
+	// failure was a framing error. Breaks the odd/even convention (odd
+	// but server→client), hence the explicit direction taxonomy.
+	//repro:frame response
 	FrameError byte = 0x07
 	// FrameSnapGet requests a durable snapshot of a live session: session
 	// id uvarint. Answered with FrameSnap.
+	//repro:frame request
 	FrameSnapGet byte = 0x09
 	// FrameSnap answers FrameSnapGet: session id uvarint, snapshot blob
 	// (uvarint length + bytes). The blob is a self-contained session
 	// snapshot (AppendSessionSnapshot) any node can resume from.
+	//repro:frame response
 	FrameSnap byte = 0x0A
 	// FrameOpenSnap opens (or resumes) a session from a snapshot blob
 	// (uvarint length + bytes): the migration/failover path. Answered with
 	// FrameOpened; if a live session already holds the snapshot's key it
 	// wins and the blob is ignored.
+	//repro:frame request
 	FrameOpenSnap byte = 0x0B
 )
 
@@ -156,12 +167,14 @@ func (e *RemoteError) Error() string {
 // an in-construction frame and returns the extended buffer. The caller
 // appends the payload and finishes with EndFrame(dst, start) where start
 // was len(dst) before BeginFrame.
+//repro:hotpath
 func BeginFrame(dst []byte, typ byte) []byte {
 	return append(dst, 0, 0, 0, 0, typ)
 }
 
 // EndFrame patches the length prefix of the frame whose header was
 // appended at start.
+//repro:hotpath
 func EndFrame(dst []byte, start int) []byte {
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
 	return dst
@@ -199,10 +212,11 @@ func ReadFrame(br *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, 
 }
 
 // uvarint decodes one uvarint with bounds checking.
+//repro:hotpath
 func uvarint(src []byte) (uint64, int, error) {
 	v, n := binary.Uvarint(src)
 	if n <= 0 {
-		return 0, 0, fmt.Errorf("%w: truncated uvarint", ErrProtocol)
+		return 0, 0, fmt.Errorf("%w: truncated uvarint", ErrProtocol) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	return v, n, nil
 }
@@ -434,6 +448,7 @@ func DecodeOpenSnap(payload []byte) ([]byte, error) {
 
 // AppendBatch appends a complete FrameBatch to dst. PC deltas restart
 // from 0 at the head of every batch, so batches are self-contained.
+//repro:hotpath
 func AppendBatch(dst []byte, sessionID uint64, records []trace.Branch) []byte {
 	start := len(dst)
 	dst = BeginFrame(dst, FrameBatch)
@@ -448,19 +463,20 @@ func AppendBatch(dst []byte, sessionID uint64, records []trace.Branch) []byte {
 
 // DecodeBatch decodes a FrameBatch payload, appending the records into
 // records[:0] (pass a reused slice to avoid allocation).
+//repro:hotpath
 func DecodeBatch(payload []byte, records []trace.Branch) (sessionID uint64, out []trace.Branch, err error) {
 	sessionID, n, err := uvarint(payload)
 	if err != nil {
-		return 0, records, fmt.Errorf("session id: %w", err)
+		return 0, records, fmt.Errorf("session id: %w", err) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	payload = payload[n:]
 	count, n, err := uvarint(payload)
 	if err != nil {
-		return 0, records, fmt.Errorf("record count: %w", err)
+		return 0, records, fmt.Errorf("record count: %w", err) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	payload = payload[n:]
 	if count > MaxBatch {
-		return 0, records, fmt.Errorf("%w: batch of %d records exceeds limit %d", ErrProtocol, count, MaxBatch)
+		return 0, records, fmt.Errorf("%w: batch of %d records exceeds limit %d", ErrProtocol, count, MaxBatch) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	out = records[:0]
 	prevPC := uint64(0)
@@ -468,13 +484,13 @@ func DecodeBatch(payload []byte, records []trace.Branch) (sessionID uint64, out 
 		var b trace.Branch
 		b, n, prevPC, err = trace.DecodeRecord(payload, prevPC)
 		if err != nil {
-			return 0, out, fmt.Errorf("%w: record %d: %v", ErrProtocol, i, err)
+			return 0, out, fmt.Errorf("%w: record %d: %v", ErrProtocol, i, err) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 		}
 		payload = payload[n:]
 		out = append(out, b)
 	}
 	if len(payload) != 0 {
-		return 0, out, fmt.Errorf("%w: %d trailing bytes after batch", ErrProtocol, len(payload))
+		return 0, out, fmt.Errorf("%w: %d trailing bytes after batch", ErrProtocol, len(payload)) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	return sessionID, out, nil
 }
@@ -489,6 +505,7 @@ type Grade struct {
 
 // EncodeGrade packs a served prediction into one response byte: bit 0 is
 // the predicted direction, bits 1-3 the class, bits 4-5 the level.
+//repro:hotpath
 func EncodeGrade(pred bool, class core.Class, level core.Level) byte {
 	g := byte(class)<<1 | byte(level)<<4
 	if pred {
@@ -500,16 +517,18 @@ func EncodeGrade(pred bool, class core.Class, level core.Level) byte {
 // DecodeGrade unpacks a response byte, validating every field (including
 // the class→level aggregation, which the wire cannot legally disagree
 // with).
+//repro:hotpath
 func DecodeGrade(g byte) (Grade, error) {
 	class := core.Class(g >> 1 & 0x7)
 	level := core.Level(g >> 4 & 0x3)
 	if g&0xC0 != 0 || class >= core.NumClasses || level >= core.NumLevels || class.Level() != level {
-		return Grade{}, fmt.Errorf("%w: invalid grade byte %#02x", ErrProtocol, g)
+		return Grade{}, fmt.Errorf("%w: invalid grade byte %#02x", ErrProtocol, g) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	return Grade{Pred: g&1 == 1, Class: class, Level: level}, nil
 }
 
 // AppendPredictions appends a complete FramePredictions to dst.
+//repro:hotpath
 func AppendPredictions(dst []byte, sessionID uint64, grades []byte) []byte {
 	start := len(dst)
 	dst = BeginFrame(dst, FramePredictions)
@@ -521,19 +540,20 @@ func AppendPredictions(dst []byte, sessionID uint64, grades []byte) []byte {
 
 // DecodePredictions decodes a FramePredictions payload, appending the
 // validated grades into grades[:0].
+//repro:hotpath
 func DecodePredictions(payload []byte, grades []Grade) (sessionID uint64, out []Grade, err error) {
 	sessionID, n, err := uvarint(payload)
 	if err != nil {
-		return 0, grades, fmt.Errorf("session id: %w", err)
+		return 0, grades, fmt.Errorf("session id: %w", err) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	payload = payload[n:]
 	count, n, err := uvarint(payload)
 	if err != nil {
-		return 0, grades, fmt.Errorf("grade count: %w", err)
+		return 0, grades, fmt.Errorf("grade count: %w", err) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	payload = payload[n:]
 	if count > MaxBatch || count != uint64(len(payload)) {
-		return 0, grades, fmt.Errorf("%w: grade count %d does not match payload %d", ErrProtocol, count, len(payload))
+		return 0, grades, fmt.Errorf("%w: grade count %d does not match payload %d", ErrProtocol, count, len(payload)) //repro:allow-alloc cold path: malformed input tears the exchange down, allocation is fine
 	}
 	out = grades[:0]
 	for _, g := range payload {

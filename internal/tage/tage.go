@@ -60,11 +60,13 @@ type Observation struct {
 }
 
 // Tagged reports whether the prediction was provided by a tagged component.
+//repro:hotpath
 func (o Observation) Tagged() bool { return o.Provider != ProviderBimodal }
 
 // Strength returns |2·ctr+1| of the provider counter for tagged providers,
 // the paper's tagged-class discriminator; it returns 0 for bimodal
 // providers.
+//repro:hotpath
 func (o Observation) Strength() int {
 	if !o.Tagged() {
 		return 0
@@ -82,8 +84,8 @@ func (o Observation) Strength() int {
 // per-prediction scratch is preallocated, so the Predict+Update hot path
 // performs no heap allocations.
 type Predictor struct {
-	cfg  Config
-	base *bimodal.Packed
+	cfg  Config          //repro:derived construction input, immutable
+	base *bimodal.Packed //repro:derived view aliasing the head of arena, rebuilt on restore
 
 	// arena is the single backing allocation: bimodal words first, then
 	// the tagged-entry words aliased by entries.
@@ -91,20 +93,20 @@ type Predictor struct {
 
 	// entries is the flattened packed tagged-table storage. Entry row r
 	// of table t (0-based) lives at index t<<taggedLog | r.
-	entries []uint32
+	entries []uint32 //repro:derived view aliasing the tail of arena, rebuilt on restore
 
-	numTables int
-	taggedLog uint
-	rowMask   uint32
-	tagMask   uint32
+	numTables int    //repro:derived geometry fixed by cfg
+	taggedLog uint   //repro:derived geometry fixed by cfg
+	rowMask   uint32 //repro:derived geometry fixed by cfg
+	tagMask   uint32 //repro:derived geometry fixed by cfg
 
-	histLens []int
+	histLens []int //repro:derived geometric history lengths fixed by cfg
 
 	// Per-table pathHash parameters, precomputed so the per-probe hash is
 	// pure shift/mask work (the bank % taggedLog rotation amount used to
 	// cost an integer division per probe).
-	pathMask []uint32 // (1 << min(histLen, PathBits)) - 1
-	pathSh   []uint32 // bank % taggedLog (1-based bank)
+	pathMask []uint32 //repro:derived (1 << min(histLen, PathBits)) - 1, fixed by cfg
+	pathSh   []uint32 //repro:derived bank % taggedLog (1-based bank), fixed by cfg
 
 	// folds holds the three folded-history registers of each table
 	// contiguously: index fold, tag fold 1, tag fold 2 for table t at
@@ -116,20 +118,21 @@ type Predictor struct {
 
 	useAltOnNA int8 // 4-bit signed: >= 0 favors altpred on weak new entries
 
-	auto counter.Automaton
+	auto counter.Automaton //repro:derived fixed at construction; the rng it draws from is encoded
 	rng  *xrand.Rand
 
 	tick uint64
 
-	// Per-prediction scratch captured by Predict for the paired Update.
-	lastObs      Observation
+	// Per-prediction scratch captured by Predict for the paired Update;
+	// havePred is cleared on restore, invalidating all of it.
+	lastObs      Observation //repro:derived per-prediction scratch
 	havePred     bool
-	pos          []uint32 // absolute flat-storage position per bank (1-based)
-	tagc         []uint16 // computed partial tag per bank (1-based)
-	hitBank      int      // 1-based; 0 = none
-	altBank      int      // 1-based; 0 = none
-	longestPred  bool
-	allocScratch []int
+	pos          []uint32 //repro:derived per-prediction scratch
+	tagc         []uint16 //repro:derived per-prediction scratch
+	hitBank      int      //repro:derived per-prediction scratch
+	altBank      int      //repro:derived per-prediction scratch
+	longestPred  bool     //repro:derived per-prediction scratch
+	allocScratch []int    //repro:derived per-prediction scratch
 }
 
 // New builds a predictor with the standard saturating-counter automaton.
@@ -205,6 +208,7 @@ func (p *Predictor) Automaton() counter.Automaton { return p.auto }
 // reference TAGE simulator for table bank (1-based). The per-bank
 // rotation amount and path mask are precomputed, so the hash is pure
 // shift/mask/add work.
+//repro:hotpath
 func (p *Predictor) pathHash(bank int) uint32 {
 	logg := uint(p.taggedLog)
 	a := p.phist.Value() & p.pathMask[bank-1]
@@ -221,12 +225,14 @@ func (p *Predictor) pathHash(bank int) uint32 {
 // tableIndex computes the index (row within the table) into tagged table
 // bank (1-based), folding the index compression of the bank's global
 // history with the PC and path-history hash.
+//repro:hotpath
 func (p *Predictor) tableIndex(pc uint64, bank int) uint32 {
 	idx := uint32(pc>>2) ^ uint32(pc>>(2+p.taggedLog)) ^ p.folds[3*(bank-1)].Value() ^ p.pathHash(bank)
 	return idx & p.rowMask
 }
 
 // tableTag computes the partial tag for table bank (1-based).
+//repro:hotpath
 func (p *Predictor) tableTag(pc uint64, bank int) uint16 {
 	fi := 3 * (bank - 1)
 	tag := uint32(pc>>2) ^ p.folds[fi+1].Value() ^ (p.folds[fi+2].Value() << 1)
@@ -236,6 +242,7 @@ func (p *Predictor) tableTag(pc uint64, bank int) uint16 {
 // Predict computes the prediction for pc and returns the component
 // observation. Each Predict must be followed by exactly one Update for the
 // same pc before predicting the next branch.
+//repro:hotpath
 func (p *Predictor) Predict(pc uint64) Observation {
 	m := p.numTables
 	logg := p.taggedLog
@@ -311,9 +318,10 @@ func (p *Predictor) Predict(pc uint64) Observation {
 // Update resolves the branch predicted by the immediately preceding
 // Predict call, training tables, allocating entries on mispredictions, and
 // advancing the global/path histories.
+//repro:hotpath
 func (p *Predictor) Update(pc uint64, taken bool) {
 	if !p.havePred || p.lastObs.PC != pc {
-		panic(fmt.Sprintf("tage: Update(%#x) without matching Predict (last %#x)", pc, p.lastObs.PC))
+		panic(fmt.Sprintf("tage: Update(%#x) without matching Predict (last %#x)", pc, p.lastObs.PC)) //repro:allow-alloc guard path: protocol violation aborts the run, allocation cost is irrelevant
 	}
 	p.havePred = false
 	obs := p.lastObs
@@ -407,6 +415,7 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 // probability 1/2 before considering the next, the reference design's 2:1
 // skew); if every candidate is useful, their u counters are decremented
 // instead (the anti-ping-pong rule of the TAGE paper).
+//repro:hotpath
 func (p *Predictor) allocate(taken bool) {
 	m := p.numTables
 	p.allocScratch = p.allocScratch[:0]
@@ -439,6 +448,7 @@ func (p *Predictor) allocate(taken bool) {
 
 // UseAltOnNA returns the current USE_ALT_ON_NA counter value (for tests
 // and diagnostics).
+//repro:hotpath
 func (p *Predictor) UseAltOnNA() int8 { return p.useAltOnNA }
 
 // TaggedEntries returns the number of entries in each tagged table.

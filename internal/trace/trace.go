@@ -183,6 +183,7 @@ var ErrBadFormat = errors.New("trace: bad file format")
 // is the single definition of the record codec, shared by the file
 // writer and the serve wire protocol. Records with Instr == 0 are not
 // representable; AppendRecord encodes them as Instr == 1.
+//repro:hotpath
 func AppendRecord(dst []byte, prevPC uint64, b Branch) ([]byte, uint64) {
 	dst = binary.AppendVarint(dst, int64(b.PC)-int64(prevPC))
 	instr := b.Instr
@@ -200,14 +201,15 @@ func AppendRecord(dst []byte, prevPC uint64, b Branch) ([]byte, uint64) {
 // AppendRecord), returning the record, the number of bytes consumed and
 // the new previous PC. A truncated or malformed record yields an
 // ErrBadFormat-wrapped error and consumes nothing.
+//repro:hotpath
 func DecodeRecord(src []byte, prevPC uint64) (Branch, int, uint64, error) {
 	delta, n := binary.Varint(src)
 	if n <= 0 {
-		return Branch{}, 0, prevPC, fmt.Errorf("%w: pc: truncated varint", ErrBadFormat)
+		return Branch{}, 0, prevPC, fmt.Errorf("%w: pc: truncated varint", ErrBadFormat) //repro:allow-alloc cold path: malformed record aborts the decode, allocation is fine
 	}
 	packed, n2 := binary.Uvarint(src[n:])
 	if n2 <= 0 {
-		return Branch{}, 0, prevPC, fmt.Errorf("%w: packed: truncated varint", ErrBadFormat)
+		return Branch{}, 0, prevPC, fmt.Errorf("%w: packed: truncated varint", ErrBadFormat) //repro:allow-alloc cold path: malformed record aborts the decode, allocation is fine
 	}
 	pc := uint64(int64(prevPC) + delta)
 	b := Branch{PC: pc, Taken: packed&1 == 1, Instr: uint32(packed>>1) + 1}

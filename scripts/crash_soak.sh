@@ -13,7 +13,7 @@ STATE=$(mktemp -d)
 SRVLOG=$(mktemp)
 SRV=
 cleanup() {
-  [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null || true
+  if [ -n "$SRV" ]; then kill -9 "$SRV" 2>/dev/null || true; fi
   rm -rf "$STATE" "$SRVLOG" crash_load.txt
 }
 trap cleanup EXIT
@@ -31,7 +31,7 @@ LOAD=$!
 # Kill -9 only after the checkpoint loop has written at least one
 # session, and well before the pass completes.
 for _ in $(seq 1 400); do
-  ls "$STATE"/*.ckpt >/dev/null 2>&1 && break
+  if ls "$STATE"/*.ckpt >/dev/null 2>&1; then break; fi
   if ! kill -0 "$LOAD" 2>/dev/null; then
     echo "FAIL: load finished before any checkpoint landed" >&2
     exit 1

@@ -12,8 +12,8 @@ AMETRICS=${AMETRICS:-127.0.0.1:7463}
 SRVA=
 SRVB=
 cleanup() {
-  [ -n "$SRVA" ] && kill -9 "$SRVA" 2>/dev/null || true
-  [ -n "$SRVB" ] && kill -9 "$SRVB" 2>/dev/null || true
+  if [ -n "$SRVA" ]; then kill -9 "$SRVA" 2>/dev/null || true; fi
+  if [ -n "$SRVB" ]; then kill -9 "$SRVB" 2>/dev/null || true; fi
   rm -f route_load.txt
 }
 trap cleanup EXIT
@@ -35,7 +35,7 @@ LOAD=$!
 for _ in $(seq 1 400); do
   served=$(curl -fsS "http://$AMETRICS/metrics" 2>/dev/null |
     awk '/^tage_serve_predictions_total/ {print $2}') || served=0
-  [ "${served:-0}" -gt 100000 ] && break
+  if [ "${served:-0}" -gt 100000 ]; then break; fi
   if ! kill -0 "$LOAD" 2>/dev/null; then
     echo "FAIL: load finished before the induced node failure" >&2
     exit 1
