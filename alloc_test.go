@@ -179,7 +179,9 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := serve.NewEngine(serve.EngineConfig{})
+	// MaxInflight is on so the measured loop includes the admission gate:
+	// overload control must not cost the hot path an allocation.
+	eng := serve.NewEngine(serve.EngineConfig{MaxInflight: 4})
 	cs, err := serve.OpenCheckpointStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -204,8 +206,12 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 		if !ok {
 			t.Fatal("session lost")
 		}
+		if !eng.AcquireBatch() {
+			t.Fatal("admission gate shed an uncontended batch")
+		}
 		batch[0] = branches[i%len(branches)]
 		grades, ok = s.Serve(batch, grades, int64(i))
+		eng.ReleaseBatch()
 		if !ok {
 			t.Fatal("session retired")
 		}

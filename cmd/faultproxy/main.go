@@ -1,0 +1,90 @@
+// Command faultproxy is a deterministic fault-injecting TCP relay for
+// chaos testing the serving stack: it sits between a client (tageload)
+// and a server (tageserved) and corrupts, drops, resets, stalls and
+// fragments traffic on a replayable schedule keyed by -seed. The same
+// seed injects the same faults at the same byte offsets run after run,
+// so a failing chaos soak is reproducible from its printed seed alone.
+//
+// Usage:
+//
+//	faultproxy -listen :7471 -upstream localhost:7421 -seed 42 \
+//	    -corrupt 0.002 -drop 0.002 -reset 0.002 -stall 0.0005 -stall-for 500ms
+//
+// Faults apply per upstream I/O operation. On SIGINT/SIGTERM the proxy
+// prints its fault tally and exits; the tally also prints every
+// -report interval (0 disables periodic reports).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7471", "TCP listen address clients connect to")
+		upstream = flag.String("upstream", "localhost:7421", "server address traffic relays to")
+		seed     = flag.Uint64("seed", 0, "fault-schedule seed (0 = derive from clock; the chosen seed is always printed)")
+		corrupt  = flag.Float64("corrupt", 0, "per-operation probability of flipping one bit of relayed data")
+		drop     = flag.Float64("drop", 0, "per-operation probability of delivering a strict prefix and killing the conn")
+		reset    = flag.Float64("reset", 0, "per-operation probability of an immediate connection reset")
+		stall    = flag.Float64("stall", 0, "per-operation probability of stalling for -stall-for")
+		stallFor = flag.Duration("stall-for", time.Second, "stall duration (drive it past the server's -frame-timeout to exercise slow-peer eviction)")
+		jitter   = flag.Duration("jitter", 0, "uniform per-operation latency in [0, jitter)")
+		frag     = flag.Bool("fragment", false, "fragment all relayed traffic (short reads and chunked writes)")
+		report   = flag.Duration("report", 0, "print the fault tally this often (0 = only at exit)")
+	)
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = uint64(time.Now().UnixNano())
+	}
+	cfg := faultnet.Config{
+		Seed:          *seed,
+		CorruptRate:   *corrupt,
+		DropRate:      *drop,
+		ResetRate:     *reset,
+		StallRate:     *stall,
+		StallFor:      *stallFor,
+		LatencyJitter: *jitter,
+		ShortReads:    *frag,
+		ChunkWrites:   *frag,
+	}
+	p, err := faultnet.NewProxy(*listen, *upstream, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The seed line is the reproduction handle: a failing soak reruns with
+	// this exact value to replay the same fault schedule.
+	log.Printf("faultproxy: %s -> %s seed=%d corrupt=%g drop=%g reset=%g stall=%g/%v jitter=%v fragment=%v",
+		p.Addr(), *upstream, *seed, *corrupt, *drop, *reset, *stall, *stallFor, *jitter, *frag)
+
+	done := make(chan error, 1)
+	go func() { done <- p.Serve() }()
+	if *report > 0 {
+		go func() {
+			for range time.Tick(*report) {
+				log.Printf("faultproxy: %s", p.Stats())
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Printf("faultproxy: %s", p.Stats())
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("faultproxy: %v, shutting down", sig)
+		p.Close()
+		<-done
+		log.Printf("faultproxy: seed=%d %s", *seed, p.Stats())
+	}
+}

@@ -59,8 +59,26 @@ func main() {
 		nodes     = flag.String("nodes", "", "comma-separated cluster addresses; enables the failover-aware router with durable keyed sessions (overrides -addr)")
 		keyPrefix = flag.String("key-prefix", "tageload", "session-key prefix in router mode")
 		verify    = flag.Bool("verify", false, "pass mode: recompute every trace offline and require bit-identical tallies")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-round-trip read/write deadline (0 disables — a dead server then hangs the run forever)")
+		retries   = flag.Int("retries", 0, "router mode: recovery attempts per fault; otherwise the internal busy-retry budget (0 = defaults, negative disables busy retries)")
+		seed      = flag.Uint64("seed", 0, "retry/backoff jitter seed (0 = derive from clock; fix it to replay a chaos run's timing)")
+		brkThresh = flag.Int("breaker-threshold", 0, "router mode: consecutive failures that open a node's circuit breaker (0 = default, negative disables)")
+		brkCool   = flag.Duration("breaker-cooldown", 0, "router mode: breaker open duration before a half-open probe (0 = default)")
 	)
 	flag.Parse()
+
+	if *timeout == 0 {
+		log.Print("tageload: -timeout 0: deadlines disabled, a stalled server will hang this run indefinitely")
+	}
+	clientCfg := serve.ClientConfig{
+		DialTimeout:  5 * time.Second,
+		ReadTimeout:  *timeout,
+		WriteTimeout: *timeout,
+		Seed:         *seed,
+	}
+	if *nodes == "" && *retries != 0 {
+		clientCfg.BusyRetries = *retries
+	}
 
 	opts, err := bf.Options()
 	if err != nil {
@@ -83,8 +101,12 @@ func main() {
 	var router *serve.Router
 	if *nodes != "" {
 		router, err = serve.NewRouter(serve.RouterConfig{
-			Nodes:  strings.Split(*nodes, ","),
-			Client: serve.ClientConfig{DialTimeout: 5 * time.Second, ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second},
+			Nodes:            strings.Split(*nodes, ","),
+			Client:           clientCfg,
+			MaxRetries:       *retries,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			Seed:             *seed,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -117,6 +139,7 @@ func main() {
 	type workerOut struct {
 		results []sim.Result
 		lat     metrics.Latency
+		busy    uint64
 		err     error
 	}
 	outs := make([]workerOut, n)
@@ -154,12 +177,13 @@ func main() {
 					return true
 				}
 			} else {
-				c, err := serve.Dial(*addr)
+				c, err := serve.DialConfig(*addr, clientCfg)
 				if err != nil {
 					out.err = err
 					return
 				}
 				defer c.Close()
+				defer func() { out.busy = c.BusyRetries() }()
 				open := func() (*serve.ClientSession, error) {
 					if bf.Explicit() {
 						return c.OpenSpec(*bf.Backend)
@@ -208,12 +232,14 @@ func main() {
 
 	var all []sim.Result
 	var lat metrics.Latency
+	var busy uint64
 	for i := range outs {
 		if outs[i].err != nil {
 			log.Fatalf("conn %d: %v", i, outs[i].err)
 		}
 		all = append(all, outs[i].results...)
 		lat.Merge(&outs[i].lat)
+		busy += outs[i].busy
 	}
 	if len(all) == 0 {
 		log.Fatal("tageload: no trace replay completed within the duration")
@@ -240,9 +266,12 @@ func main() {
 	if router != nil {
 		fmt.Println("  cluster:")
 		for _, ns := range router.Stats() {
-			fmt.Printf("    %-24s sessions=%d retries=%d failovers=%d\n",
-				ns.Addr, ns.Sessions, ns.Retries, ns.Failovers)
+			fmt.Printf("    %-24s sessions=%d retries=%d recoveries=%d failovers=%d busy_retries=%d breaker_opens=%d breaker_closes=%d\n",
+				ns.Addr, ns.Sessions, ns.Retries, ns.Recoveries, ns.Failovers,
+				ns.BusyRetries, ns.BreakerOpens, ns.BreakerCloses)
 		}
+	} else if busy > 0 {
+		fmt.Printf("  busy retries (load-shed batches retried): %d\n", busy)
 	}
 	if *verify {
 		if err := verifyOffline(all, bf, opts, *branches); err != nil {

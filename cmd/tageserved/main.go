@@ -52,8 +52,21 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "evict sessions idle this long (<0 disables eviction)")
 		stateDir    = flag.String("state-dir", "", "checkpoint directory for durable keyed sessions (empty = sessions are in-memory only)")
 		ckptEvery   = flag.Duration("checkpoint-interval", serve.DefaultCheckpointInterval, "checkpoint dirty keyed sessions this often (<0 disables the loop; eviction and shutdown still checkpoint)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: batches served concurrently before load-shedding FrameBusy (0 = unlimited)")
+		frameTO     = flag.Duration("frame-timeout", serve.DefaultFrameTimeout, "evict a peer that stalls mid-frame for this long (<0 disables slow-reader eviction)")
+		writeTO     = flag.Duration("write-timeout", serve.DefaultWriteTimeout, "evict a peer that stops draining responses for this long (<0 disables slow-writer eviction)")
 	)
 	flag.Parse()
+
+	if *maxInflight == 0 {
+		log.Print("tageserved: -max-inflight 0: admission control disabled, overload will queue instead of shedding")
+	}
+	if *frameTO < 0 {
+		log.Print("tageserved: -frame-timeout < 0: slow-reader eviction disabled, a stalled peer can park a handler forever")
+	}
+	if *writeTO < 0 {
+		log.Print("tageserved: -write-timeout < 0: slow-writer eviction disabled, an undrained peer can park a handler forever")
+	}
 
 	cfg, err := tage.ConfigByName(*bf.Config)
 	if err != nil {
@@ -80,9 +93,12 @@ func main() {
 		MetricsAddr:        *metricsAddr,
 		IdleTimeout:        *idleTimeout,
 		CheckpointInterval: *ckptEvery,
+		FrameTimeout:       *frameTO,
+		WriteTimeout:       *writeTO,
 		Engine: serve.EngineConfig{
 			Shards:         *shards,
 			MaxSessions:    *maxSessions,
+			MaxInflight:    *maxInflight,
 			DefaultConfig:  cfg,
 			DefaultOptions: opts,
 			DefaultSpec:    *bf.Backend,
@@ -137,6 +153,9 @@ func main() {
 		snap := srv.Engine().Snapshot()
 		log.Printf("tageserved: served %d branches over %d sessions (%.2f%% mispredicted), bye",
 			snap.Branches, snap.OpenedSessions, 100*snap.Total.Rate())
+		if snap.ShedBatches > 0 {
+			log.Printf("tageserved: load-shed %d batches under admission control", snap.ShedBatches)
+		}
 		if snap.CheckpointsWritten > 0 || snap.CheckpointRestores > 0 {
 			log.Printf("tageserved: wrote %d checkpoints (%d bytes, %d restores, %d write failures)",
 				snap.CheckpointsWritten, snap.CheckpointBytes, snap.CheckpointRestores, snap.CheckpointWriteFailures)

@@ -59,6 +59,11 @@ var stdlibAllow = map[string]map[string]bool{
 	"sync/atomic": nil,
 	"math":        nil,
 	"math/bits":   nil,
+	// Table-driven CRC over an existing buffer: no allocation, and on
+	// amd64/arm64 it dispatches to a hardware-accelerated kernel.
+	// MakeTable is deliberately absent — build tables at init, not on
+	// the hot path.
+	"hash/crc32": {"Checksum": true, "Update": true},
 	"encoding/binary": {
 		"Uvarint": true, "Varint": true,
 		"PutUvarint": true, "PutVarint": true,

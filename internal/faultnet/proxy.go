@@ -1,0 +1,135 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a fault-injecting TCP relay: it accepts client connections,
+// dials the upstream for each, and pumps bytes both ways through a
+// fault-wrapped upstream conn. The server behind it needs no changes —
+// this is how scripts/chaos_soak.sh tortures a stock tageserved.
+//
+// Faults are applied on the upstream side of the relay: corruption or a
+// drop on the upstream Write mangles client→server traffic, on the
+// upstream Read server→client traffic, and either direction's failure
+// tears down the whole relay pair (as a real middlebox reset would).
+type Proxy struct {
+	cfg      Config
+	upstream string
+	ln       net.Listener
+	stats    *Stats
+	next     atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy listens on listen and relays every accepted connection to
+// upstream with cfg's fault schedule applied. It returns with the
+// listener bound; call Serve to start accepting.
+func NewProxy(listen, upstream string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{
+		cfg:      cfg,
+		upstream: upstream,
+		ln:       ln,
+		stats:    &Stats{},
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+// Stats returns the shared fault tally.
+func (p *Proxy) Stats() *Stats { return p.stats }
+
+// Serve accepts and relays until Close. It returns the listener's
+// accept error (net.ErrClosed after Close).
+func (p *Proxy) Serve() error {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return err
+		}
+		go p.relay(client)
+	}
+}
+
+// Close stops the listener and tears down every live relay pair.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+// track registers a live conn for Close teardown. It reports false —
+// and closes the conn — when the proxy is already shut down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	if p.conns != nil {
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// relay pumps client⇄upstream through a fault-wrapped upstream conn
+// until either direction fails, then closes both sides.
+func (p *Proxy) relay(client net.Conn) {
+	defer client.Close()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+	raw, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		return
+	}
+	up := Wrap(raw, p.cfg, p.next.Add(1)-1, p.stats)
+	defer up.Close()
+	if !p.track(up) {
+		return
+	}
+	defer p.untrack(up)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		io.Copy(up, client) //nolint:errcheck // a failed pump tears the pair down below
+		// Client went quiet (or a fault killed the upstream write):
+		// unblock the other pump.
+		up.Close()
+		client.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		io.Copy(client, up) //nolint:errcheck // a failed pump tears the pair down below
+		client.Close()
+		up.Close()
+	}()
+	wg.Wait()
+}

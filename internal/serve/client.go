@@ -12,11 +12,13 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // ClientConfig hardens a client against slow or failing peers with
 // per-operation deadlines. Zero values disable the corresponding
-// deadline (the pre-hardening behavior).
+// deadline (the pre-hardening behavior — prefer explicit timeouts; the
+// CLIs default them and log when they are disabled).
 type ClientConfig struct {
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
@@ -24,7 +26,29 @@ type ClientConfig struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each request write (set per round trip).
 	WriteTimeout time.Duration
+	// BusyRetries caps how many times a load-shed batch (FrameBusy) is
+	// retried internally — with jittered, capped, doubling backoff —
+	// before the BusyError surfaces to the caller. 0 selects
+	// DefaultBusyRetries; negative disables internal busy retries.
+	BusyRetries int
+	// BusyBackoff is the initial busy-retry backoff, doubled per attempt
+	// and capped at 250ms. 0 selects DefaultBusyBackoff.
+	BusyBackoff time.Duration
+	// Seed keys the backoff-jitter stream (0 derives one from the
+	// clock). Fixing it makes a chaos run's retry timing replayable.
+	Seed uint64
 }
+
+// DefaultBusyRetries is the internal busy-retry budget when none is
+// configured.
+const DefaultBusyRetries = 8
+
+// DefaultBusyBackoff is the initial busy-retry backoff when none is
+// configured.
+const DefaultBusyBackoff = 2 * time.Millisecond
+
+// maxBusyBackoff caps the doubling busy-retry backoff.
+const maxBusyBackoff = 250 * time.Millisecond
 
 // Client speaks the wire protocol over one connection. It is not safe
 // for concurrent use; a load generator opens one Client per goroutine.
@@ -37,6 +61,9 @@ type Client struct {
 	frame  []byte
 	out    []byte
 	grades []Grade
+
+	rng         *xrand.Rand // backoff jitter, lazily seeded from cfg.Seed
+	busyRetries uint64
 }
 
 // Dial connects a client to a server's wire-protocol address.
@@ -71,6 +98,27 @@ func NewClient(conn net.Conn) *Client {
 // eviction.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// BusyRetries reports how many internal busy (load-shed) retries this
+// client has performed — the load generators roll it up per node.
+func (c *Client) BusyRetries() uint64 { return c.busyRetries }
+
+// jitter spreads a backoff duration uniformly over [d/2, 3d/2) using the
+// client's seeded stream, so synchronized clients retrying a shed server
+// do not re-stampede it in lockstep.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	if c.rng == nil {
+		seed := c.cfg.Seed
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano())
+		}
+		c.rng = xrand.New(seed)
+	}
+	return d/2 + time.Duration(c.rng.Uint64()%uint64(d))
+}
+
 // roundTrip writes the frame already assembled in c.out and reads one
 // response frame, translating FrameError into *RemoteError.
 func (c *Client) roundTrip(want byte) ([]byte, error) {
@@ -91,6 +139,10 @@ func (c *Client) roundTrip(want byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Not a frame dispatch: the client matches the one response type the
+	// request contracts for; FrameError and FrameBusy are the two
+	// out-of-band rejection legs every round trip may take instead.
+	//repro:frames ignore single-expected-response match, not a dispatch over the response direction
 	switch typ {
 	case want:
 		return payload, nil
@@ -100,6 +152,12 @@ func (c *Client) roundTrip(want byte) ([]byte, error) {
 			return nil, err
 		}
 		return nil, re
+	case FrameBusy:
+		be, err := DecodeBusy(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, be
 	default:
 		return nil, fmt.Errorf("%w: unexpected frame type %#02x (want %#02x)", ErrProtocol, typ, want)
 	}
@@ -219,7 +277,42 @@ func (s *ClientSession) Config() string { return s.config }
 // are capped at MaxBatch branches — enforced here so an oversized
 // request fails before burning a round trip (or, past MaxFrame, the
 // whole connection).
+//
+// A load-shed rejection (FrameBusy — the server did not apply the
+// batch) is retried internally with jittered doubling backoff up to the
+// client's BusyRetries budget; the server's retry-after hint, when
+// given, overrides the computed backoff for that attempt. A budget
+// exhausted surfaces the *BusyError, which IsRetryable classifies as
+// retryable — the caller may keep backing off on its own schedule.
 func (s *ClientSession) Predict(records []trace.Branch) ([]Grade, error) {
+	c := s.c
+	budget := c.cfg.BusyRetries
+	if budget == 0 {
+		budget = DefaultBusyRetries
+	}
+	backoff := c.cfg.BusyBackoff
+	if backoff <= 0 {
+		backoff = DefaultBusyBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		grades, err := s.predictOnce(records)
+		var be *BusyError
+		if err == nil || !errors.As(err, &be) || attempt >= budget {
+			return grades, err
+		}
+		c.busyRetries++
+		wait := backoff
+		if be.RetryAfterMillis > 0 {
+			wait = time.Duration(be.RetryAfterMillis) * time.Millisecond
+		}
+		time.Sleep(c.jitter(wait))
+		if backoff < maxBusyBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+func (s *ClientSession) predictOnce(records []trace.Branch) ([]Grade, error) {
 	if len(records) > MaxBatch {
 		return nil, fmt.Errorf("%w: batch of %d records exceeds limit %d", ErrProtocol, len(records), MaxBatch)
 	}

@@ -32,6 +32,14 @@ type Engine struct {
 	opened  atomic.Uint64
 	evicted atomic.Uint64
 
+	// Admission control: maxInflight caps concurrently-served batches
+	// engine-wide (0 = unlimited, negative = admit nothing — the
+	// shed-everything test configuration); inflight is the live count and
+	// shed tallies rejected batches (answered with FrameBusy upstream).
+	maxInflight int64
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+
 	// Checkpoint counters (atomic: bumped on cold paths, read by
 	// scrapes).
 	ckptWritten         atomic.Uint64
@@ -85,6 +93,12 @@ type EngineConfig struct {
 	// NewServer/NewEngine callers building a probe backend on first use;
 	// an invalid spec surfaces as ErrCodeBadConfig on open.
 	DefaultSpec string
+	// MaxInflight caps batches being served concurrently across the whole
+	// engine (0 = unlimited; negative admits nothing, for tests). A batch
+	// arriving with the budget exhausted is shed: the TCP layer answers
+	// FrameBusy and the client retries with backoff, so overload degrades
+	// into explicit, retryable rejections instead of unbounded queueing.
+	MaxInflight int
 }
 
 // DefaultShards is the registry stripe count when none is configured.
@@ -105,10 +119,43 @@ func NewEngine(cfg EngineConfig) *Engine {
 		defaultConfig:  def,
 		defaultOptions: cfg.DefaultOptions,
 		defaultSpec:    cfg.DefaultSpec,
+		maxInflight:    int64(cfg.MaxInflight),
 		retiredBy:      make(map[string]BackendCounts),
 		openedBy:       make(map[string]uint64),
 		keys:           make(map[string]uint64),
 		parked:         make(map[string]sim.Result),
+	}
+}
+
+// AcquireBatch claims one inflight-batch slot, reporting false — and
+// counting a shed — when the engine-wide budget is exhausted. Callers
+// that get true must ReleaseBatch once the batch's response has shipped
+// (the server holds the slot from serve through response flush, so
+// MaxInflight bounds batches in flight end to end). It is on the
+// per-batch hot path and performs no allocation.
+//repro:hotpath
+func (e *Engine) AcquireBatch() bool {
+	limit := e.maxInflight
+	if limit == 0 {
+		return true
+	}
+	if limit < 0 {
+		e.shed.Add(1)
+		return false
+	}
+	if e.inflight.Add(1) > limit {
+		e.inflight.Add(-1)
+		e.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+// ReleaseBatch returns the slot claimed by a successful AcquireBatch.
+//repro:hotpath
+func (e *Engine) ReleaseBatch() {
+	if e.maxInflight > 0 {
+		e.inflight.Add(-1)
 	}
 }
 
@@ -565,6 +612,12 @@ type Snapshot struct {
 	Class           [core.NumClasses]metrics.Counts
 	// Backends carries the per-backend counters sorted by label.
 	Backends []BackendCounts
+	// ShedBatches counts batches rejected by admission control
+	// (FrameBusy); InflightBatches is the instantaneous count being
+	// served (always 0 when MaxInflight is unlimited — the budget is not
+	// tracked then, to keep the hot path to a single branch).
+	ShedBatches     uint64
+	InflightBatches int64
 	// Checkpoint counters (all zero when no store is attached).
 	CheckpointsWritten        uint64
 	CheckpointBytes           uint64
@@ -643,6 +696,8 @@ func (e *Engine) Snapshot() Snapshot {
 		Total:                     agg.Total,
 		Class:                     agg.Class,
 		Backends:                  backends,
+		ShedBatches:               e.shed.Load(),
+		InflightBatches:           e.inflight.Load(),
 		CheckpointsWritten:        e.ckptWritten.Load(),
 		CheckpointBytes:           e.ckptBytes.Load(),
 		CheckpointRestores:        e.ckptRestores.Load(),

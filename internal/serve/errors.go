@@ -18,9 +18,20 @@ import (
 //
 // The router and hardened clients retry only retryable failures; fatal
 // ones surface immediately.
+//
+// A load-shed rejection (BusyError) is retryable by definition: the
+// server did not apply the batch. A corrupt frame (ErrCorrupt) is NOT —
+// it wraps ErrProtocol, because a corrupt response leaves the request's
+// fate unknown and blindly resending could double-apply; only the
+// Router's resync path (which re-reads the server's authoritative
+// cursor) may recover from it.
 func IsRetryable(err error) bool {
 	if err == nil {
 		return false
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
+		return true
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {

@@ -12,6 +12,16 @@ import (
 	"repro/internal/sim"
 )
 
+// framePayload strips a complete frame down to its payload: the 5-byte
+// header (length + type) and the 4-byte CRC trailer.
+func framePayload(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	if len(frame) < 9 {
+		t.Fatalf("frame of %d bytes cannot carry header and CRC trailer", len(frame))
+	}
+	return frame[5 : len(frame)-4]
+}
+
 // FuzzFrame mirrors internal/trace's FuzzRead for the wire protocol:
 // arbitrary bytes through the frame reader and every payload decoder
 // must either parse or error — never panic, never accept garbage
@@ -44,7 +54,13 @@ func FuzzFrame(f *testing.F) {
 		AppendSnapGet(nil, 7),
 		AppendSnap(nil, 7, []byte("not a real snapshot blob")),
 		AppendOpenSnap(nil, []byte("not a real snapshot blob")),
+		AppendBusy(nil, 7, 25),
+		// Hostile length prefixes: all-ones, just past MaxFrame, and the
+		// maximum uint32 — each must be rejected by the bounds check
+		// before any payload allocation happens.
 		{0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		{0x01, 0x00, 0x10, 0x00, 0x03}, // length = MaxFrame+1
+		{0xFE, 0xFF, 0xFF, 0xFF, 0x03},
 		[]byte("garbage data, not a frame"),
 		{},
 	}
@@ -73,7 +89,7 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendOpen(nil, req)
-			got, err := DecodeOpen(reenc[5:])
+			got, err := DecodeOpen(framePayload(t, reenc))
 			if err != nil || got != req {
 				t.Fatalf("open round trip: %+v -> %+v (%v)", req, got, err)
 			}
@@ -83,7 +99,7 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendOpened(nil, id, config, branches)
-			id2, config2, branches2, err := DecodeOpened(reenc[5:])
+			id2, config2, branches2, err := DecodeOpened(framePayload(t, reenc))
 			if err != nil || id2 != id || config2 != config || branches2 != branches {
 				t.Fatalf("opened round trip: %d/%q/%d -> %d/%q/%d (%v)", id, config, branches, id2, config2, branches2, err)
 			}
@@ -98,7 +114,7 @@ func FuzzFrame(f *testing.F) {
 				}
 			}
 			reenc := AppendBatch(nil, id, records)
-			id2, records2, err := DecodeBatch(reenc[5:], nil)
+			id2, records2, err := DecodeBatch(framePayload(t, reenc), nil)
 			if err != nil || id2 != id || len(records2) != len(records) {
 				t.Fatalf("batch round trip failed: %v", err)
 			}
@@ -117,7 +133,7 @@ func FuzzFrame(f *testing.F) {
 				raw[i] = EncodeGrade(g.Pred, g.Class, g.Level)
 			}
 			reenc := AppendPredictions(nil, id, raw)
-			id2, decoded2, err := DecodePredictions(reenc[5:], nil)
+			id2, decoded2, err := DecodePredictions(framePayload(t, reenc), nil)
 			if err != nil || id2 != id || len(decoded2) != len(decoded) {
 				t.Fatalf("predictions round trip failed: %v", err)
 			}
@@ -132,7 +148,7 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendClose(nil, id)
-			if id2, err := DecodeClose(reenc[5:]); err != nil || id2 != id {
+			if id2, err := DecodeClose(framePayload(t, reenc)); err != nil || id2 != id {
 				t.Fatalf("close round trip: %d -> %d (%v)", id, id2, err)
 			}
 		case FrameStats:
@@ -144,7 +160,7 @@ func FuzzFrame(f *testing.F) {
 				t.Fatal("accepted stats whose classes do not sum to branches")
 			}
 			reenc := AppendStats(nil, id, stats)
-			id2, stats2, err := DecodeStats(reenc[5:])
+			id2, stats2, err := DecodeStats(framePayload(t, reenc))
 			if err != nil || id2 != id || stats2 != stats {
 				t.Fatalf("stats round trip: %+v -> %+v (%v)", stats, stats2, err)
 			}
@@ -154,7 +170,7 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendError(nil, re.Code, re.Message)
-			re2, err := DecodeError(reenc[5:])
+			re2, err := DecodeError(framePayload(t, reenc))
 			if err != nil || re2.Code != re.Code || re2.Message != re.Message {
 				t.Fatalf("error round trip: %+v -> %+v (%v)", re, re2, err)
 			}
@@ -164,7 +180,7 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendSnapGet(nil, id)
-			if id2, err := DecodeSnapGet(reenc[5:]); err != nil || id2 != id {
+			if id2, err := DecodeSnapGet(framePayload(t, reenc)); err != nil || id2 != id {
 				t.Fatalf("snapget round trip: %d -> %d (%v)", id, id2, err)
 			}
 		case FrameSnap:
@@ -173,7 +189,7 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendSnap(nil, id, blob)
-			id2, blob2, err := DecodeSnap(reenc[5:])
+			id2, blob2, err := DecodeSnap(framePayload(t, reenc))
 			if err != nil || id2 != id || !bytes.Equal(blob, blob2) {
 				t.Fatalf("snap round trip failed: %v", err)
 			}
@@ -190,9 +206,19 @@ func FuzzFrame(f *testing.F) {
 				return
 			}
 			reenc := AppendOpenSnap(nil, blob)
-			blob2, err := DecodeOpenSnap(reenc[5:])
+			blob2, err := DecodeOpenSnap(framePayload(t, reenc))
 			if err != nil || !bytes.Equal(blob, blob2) {
 				t.Fatalf("opensnap round trip failed: %v", err)
+			}
+		case FrameBusy:
+			be, err := DecodeBusy(payload)
+			if err != nil {
+				return
+			}
+			reenc := AppendBusy(nil, be.Session, be.RetryAfterMillis)
+			be2, err := DecodeBusy(framePayload(t, reenc))
+			if err != nil || be2.Session != be.Session || be2.RetryAfterMillis != be.RetryAfterMillis {
+				t.Fatalf("busy round trip: %+v -> %+v (%v)", be, be2, err)
 			}
 		}
 	})

@@ -21,15 +21,18 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // Router defaults.
 const (
-	DefaultReplicas      = 64
-	DefaultMaxRetries    = 6
-	DefaultRetryBackoff  = 50 * time.Millisecond
-	DefaultSnapshotEvery = 8
-	maxRetryBackoff      = 2 * time.Second
+	DefaultReplicas         = 64
+	DefaultMaxRetries       = 6
+	DefaultRetryBackoff     = 50 * time.Millisecond
+	DefaultSnapshotEvery    = 8
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+	maxRetryBackoff         = 2 * time.Second
 )
 
 // RouterConfig configures a Router.
@@ -54,14 +57,32 @@ type RouterConfig struct {
 	// selects DefaultSnapshotEvery, negative disables refreshing (the
 	// session can then only fail over to a node that shares state).
 	SnapshotEvery int
+	// BreakerThreshold opens a node's circuit breaker after this many
+	// consecutive failed attempts, so the ring routes around a flapping
+	// node instead of burning its retry budget hammering it. 0 selects
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects a node before
+	// one half-open probe is allowed through (success closes it, failure
+	// re-opens it for another cooldown). 0 selects
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Seed keys the per-session backoff-jitter streams (0 derives one
+	// from the clock). Fixing it makes a chaos run's recovery timing
+	// replayable.
+	Seed uint64
 }
 
 // NodeStats is one node's roll-up of router activity.
 type NodeStats struct {
-	Addr      string
-	Sessions  uint64 // sessions currently placed on the node
-	Retries   uint64 // failed connection/open attempts against the node
-	Failovers uint64 // sessions that failed over onto the node
+	Addr          string
+	Sessions      uint64 // sessions currently placed on the node
+	Retries       uint64 // failed connection/open attempts against the node
+	Recoveries    uint64 // successful mid-stream recover-and-resync passes onto the node
+	Failovers     uint64 // sessions that failed over onto the node
+	BusyRetries   uint64 // load-shed (FrameBusy) retries against the node
+	BreakerOpens  uint64 // closed→open breaker transitions
+	BreakerCloses uint64 // open→closed breaker transitions (probe succeeded)
 }
 
 type vnode struct {
@@ -76,8 +97,18 @@ type Router struct {
 	cfg  RouterConfig
 	ring []vnode
 
-	mu    sync.Mutex
-	stats map[string]*NodeStats
+	mu       sync.Mutex
+	stats    map[string]*NodeStats
+	breakers map[string]*breakerState //repro:guardedby mu
+}
+
+// breakerState is one node's circuit breaker. Both the map and the
+// pointed-to state are guarded by Router.mu (state is only ever touched
+// through the nodeAvailable/nodeFailed/nodeOK accessors, which hold it).
+type breakerState struct {
+	fails     int       // consecutive failures since the last success
+	open      bool      // breaker tripped
+	openUntil time.Time // half-open probe allowed from here on
 }
 
 // NewRouter builds a router over the configured nodes.
@@ -97,13 +128,26 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
-	r := &Router{cfg: cfg, stats: make(map[string]*NodeStats)}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	r := &Router{
+		cfg:      cfg,
+		stats:    make(map[string]*NodeStats),
+		breakers: make(map[string]*breakerState),
+	}
+	r.mu.Lock()
 	for i, node := range cfg.Nodes {
 		r.stats[node] = &NodeStats{Addr: node}
+		r.breakers[node] = &breakerState{}
 		for rep := 0; rep < cfg.Replicas; rep++ {
 			r.ring = append(r.ring, vnode{hash: ringHash(fmt.Sprintf("%s#%d", node, rep)), node: i})
 		}
 	}
+	r.mu.Unlock()
 	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
 	return r, nil
 }
@@ -154,6 +198,78 @@ func (r *Router) bump(node string, f func(*NodeStats)) {
 	r.mu.Unlock()
 }
 
+// nodeAvailable reports whether the node's breaker admits an attempt:
+// closed, or open with the cooldown expired (the half-open probe — the
+// next failure re-opens it, a success closes it).
+func (r *Router) nodeAvailable(node string) bool {
+	if r.cfg.BreakerThreshold < 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[node]
+	if !ok || !b.open {
+		return true
+	}
+	return !time.Now().Before(b.openUntil)
+}
+
+// nodeFailed records a failed attempt against the node, opening (or
+// re-opening, after a failed half-open probe) its breaker at the
+// threshold.
+func (r *Router) nodeFailed(node string) {
+	if r.cfg.BreakerThreshold < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[node]
+	if !ok {
+		return
+	}
+	b.fails++
+	if b.fails < r.cfg.BreakerThreshold {
+		return
+	}
+	if !b.open {
+		b.open = true
+		if ns, ok := r.stats[node]; ok {
+			ns.BreakerOpens++
+		}
+	}
+	b.openUntil = time.Now().Add(r.cfg.BreakerCooldown)
+}
+
+// nodeOK records a successful attempt, closing the node's breaker.
+func (r *Router) nodeOK(node string) {
+	if r.cfg.BreakerThreshold < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[node]
+	if !ok {
+		return
+	}
+	if b.open {
+		b.open = false
+		if ns, ok := r.stats[node]; ok {
+			ns.BreakerCloses++
+		}
+	}
+	b.fails = 0
+}
+
+// sessionRand derives the per-session jitter stream: decorrelated across
+// keys, replayable when RouterConfig.Seed is fixed.
+func (r *Router) sessionRand(key string) *xrand.Rand {
+	seed := r.cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return xrand.New(seed ^ ringHash(key))
+}
+
 // RouterSession is one durable session driven through the router. It is
 // not safe for concurrent use.
 type RouterSession struct {
@@ -166,8 +282,9 @@ type RouterSession struct {
 
 	c      *Client
 	sess   *ClientSession
-	snap   []byte // last fetched snapshot blob — the failover token
-	placed bool   // session counted in a node's Sessions roll-up
+	snap   []byte      // last fetched snapshot blob — the failover token
+	placed bool        // session counted in a node's Sessions roll-up
+	rng    *xrand.Rand // backoff jitter (seeded per key: replayable, decorrelated)
 }
 
 // Open places (or resumes) the keyed session on its ring node. The key
@@ -177,7 +294,7 @@ func (r *Router) Open(key string, req OpenRequest) (*RouterSession, error) {
 		return nil, fmt.Errorf("serve: router sessions require a key")
 	}
 	req.Key = key
-	rs := &RouterSession{r: r, key: key, req: req, nodes: r.nodesFor(key)}
+	rs := &RouterSession{r: r, key: key, req: req, nodes: r.nodesFor(key), rng: r.sessionRand(key)}
 	if err := rs.establish(); err != nil {
 		return nil, err
 	}
@@ -197,26 +314,85 @@ func (rs *RouterSession) Session() *ClientSession { return rs.sess }
 // failures retry, and so does an unknown-session rejection — after a
 // node restart or idle eviction the keyed re-open restores the session
 // from its checkpoint.
+//
+// A corrupt frame (ErrCorrupt locally, ErrCodeCorrupt from the peer) is
+// fatal for a plain client — the mangled exchange's fate is unknown, so
+// resending the same bytes could double-apply — but recoverable here:
+// the router drops the connection and resyncs its cursor and tallies
+// from the server's authoritative snapshot instead of retrying bytes,
+// preserving exactly-once.
 func recoverable(err error) bool {
 	if IsRetryable(err) {
 		return true
 	}
+	if errors.Is(err, ErrCorrupt) {
+		return true
+	}
 	var re *RemoteError
-	return errors.As(err, &re) && re.Code == ErrCodeUnknownSession
+	return errors.As(err, &re) && (re.Code == ErrCodeUnknownSession || re.Code == ErrCodeCorrupt)
+}
+
+// harvestBusy folds the current connection's busy-retry count into the
+// hosting node's roll-up. Called exactly once per connection, at the
+// point the connection is dropped or retired.
+func (rs *RouterSession) harvestBusy() {
+	if rs.c == nil {
+		return
+	}
+	if n := rs.c.BusyRetries(); n > 0 {
+		rs.r.bump(rs.Node(), func(ns *NodeStats) { ns.BusyRetries += n })
+	}
+}
+
+// dropConn tears down the session's connection (after harvesting its
+// roll-ups); safe when no connection is held.
+func (rs *RouterSession) dropConn() {
+	if rs.c == nil {
+		return
+	}
+	rs.harvestBusy()
+	rs.c.Close()
+	rs.c, rs.sess = nil, nil
 }
 
 // reconnect makes one pass over the nodes (current first, then the ring
 // failover order): dial, then open the session — by key on the current
 // node, from the held snapshot blob on a failover node. It reports the
 // last failure when every node refused.
+//
+// The pass consults the per-node circuit breakers: nodes whose breaker
+// is open (recent consecutive failures, cooldown not yet expired) are
+// skipped, so a flapping node is routed around instead of hammered. If
+// every node is skipped the pass fails open and retries them all anyway
+// — with a single-node cluster (or a full outage) the breaker must
+// degrade to plain capped-backoff retrying, never to giving up without
+// trying.
 func (rs *RouterSession) reconnect() error {
+	err, attempted := rs.reconnectPass(true)
+	if !attempted {
+		// Every node was breaker-skipped without an attempt: fail open
+		// and try them all.
+		err, _ = rs.reconnectPass(false)
+	}
+	return err
+}
+
+// reconnectPass is one failover sweep. respectBreakers skips
+// breaker-open nodes; attempted=false (always with err=nil) means every
+// node was skipped.
+func (rs *RouterSession) reconnectPass(respectBreakers bool) (err error, attempted bool) {
 	var lastErr error
 	for try := 0; try < len(rs.nodes); try++ {
 		idx := (rs.nodeIdx + try) % len(rs.nodes)
 		node := rs.nodes[idx]
+		if respectBreakers && !rs.r.nodeAvailable(node) {
+			continue
+		}
+		attempted = true
 		c, err := DialConfig(node, rs.r.cfg.Client)
 		if err != nil {
 			lastErr = err
+			rs.r.nodeFailed(node)
 			rs.r.bump(node, func(ns *NodeStats) { ns.Retries++ })
 			continue
 		}
@@ -225,11 +401,13 @@ func (rs *RouterSession) reconnect() error {
 			c.Close()
 			lastErr = err
 			if !recoverable(err) {
-				return err
+				return err, true
 			}
+			rs.r.nodeFailed(node)
 			rs.r.bump(node, func(ns *NodeStats) { ns.Retries++ })
 			continue
 		}
+		rs.r.nodeOK(node)
 		if idx != rs.nodeIdx {
 			rs.r.bump(node, func(ns *NodeStats) { ns.Failovers++ })
 			if rs.placed {
@@ -247,9 +425,9 @@ func (rs *RouterSession) reconnect() error {
 			rs.nodeIdx = idx
 		}
 		rs.c, rs.sess = c, sess
-		return nil
+		return nil, true
 	}
-	return lastErr
+	return lastErr, attempted
 }
 
 func (rs *RouterSession) openOn(c *Client, idx int) (*ClientSession, error) {
@@ -263,15 +441,26 @@ func (rs *RouterSession) openOn(c *Client, idx int) (*ClientSession, error) {
 	return c.OpenSession(rs.req)
 }
 
-// establish runs reconnect under the retry policy: capped exponential
-// backoff between attempts, fatal errors surfacing immediately.
+// sleepBackoff sleeps a jittered backoff (uniform over [d/2, 3d/2),
+// from the session's seeded stream) so many sessions recovering from
+// the same fault spread out instead of stampeding in lockstep.
+func (rs *RouterSession) sleepBackoff(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d/2 + time.Duration(rs.rng.Uint64()%uint64(d)))
+}
+
+// establish runs reconnect under the retry policy: jittered capped
+// exponential backoff between attempts, fatal errors surfacing
+// immediately.
 func (rs *RouterSession) establish() error {
 	cfg := rs.r.cfg
 	backoff := cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			rs.sleepBackoff(backoff)
 			backoff *= 2
 			if backoff > maxRetryBackoff {
 				backoff = maxRetryBackoff
@@ -318,22 +507,30 @@ func (rs *RouterSession) sync(local *sim.Result, pos *uint64) error {
 // recoverAndSync is the full client-side recovery path: drop the broken
 // connection, re-establish (same node, else failover), and resync the
 // replay cursor — all under the retry policy.
-func (rs *RouterSession) recoverAndSync(local *sim.Result, pos *uint64) error {
+//
+// cause, the error that triggered the recovery, counts as a health
+// strike against the hosting node's circuit breaker: a node whose
+// connections keep dying mid-stream gets routed around like one that
+// refuses dials. Overload (BusyError) is exempt — a shedding node is
+// protecting itself, and opening its breaker would amplify load
+// shedding into unavailability.
+func (rs *RouterSession) recoverAndSync(cause error, local *sim.Result, pos *uint64) error {
+	var be *BusyError
+	if cause != nil && !errors.As(cause, &be) {
+		rs.r.nodeFailed(rs.Node())
+	}
 	cfg := rs.r.cfg
 	backoff := cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			rs.sleepBackoff(backoff)
 			backoff *= 2
 			if backoff > maxRetryBackoff {
 				backoff = maxRetryBackoff
 			}
 		}
-		if rs.c != nil {
-			rs.c.Close()
-			rs.c, rs.sess = nil, nil
-		}
+		rs.dropConn()
 		if err := rs.reconnect(); err != nil {
 			lastErr = err
 			if !recoverable(err) {
@@ -348,6 +545,7 @@ func (rs *RouterSession) recoverAndSync(local *sim.Result, pos *uint64) error {
 			}
 			continue
 		}
+		rs.r.bump(rs.Node(), func(ns *NodeStats) { ns.Recoveries++ })
 		return nil
 	}
 	return fmt.Errorf("serve: session %q unrecoverable after %d attempts: %w",
@@ -378,7 +576,7 @@ func (rs *RouterSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat
 			if !recoverable(err) {
 				return sim.Result{}, err
 			}
-			if err := rs.recoverAndSync(&local, &pos); err != nil {
+			if err := rs.recoverAndSync(err, &local, &pos); err != nil {
 				return sim.Result{}, err
 			}
 		}
@@ -446,7 +644,7 @@ func (rs *RouterSession) replayFrom(rd trace.Reader, local *sim.Result, pos *uin
 			if !recoverable(err) {
 				return sim.Result{}, false, drained, err
 			}
-			if err := rs.recoverAndSync(local, pos); err != nil {
+			if err := rs.recoverAndSync(err, local, pos); err != nil {
 				return sim.Result{}, false, drained, err
 			}
 			return sim.Result{}, false, drained, nil
@@ -482,13 +680,12 @@ func (rs *RouterSession) replayFrom(rd trace.Reader, local *sim.Result, pos *uin
 		if !recoverable(err) {
 			return sim.Result{}, false, drained, err
 		}
-		if err := rs.recoverAndSync(local, pos); err != nil {
+		if err := rs.recoverAndSync(err, local, pos); err != nil {
 			return sim.Result{}, false, drained, err
 		}
 		return sim.Result{}, false, drained, nil
 	}
-	rs.c.Close()
-	rs.c, rs.sess = nil, nil
+	rs.dropConn()
 	rs.r.bump(rs.Node(), func(ns *NodeStats) {
 		if ns.Sessions > 0 {
 			ns.Sessions--
@@ -502,6 +699,7 @@ func (rs *RouterSession) replayFrom(rd trace.Reader, local *sim.Result, pos *uin
 // the server (Replay retires it on success). Safe to call after Replay.
 func (rs *RouterSession) Close() error {
 	if rs.c != nil {
+		rs.harvestBusy()
 		err := rs.c.Close()
 		rs.c, rs.sess = nil, nil
 		return err

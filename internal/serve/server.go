@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +40,19 @@ type Config struct {
 	// DefaultCheckpointInterval, negative disables the loop (checkpoints
 	// are still written at eviction and shutdown).
 	CheckpointInterval time.Duration
+	// FrameTimeout bounds how long a peer may dawdle mid-frame: the
+	// deadline arms when a frame's first header byte arrives and clears
+	// when the frame is complete, so idle connections are unaffected but
+	// a stalled or trickling peer is evicted as a slow reader. 0 selects
+	// DefaultFrameTimeout, negative disables.
+	FrameTimeout time.Duration
+	// WriteTimeout bounds each response write/flush against a peer that
+	// stopped draining its socket — the per-connection half of overload
+	// control (a pipelining connection cannot park a handler forever).
+	// 0 selects DefaultWriteTimeout, negative disables. Eviction closes
+	// the connection only; keyed sessions survive and fold their tallies
+	// exactly once through the usual retire/checkpoint path.
+	WriteTimeout time.Duration
 }
 
 // DefaultIdleTimeout is the idle-session eviction horizon when none is
@@ -48,12 +63,25 @@ const DefaultIdleTimeout = 5 * time.Minute
 // configured.
 const DefaultCheckpointInterval = 10 * time.Second
 
+// DefaultFrameTimeout is the mid-frame slow-reader deadline when none is
+// configured.
+const DefaultFrameTimeout = 30 * time.Second
+
+// DefaultWriteTimeout is the per-flush slow-writer deadline when none is
+// configured.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Server runs the wire protocol over TCP: one goroutine per connection,
 // many sessions per server (a connection may open several, and a session
 // id remains addressable from any connection until closed or evicted).
 type Server struct {
 	cfg Config
 	eng *Engine
+
+	// Robustness counters (atomic: bumped on connection teardown paths,
+	// read by scrapes).
+	slowEvicted   atomic.Uint64
+	corruptFrames atomic.Uint64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -74,6 +102,12 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.CheckpointInterval == 0 {
 		cfg.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if cfg.FrameTimeout == 0 {
+		cfg.FrameTimeout = DefaultFrameTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
 	}
 	return &Server{
 		cfg:      cfg,
@@ -324,6 +358,10 @@ func (s *Server) writeMetrics(w http.ResponseWriter) {
 		fmt.Fprintf(w, "tage_serve_backend_predictions_total{backend=%q} %d\n", bc.Label, bc.Total.Preds)
 		fmt.Fprintf(w, "tage_serve_backend_mispredictions_total{backend=%q} %d\n", bc.Label, bc.Total.Misps)
 	}
+	fmt.Fprintf(w, "tage_serve_shed_total %d\n", snap.ShedBatches)
+	fmt.Fprintf(w, "tage_serve_inflight_batches %d\n", snap.InflightBatches)
+	fmt.Fprintf(w, "tage_serve_slow_peer_evictions_total %d\n", s.slowEvicted.Load())
+	fmt.Fprintf(w, "tage_serve_corrupt_frames_total %d\n", s.corruptFrames.Load())
 	fmt.Fprintf(w, "tage_serve_checkpoints_written_total %d\n", snap.CheckpointsWritten)
 	fmt.Fprintf(w, "tage_serve_checkpoint_bytes_total %d\n", snap.CheckpointBytes)
 	fmt.Fprintf(w, "tage_serve_checkpoint_restores_total %d\n", snap.CheckpointRestores)
@@ -346,6 +384,30 @@ type connState struct {
 	out     []byte         // response write buffer
 	records []trace.Branch // decoded batch
 	grades  []byte         // encoded responses
+	holding bool           // an admission slot is held until the response ships
+}
+
+// release frees the connection's held admission slot, if any.
+func (s *Server) release(st *connState) {
+	if st.holding {
+		s.eng.ReleaseBatch()
+		st.holding = false
+	}
+}
+
+// armWrite arms the slow-writer deadline before a response write or
+// flush; writeFailed classifies the resulting error (deadline → slow-peer
+// eviction).
+func (s *Server) armWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+func (s *Server) writeFailed(err error) {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		s.slowEvicted.Add(1)
+	}
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -363,17 +425,41 @@ func (s *Server) handleConn(conn net.Conn) {
 		records: make([]trace.Branch, 0, 1024),
 		grades:  make([]byte, 0, 1024),
 	}
+	// The slow-reader deadline arms once a frame has started (first
+	// header byte read) and clears when it completes: a connection may
+	// idle between frames indefinitely (the session sweeper governs
+	// that), but mid-frame progress is owed within FrameTimeout.
+	var armRead func()
+	if s.cfg.FrameTimeout > 0 {
+		armRead = func() { conn.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout)) }
+	}
 	for {
-		typ, payload, frame, err := ReadFrame(br, st.frame)
+		typ, payload, frame, err := readFrame(br, st.frame, armRead)
 		st.frame = frame
+		if armRead != nil {
+			conn.SetReadDeadline(time.Time{})
+		}
 		if err != nil {
-			// Clean EOF between frames is a client hanging up; anything
-			// else is a framing error the stream cannot recover from —
-			// report it if the socket still accepts writes, then drop.
+			// Clean EOF between frames is a client hanging up; a stalled
+			// peer is evicted and counted; a corrupt frame is answered
+			// with ErrCodeCorrupt (the stream is unrecoverable — nothing
+			// after the mangled bytes can be trusted); any other framing
+			// error is reported if the socket still accepts writes. All
+			// of them drop the connection, never the sessions.
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.slowEvicted.Add(1)
+				return
+			}
 			if !errors.Is(err, ErrProtocol) {
 				return
 			}
-			st.out = AppendError(st.out[:0], ErrCodeMalformed, err.Error())
+			code := ErrCodeMalformed
+			if errors.Is(err, ErrCorrupt) {
+				s.corruptFrames.Add(1)
+				code = ErrCodeCorrupt
+			}
+			st.out = AppendError(st.out[:0], code, err.Error())
+			s.armWrite(conn)
 			bw.Write(st.out)
 			bw.Flush()
 			return
@@ -381,17 +467,27 @@ func (s *Server) handleConn(conn net.Conn) {
 		st.out = st.out[:0]
 		fatal := s.handleFrame(st, typ, payload)
 		if len(st.out) > 0 {
+			s.armWrite(conn)
 			if _, err := bw.Write(st.out); err != nil {
+				s.release(st)
+				s.writeFailed(err)
 				return
 			}
 		}
 		// Coalesce responses to pipelined requests: flush only when no
 		// further request is already buffered.
 		if br.Buffered() == 0 {
+			s.armWrite(conn)
 			if err := bw.Flush(); err != nil {
+				s.release(st)
+				s.writeFailed(err)
 				return
 			}
 		}
+		// The batch's admission slot is freed only now: the response has
+		// shipped (or at least left st.out), so MaxInflight bounds batches
+		// in flight end to end, response delivery included.
+		s.release(st)
 		if fatal {
 			bw.Flush()
 			return
@@ -427,6 +523,19 @@ func (s *Server) handleFrame(st *connState, typ byte, payload []byte) (fatal boo
 		}
 		sess, ok := s.eng.Lookup(id)
 		if ok {
+			// Admission control sits after the session lookup (an unknown
+			// session is that error regardless of load) and brackets the
+			// batch from serve through response delivery — handleConn
+			// releases the slot once the predictions are written and
+			// flushed, so a batch whose response is still draining toward
+			// a slow peer keeps counting against MaxInflight. A shed batch
+			// was not applied: the client retries the same bytes after
+			// backing off.
+			if !s.eng.AcquireBatch() {
+				st.out = AppendBusy(st.out, id, 0)
+				return false
+			}
+			st.holding = true
 			st.grades, ok = sess.Serve(records, st.grades, now)
 		}
 		if !ok {

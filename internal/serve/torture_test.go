@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// memConn is a deterministic in-memory net.Conn: reads drain a fixed
+// byte pattern, writes are discarded. It gives faultnet determinism
+// tests an underlying transport with no scheduling noise of its own.
+type memConn struct {
+	pos    int
+	closed bool
+}
+
+func (m *memConn) Read(p []byte) (int, error) {
+	if m.closed {
+		return 0, io.EOF
+	}
+	for i := range p {
+		p[i] = byte(m.pos + i)
+	}
+	m.pos += len(p)
+	return len(p), nil
+}
+
+func (m *memConn) Write(p []byte) (int, error) {
+	if m.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return len(p), nil
+}
+
+func (m *memConn) Close() error                       { m.closed = true; return nil }
+func (m *memConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (m *memConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (m *memConn) SetDeadline(time.Time) error        { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error    { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error   { return nil }
+
+// faultTrace runs a fixed read/write schedule through a wrapped conn
+// and records every outcome — the replayable fingerprint of the fault
+// stream.
+func faultTrace(cfg faultnet.Config, id uint64) string {
+	c := faultnet.Wrap(&memConn{}, cfg, id, nil)
+	var sb bytes.Buffer
+	buf := make([]byte, 48)
+	for op := 0; op < 200; op++ {
+		var n int
+		var err error
+		if op%3 == 2 {
+			n, err = c.Write(buf[:32])
+			fmt.Fprintf(&sb, "w%d/%v;", n, err)
+		} else {
+			n, err = c.Read(buf)
+			fmt.Fprintf(&sb, "r%d/%v/%x;", n, err, buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// TestFaultnetDeterminism pins the property the chaos soak leans on: a
+// fault schedule is a pure function of (seed, connection id). The same
+// pair replays the same faults at the same operations; a different id
+// draws a decorrelated stream.
+func TestFaultnetDeterminism(t *testing.T) {
+	cfg := faultnet.Config{
+		Seed:        42,
+		CorruptRate: 0.2,
+		DropRate:    0.05,
+		ResetRate:   0.05,
+		ShortReads:  true,
+		ChunkWrites: true,
+	}
+	a, b := faultTrace(cfg, 3), faultTrace(cfg, 3)
+	if a != b {
+		t.Fatalf("same (seed, id) diverged:\n%s\nvs\n%s", a, b)
+	}
+	if c := faultTrace(cfg, 4); c == a {
+		t.Fatal("distinct connection ids drew identical fault streams")
+	}
+	other := cfg
+	other.Seed = 43
+	if c := faultTrace(other, 3); c == a {
+		t.Fatal("distinct seeds drew identical fault streams")
+	}
+}
+
+// tortureFrames builds one valid frame of every type.
+func tortureFrames(t *testing.T) [][]byte {
+	t.Helper()
+	res := sim.Result{FinalProbability: 0.0078125}
+	for i := range res.Class {
+		res.Class[i].Preds = uint64(i) * 10
+		res.Class[i].Misps = uint64(i)
+		res.Total.Add(res.Class[i])
+	}
+	res.Branches = res.Total.Preds
+	var grades []byte
+	for _, cl := range core.Classes() {
+		grades = append(grades, EncodeGrade(true, cl, cl.Level()))
+	}
+	return [][]byte{
+		AppendOpen(nil, OpenRequest{Spec: "tage-16K?mkp=4&mode=adaptive", Key: "torture/1"}),
+		AppendOpened(nil, 7, "64Kbits", 123456),
+		AppendBatch(nil, 7, sampleBranches(100, 5)),
+		AppendPredictions(nil, 7, grades),
+		AppendClose(nil, 7),
+		AppendStats(nil, 7, res),
+		AppendError(nil, ErrCodeMalformed, "bad"),
+		AppendSnapGet(nil, 7),
+		AppendSnap(nil, 7, []byte("not a real snapshot blob")),
+		AppendOpenSnap(nil, []byte("also not a real snapshot blob")),
+		AppendBusy(nil, 7, 25),
+	}
+}
+
+// TestWireTortureFragmentation streams every frame type through a
+// faultnet transport that fragments pathologically in both directions —
+// chunked writes on the sender, short reads on the receiver — and
+// requires every frame to arrive intact. Framing must never depend on
+// read/write boundaries.
+func TestWireTortureFragmentation(t *testing.T) {
+	frames := tortureFrames(t)
+	cw, sr := net.Pipe()
+	writer := faultnet.Wrap(cw, faultnet.Config{Seed: 7, ChunkWrites: true}, 0, nil)
+	reader := faultnet.Wrap(sr, faultnet.Config{Seed: 11, ShortReads: true}, 1, nil)
+	go func() {
+		for _, f := range frames {
+			if _, err := writer.Write(f); err != nil {
+				return
+			}
+		}
+		writer.Close()
+	}()
+	br := bufio.NewReader(reader)
+	var buf []byte
+	for i, f := range frames {
+		typ, payload, b, err := ReadFrame(br, buf)
+		buf = b
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != f[4] {
+			t.Fatalf("frame %d: type %#02x, want %#02x", i, typ, f[4])
+		}
+		if want := f[5 : len(f)-4]; !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload %x, want %x", i, payload, want)
+		}
+	}
+	if _, _, _, err := ReadFrame(br, buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestWireTortureBitFlips is the corruption acceptance pin: for every
+// frame type, every single-bit flip anywhere in the frame must surface
+// as an error — a flip that preserves the length prefix must be caught
+// by the CRC as ErrCorrupt specifically. CRC-32 detects all single-bit
+// errors, so there is no flip the reader may silently accept.
+func TestWireTortureBitFlips(t *testing.T) {
+	for _, frame := range tortureFrames(t) {
+		for byteIdx := range frame {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), frame...)
+				mut[byteIdx] ^= 1 << bit
+				br := bufio.NewReader(bytes.NewReader(mut))
+				_, _, _, err := ReadFrame(br, nil)
+				if err == nil {
+					t.Fatalf("type %#02x: flip of byte %d bit %d accepted", frame[4], byteIdx, bit)
+				}
+				if byteIdx >= 4 && !errors.Is(err, ErrCorrupt) {
+					// Length prefix intact: the frame body arrives whole and
+					// only the checksum can (and must) convict it.
+					t.Fatalf("type %#02x: flip of byte %d bit %d: err = %v, want ErrCorrupt", frame[4], byteIdx, bit, err)
+				}
+				if !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrIO) {
+					t.Fatalf("type %#02x: flip of byte %d bit %d: unclassified err %v", frame[4], byteIdx, bit, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineAdmission pins the admission-control contract: a full
+// server sheds rather than queues, sheds are counted, and release
+// restores capacity.
+func TestEngineAdmission(t *testing.T) {
+	eng := NewEngine(EngineConfig{MaxInflight: 2})
+	if !eng.AcquireBatch() || !eng.AcquireBatch() {
+		t.Fatal("admission rejected batches under the limit")
+	}
+	if eng.AcquireBatch() {
+		t.Fatal("admission exceeded MaxInflight")
+	}
+	if got := eng.Snapshot().ShedBatches; got != 1 {
+		t.Fatalf("ShedBatches = %d, want 1", got)
+	}
+	eng.ReleaseBatch()
+	if !eng.AcquireBatch() {
+		t.Fatal("released capacity not reusable")
+	}
+	eng.ReleaseBatch()
+	eng.ReleaseBatch()
+
+	// Negative limit admits nothing — the drain-for-tests configuration.
+	closed := NewEngine(EngineConfig{MaxInflight: -1})
+	if closed.AcquireBatch() {
+		t.Fatal("negative MaxInflight admitted a batch")
+	}
+	// Zero is unlimited and keeps no inflight tally.
+	open := NewEngine(EngineConfig{})
+	for i := 0; i < 100; i++ {
+		if !open.AcquireBatch() {
+			t.Fatal("unlimited engine shed a batch")
+		}
+	}
+	if snap := open.Snapshot(); snap.ShedBatches != 0 || snap.InflightBatches != 0 {
+		t.Fatalf("unlimited engine tallied %+v", snap)
+	}
+}
+
+// TestClientBusyRetry drives a client against a scripted server that
+// sheds a few times before serving: the retry loop must absorb the
+// sheds (honoring the server's retry-after hint), count them, and stop
+// burning budget the moment the server accepts.
+func TestClientBusyRetry(t *testing.T) {
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	const sheds = 3
+	go func() {
+		defer sc.Close()
+		br := bufio.NewReader(sc)
+		var out []byte
+		// Open.
+		if _, _, _, err := ReadFrame(br, nil); err != nil {
+			return
+		}
+		out = AppendOpened(out[:0], 9, "16K", 0)
+		sc.Write(out)
+		// Shed the first batches, then serve.
+		for i := 0; ; i++ {
+			_, payload, _, err := ReadFrame(br, nil)
+			if err != nil {
+				return
+			}
+			if i < sheds {
+				out = AppendBusy(out[:0], 9, 1)
+				sc.Write(out)
+				continue
+			}
+			_, records, err := DecodeBatch(payload, nil)
+			if err != nil {
+				return
+			}
+			cls := core.Classes()[0]
+			grades := make([]byte, len(records))
+			for j := range grades {
+				grades[j] = EncodeGrade(true, cls, cls.Level())
+			}
+			out = AppendPredictions(out[:0], 9, grades)
+			sc.Write(out)
+			return
+		}
+	}()
+	c := NewClient(cc)
+	c.cfg = ClientConfig{BusyRetries: 8, BusyBackoff: time.Millisecond, Seed: 1}
+	sess, err := c.OpenSpec("tage-16K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grades, err := sess.Predict(sampleBranches(4, 1))
+	if err != nil {
+		t.Fatalf("Predict after %d sheds: %v", sheds, err)
+	}
+	if len(grades) != 4 {
+		t.Fatalf("%d grades, want 4", len(grades))
+	}
+	if got := c.BusyRetries(); got != sheds {
+		t.Fatalf("BusyRetries = %d, want %d", got, sheds)
+	}
+}
+
+// TestClientBusyBudgetExhausted pins the give-up leg: a server that
+// never stops shedding must surface *BusyError (retryable) to the
+// caller once the internal budget is spent — not loop forever.
+func TestClientBusyBudgetExhausted(t *testing.T) {
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	go func() {
+		defer sc.Close()
+		br := bufio.NewReader(sc)
+		var out []byte
+		if _, _, _, err := ReadFrame(br, nil); err != nil {
+			return
+		}
+		out = AppendOpened(out[:0], 9, "16K", 0)
+		sc.Write(out)
+		for {
+			if _, _, _, err := ReadFrame(br, nil); err != nil {
+				return
+			}
+			out = AppendBusy(out[:0], 9, 0)
+			sc.Write(out)
+		}
+	}()
+	c := NewClient(cc)
+	c.cfg = ClientConfig{BusyRetries: 2, BusyBackoff: time.Microsecond, Seed: 1}
+	sess, err := c.OpenSpec("tage-16K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Predict(sampleBranches(4, 1))
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BusyError", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("exhausted busy budget must stay caller-retryable")
+	}
+	if got := c.BusyRetries(); got != 2 {
+		t.Fatalf("BusyRetries = %d, want the budget of 2", got)
+	}
+}
+
+// TestServerShedsUnderOverload saturates a MaxInflight=0-equivalent
+// choke point: with admission closed (negative limit) every batch must
+// come back FrameBusy without moving the session cursor, and reopening
+// admission lets the same batch through.
+func TestServerShedsUnderOverload(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{MaxInflight: -1}})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.cfg.BusyRetries = -1 // surface the first shed, no internal retry
+	sess, err := c.OpenSpec("tage-16K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Predict(sampleBranches(8, 3))
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BusyError", err)
+	}
+	if be.Session != sess.ID() {
+		t.Fatalf("busy for session %d, want %d", be.Session, sess.ID())
+	}
+	snap := srv.Engine().Snapshot()
+	if snap.ShedBatches == 0 {
+		t.Fatal("server shed nothing")
+	}
+	if snap.Branches != 0 {
+		t.Fatalf("shed batch moved the cursor: %d branches served", snap.Branches)
+	}
+}
+
+// TestServerEvictsSlowReader pins the mid-frame deadline: a peer that
+// sends half a frame and stalls is evicted (connection closed, eviction
+// counted) instead of parking a server goroutine forever. An idle
+// connection with no partial frame in flight survives the same window.
+func TestServerEvictsSlowReader(t *testing.T) {
+	srv := startServer(t, Config{FrameTimeout: 50 * time.Millisecond})
+	// Idle conn: no bytes at all — must NOT be evicted by FrameTimeout.
+	idle, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	// Slow conn: half a frame, then silence.
+	slow, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	frame := AppendClose(nil, 1)
+	if _, err := slow.Write(frame[:len(frame)-2]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must hang up on the slow conn: the next read returns EOF
+	// (or a reset) within a few deadline windows.
+	slow.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := slow.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("slow peer not evicted: read err = %v", err)
+	}
+	if got := srv.slowEvicted.Load(); got != 1 {
+		t.Fatalf("slowEvicted = %d, want 1", got)
+	}
+	// The idle conn is still serviceable.
+	ic := NewClient(idle)
+	if _, err := ic.OpenSpec("tage-16K"); err != nil {
+		t.Fatalf("idle connection died with the slow one: %v", err)
+	}
+}
+
+// TestChaosEndToEnd is the in-process twin of scripts/chaos_soak.sh: a
+// real server behind a fault-injecting listener (corruption, drops,
+// resets on every server-side conn), routed sessions replaying real
+// workloads — and the tallies must still match an offline sim.Run bit
+// for bit, because every fault either resyncs from the authoritative
+// cursor or retries a batch the server never applied.
+func TestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	srv := NewServer(Config{
+		Engine:       EngineConfig{MaxInflight: 8},
+		FrameTimeout: 2 * time.Second,
+	})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := faultnet.Config{
+		Seed:        1337,
+		CorruptRate: 0.002,
+		DropRate:    0.002,
+		ResetRate:   0.002,
+	}
+	ln := faultnet.WrapListener(raw, fcfg, nil)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned: %v", err)
+		}
+	})
+	for deadline := time.Now().Add(5 * time.Second); srv.Addr() == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("server never published its address")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	r, err := NewRouter(RouterConfig{
+		Nodes:            []string{srv.Addr().String()},
+		MaxRetries:       100,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Millisecond,
+		Seed:             1337,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []struct {
+		trace string
+		spec  string
+	}{
+		{"INT-1", "tage-16K?mode=probabilistic"},
+		{"MM-1", "gshare-64K"},
+	}
+	const (
+		limit     = 150_000
+		batchSize = 256
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, sc := range specs {
+		wg.Add(1)
+		go func(i int, traceName, spec string) {
+			defer wg.Done()
+			tr, err := workload.ByName(traceName)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rs, err := r.Open(fmt.Sprintf("chaos/%s", traceName), OpenRequest{Spec: spec})
+			if err != nil {
+				errs[i] = fmt.Errorf("open %s: %w", traceName, err)
+				return
+			}
+			res, err := rs.Replay(tr, limit, batchSize, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("replay %s: %w", traceName, err)
+				return
+			}
+			sp, err := predictor.Parse(spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			offline, err := sim.RunSpec(sp, tr, limit)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			offline.Mode = res.Mode
+			if res != offline {
+				errs[i] = fmt.Errorf("%s: chaos replay %+v != offline %+v", traceName, res, offline)
+			}
+		}(i, sc.trace, sc.spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total := ln.Stats().Total(); total == 0 {
+		t.Fatal("fault injector injected nothing — the soak proved nothing")
+	} else {
+		t.Logf("survived %d injected faults (%s)", total, ln.Stats())
+	}
+	var recovered uint64
+	for _, ns := range r.Stats() {
+		recovered += ns.Retries + ns.Recoveries
+	}
+	if recovered == 0 {
+		t.Fatal("router roll-up recorded no retries or recoveries despite injected faults")
+	}
+}

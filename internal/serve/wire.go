@@ -6,21 +6,40 @@
 //
 // The protocol is request/response over one TCP connection:
 //
-//	frame  := length uint32 LE | type byte | payload
+//	frame  := length uint32 LE | type byte | payload | crc uint32 LE
 //
-// where length counts the type byte plus the payload. A client opens a
-// session (FrameOpen → FrameOpened), streams branch batches
-// (FrameBatch → FramePredictions) — the batch payload reuses the TBT1
-// per-record varint codec of internal/trace — and closes the session
-// (FrameClose → FrameStats), receiving the server's per-class tallies,
-// which are bit-identical to an offline sim.Run over the same stream.
-// Protocol violations answer with FrameError.
+// where length counts the type byte, the payload and the 4-byte CRC
+// trailer. The trailer is CRC-32C (Castagnoli) over type byte + payload:
+// CRC32 detects every single-bit and every sub-32-bit burst error, so a
+// corrupted-in-flight frame is always rejected (ErrCorrupt, a protocol
+// error) instead of silently decoding into wrong-but-valid varints. A
+// client opens a session (FrameOpen → FrameOpened), streams branch
+// batches (FrameBatch → FramePredictions) — the batch payload reuses the
+// TBT1 per-record varint codec of internal/trace — and closes the
+// session (FrameClose → FrameStats), receiving the server's per-class
+// tallies, which are bit-identical to an offline sim.Run over the same
+// stream. Protocol violations answer with FrameError.
 //
 // Batching and backpressure are structural: a connection handler decodes
 // and serves one frame at a time, responses to pipelined requests are
 // coalesced into one write, and a client that stops reading eventually
 // blocks the handler's write — the TCP window is the queue, so a slow
 // consumer cannot make the server buffer unboundedly.
+//
+// # Overload and misbehaving peers
+//
+// On top of the structural backpressure the server sheds load
+// explicitly: when the engine's global inflight-batch budget
+// (EngineConfig.MaxInflight) is exhausted, FrameBatch answers with
+// FrameBusy instead of serving — a retryable rejection the client backs
+// off from with seeded jitter (ClientConfig.BusyRetries) — and a
+// per-connection cap on buffered responses bounds what one pipelining
+// connection can queue. Slow or stalled peers are evicted by deadline:
+// Config.FrameTimeout bounds how long a peer may dawdle mid-frame once
+// its first header byte arrives, Config.WriteTimeout bounds a flush
+// against a reader that stopped draining. Eviction closes the
+// connection only — keyed sessions survive and fold their tallies
+// exactly once through the usual retire/checkpoint path.
 //
 // # Durability
 //
@@ -50,6 +69,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -121,6 +141,13 @@ const (
 	// wins and the blob is ignored.
 	//repro:frame request
 	FrameOpenSnap byte = 0x0B
+	// FrameBusy rejects a FrameBatch under overload: session id uvarint,
+	// retry-after hint in milliseconds uvarint (0 = client's choice). The
+	// batch was NOT applied — the session cursor did not move — so the
+	// client must retry the same batch after backing off; the connection
+	// stays usable.
+	//repro:frame response
+	FrameBusy byte = 0x0C
 )
 
 // Protocol limits. Frames above MaxFrame or batches above MaxBatch are
@@ -142,11 +169,21 @@ const (
 	ErrCodeSessionLimit   uint64 = 3 // max-sessions cap reached
 	ErrCodeBadConfig      uint64 = 4 // unknown predictor config/options
 	ErrCodeSnapshot       uint64 = 5 // unusable snapshot blob or state
+	ErrCodeCorrupt        uint64 = 6 // frame failed its CRC — bytes mangled in flight
 )
 
 // ErrProtocol reports a malformed frame or payload: the stream's contents
 // violate the protocol, so retrying the same bytes cannot succeed.
 var ErrProtocol = fmt.Errorf("serve: protocol error")
+
+// ErrCorrupt reports a frame whose CRC trailer does not match its
+// contents: the bytes were mangled in flight. It wraps ErrProtocol —
+// fatal for the connection, and NOT blindly retryable (a corrupt
+// *response* means the server may already have applied the request;
+// resending would double-apply). The Router recovers from it anyway,
+// because its resync path re-reads the server's authoritative cursor
+// instead of retrying bytes.
+var ErrCorrupt = fmt.Errorf("%w: frame checksum mismatch", ErrProtocol)
 
 // ErrIO reports a transport-level failure (truncated read mid-frame, a
 // reset connection). Unlike ErrProtocol it says nothing about the peer's
@@ -163,6 +200,25 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("serve: remote error %d: %s", e.Code, e.Message)
 }
 
+// BusyError is a server load-shed rejection (FrameBusy): the batch was
+// not applied and should be retried after backing off. IsRetryable
+// reports true for it; Client.Predict retries it internally up to its
+// busy-retry budget.
+type BusyError struct {
+	// Session is the session id the rejection names.
+	Session uint64
+	// RetryAfterMillis is the server's backoff hint (0 = client's choice).
+	RetryAfterMillis uint64
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: server busy (session %d, retry-after %dms)", e.Session, e.RetryAfterMillis)
+}
+
+// crcTable is the Castagnoli polynomial table for the frame CRC trailer
+// (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // BeginFrame appends a frame header (length placeholder + type byte) for
 // an in-construction frame and returns the extended buffer. The caller
 // appends the payload and finishes with EndFrame(dst, start) where start
@@ -172,10 +228,13 @@ func BeginFrame(dst []byte, typ byte) []byte {
 	return append(dst, 0, 0, 0, 0, typ)
 }
 
-// EndFrame patches the length prefix of the frame whose header was
-// appended at start.
+// EndFrame seals the frame whose header was appended at start: it
+// appends the CRC-32C trailer over type byte + payload and patches the
+// length prefix (which counts type + payload + trailer).
 //repro:hotpath
 func EndFrame(dst []byte, start int) []byte {
+	sum := crc32.Checksum(dst[start+4:], crcTable)
+	dst = binary.LittleEndian.AppendUint32(dst, sum)
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
 	return dst
 }
@@ -184,20 +243,36 @@ func EndFrame(dst []byte, start int) []byte {
 // the type, the payload (a sub-slice of the returned buffer, valid until
 // the next ReadFrame with the same buffer) and the possibly-grown buffer.
 // io.EOF is returned unwrapped when the stream ends cleanly between
-// frames.
+// frames. The length prefix is bounds-checked (5..MaxFrame — a frame is
+// at least type byte + CRC trailer) BEFORE the payload buffer is sized,
+// so a corrupt or hostile prefix cannot force a huge allocation, and the
+// CRC trailer is verified before any payload byte is interpreted
+// (ErrCorrupt on mismatch).
 func ReadFrame(br *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, err error) {
+	return readFrame(br, buf, nil)
+}
+
+// readFrame is ReadFrame plus an optional hook invoked after the first
+// header byte arrives. The server uses the hook to arm its mid-frame
+// read deadline: a peer may idle indefinitely *between* frames, but once
+// it has started one it must finish within Config.FrameTimeout or be
+// evicted as a slow reader.
+func readFrame(br *bufio.Reader, buf []byte, started func()) (typ byte, payload, bufOut []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
 		if err == io.EOF {
 			return 0, nil, buf, io.EOF
 		}
-		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrIO, err)
+		return 0, nil, buf, fmt.Errorf("%w: header: %w", ErrIO, err)
+	}
+	if started != nil {
+		started()
 	}
 	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
-		return 0, nil, buf, fmt.Errorf("%w: header: %v", ErrIO, err)
+		return 0, nil, buf, fmt.Errorf("%w: header: %w", ErrIO, err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[:])
-	if length == 0 || length > MaxFrame {
+	if length < 5 || length > MaxFrame {
 		return 0, nil, buf, fmt.Errorf("%w: frame length %d", ErrProtocol, length)
 	}
 	n := int(length)
@@ -206,9 +281,13 @@ func ReadFrame(br *bufio.Reader, buf []byte) (typ byte, payload, bufOut []byte, 
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return 0, nil, buf, fmt.Errorf("%w: body: %v", ErrIO, err)
+		return 0, nil, buf, fmt.Errorf("%w: body: %w", ErrIO, err)
 	}
-	return buf[0], buf[1:], buf, nil
+	want := binary.LittleEndian.Uint32(buf[n-4:])
+	if crc32.Checksum(buf[:n-4], crcTable) != want {
+		return 0, nil, buf, ErrCorrupt
+	}
+	return buf[0], buf[1 : n-4], buf, nil
 }
 
 // uvarint decodes one uvarint with bounds checking.
@@ -635,6 +714,31 @@ func DecodeStats(payload []byte) (sessionID uint64, res sim.Result, err error) {
 		return 0, sim.Result{}, fmt.Errorf("%w: stats class sum %d does not match branches %d", ErrProtocol, res.Total.Preds, res.Branches)
 	}
 	return sessionID, res, nil
+}
+
+// AppendBusy appends a complete FrameBusy to dst. retryAfterMillis is
+// the server's backoff hint (0 = client's choice).
+//repro:hotpath
+func AppendBusy(dst []byte, sessionID, retryAfterMillis uint64) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameBusy)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, retryAfterMillis)
+	return EndFrame(dst, start)
+}
+
+// DecodeBusy decodes a FrameBusy payload.
+func DecodeBusy(payload []byte) (*BusyError, error) {
+	id, n, err := uvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("busy session id: %w", err)
+	}
+	payload = payload[n:]
+	millis, n, err := uvarint(payload)
+	if err != nil || n != len(payload) {
+		return nil, fmt.Errorf("%w: busy payload", ErrProtocol)
+	}
+	return &BusyError{Session: id, RetryAfterMillis: millis}, nil
 }
 
 // AppendError appends a complete FrameError to dst.

@@ -225,7 +225,7 @@ func TestDecodeTruncations(t *testing.T) {
 	}
 	res.Branches = res.Total.Preds
 
-	payloadOf := func(frame []byte) []byte { return frame[5:] }
+	payloadOf := func(frame []byte) []byte { return frame[5 : len(frame)-4] }
 	cases := []struct {
 		name    string
 		payload []byte
@@ -271,7 +271,8 @@ func TestDecodeTruncations(t *testing.T) {
 // TestDecodeBatchLimit pins the corrupt-length defenses: a batch whose
 // count field exceeds MaxBatch is rejected without allocating for it.
 func TestDecodeBatchLimit(t *testing.T) {
-	payload := AppendBatch(nil, 1, nil)[5:]
+	full := AppendBatch(nil, 1, nil)
+	payload := full[5 : len(full)-4]
 	// Rewrite count (second uvarint: session id 1 is one byte) to 2^20.
 	big := append(payload[:1:1], 0x80, 0x80, 0x40)
 	if _, _, err := DecodeBatch(big, nil); !errors.Is(err, ErrProtocol) {

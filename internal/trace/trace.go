@@ -301,7 +301,12 @@ func Read(r io.Reader) (*Mem, error) {
 	if count > 1<<32 {
 		return nil, fmt.Errorf("%w: unreasonable record count %d", ErrBadFormat, count)
 	}
-	out := &Mem{TraceName: string(nameBuf), Records: make([]Branch, 0, count)}
+	// The count field is attacker-controlled until the records back it up:
+	// cap the up-front reservation so a hostile header cannot demand gigabytes
+	// before a single record parses. Larger traces grow via append, which
+	// only commits memory the stream has actually delivered.
+	reserve := min(count, 1<<20)
+	out := &Mem{TraceName: string(nameBuf), Records: make([]Branch, 0, reserve)}
 	prevPC := uint64(0)
 	for i := uint64(0); i < count; i++ {
 		delta, err := binary.ReadVarint(br)

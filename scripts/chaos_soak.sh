@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Chaos soak: a stock tageserved behind a deterministic fault-injecting
+# proxy (corruption, drops, resets, stalls past the server's frame
+# timeout), driven by tageload through the failover-aware router with a
+# hair-trigger circuit breaker and tight admission control on the
+# server. The pass must still verify bit-identical to an uninterrupted
+# offline sim.Run, and every hardening layer must actually have fired:
+# load-shed batches, corrupt-frame rejections, slow-peer evictions,
+# router recoveries and breaker transitions. Run from the repository
+# root; binaries are built here if missing. SEED pins the fault
+# schedule — it is printed on failure so any red run replays exactly.
+set -euo pipefail
+
+SEED=${SEED:-1337}
+UPSTREAM=${UPSTREAM:-127.0.0.1:7471}
+PROXY=${PROXY:-127.0.0.1:7472}
+METRICS=${METRICS:-127.0.0.1:7473}
+SRV=
+PRX=
+STATE_DIR=$(mktemp -d)
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL: chaos soak failed with SEED=$SEED (rerun with this seed to replay the fault schedule)" >&2
+  fi
+  if [ -n "$PRX" ]; then kill -9 "$PRX" 2>/dev/null || true; fi
+  if [ -n "$SRV" ]; then kill -9 "$SRV" 2>/dev/null || true; fi
+  rm -rf "$STATE_DIR" chaos_load.txt chaos_metrics.txt
+}
+trap cleanup EXIT
+
+[ -x ./tageserved ] || go build -o tageserved ./cmd/tageserved
+[ -x ./tageload ] || go build -o tageload ./cmd/tageload
+[ -x ./faultproxy ] || go build -o faultproxy ./cmd/faultproxy
+
+# Tight admission (one inflight batch for 8 connections) forces sheds;
+# a 300ms frame timeout with 800ms proxy stalls forces slow-peer
+# evictions; durable keyed sessions let every recovery resync exactly.
+./tageserved -addr "$UPSTREAM" -metrics "$METRICS" \
+  -max-inflight 1 -frame-timeout 300ms \
+  -state-dir "$STATE_DIR" -checkpoint-interval 50ms &
+SRV=$!
+
+./faultproxy -listen "$PROXY" -upstream "$UPSTREAM" -seed "$SEED" \
+  -corrupt 0.001 -drop 0.001 -reset 0.001 -stall 0.002 -stall-for 800ms &
+PRX=$!
+sleep 1
+
+# The hair-trigger breaker (threshold 1, 100ms cooldown) opens on every
+# injected failure and half-open-probes back — with a single node the
+# router's fail-open pass keeps the run alive through open windows.
+./tageload -nodes "$PROXY" -conns 8 -suite cbp1 -batch 512 -branches 300000 \
+  -verify -timeout 2s -seed "$SEED" \
+  -breaker-threshold 1 -breaker-cooldown 100ms > chaos_load.txt
+
+cat chaos_load.txt
+
+# The pass survived the chaos — but only exactly.
+grep -q "bit-identical to offline sim.Run" chaos_load.txt
+
+# Every hardening layer must have fired, or the soak proved nothing.
+curl -fsS "http://$METRICS/metrics" > chaos_metrics.txt
+metric() {
+  awk -v m="$1" '$1 == m {print $2}' chaos_metrics.txt
+}
+for m in tage_serve_shed_total tage_serve_corrupt_frames_total tage_serve_slow_peer_evictions_total; do
+  v=$(metric "$m")
+  if [ "${v:-0}" -le 0 ]; then
+    echo "FAIL: $m = ${v:-missing}, want > 0 (fault schedule never exercised this layer)" >&2
+    exit 1
+  fi
+  echo "$m=$v"
+done
+
+# Router-side: recoveries (mid-stream resyncs), busy retries against the
+# shedding server, and breaker open/close transitions.
+rollup() {
+  awk -v k="$1" '{ for (i = 1; i <= NF; i++) if ($i ~ "^" k "=") { split($i, a, "="); s += a[2] } }
+       END { print s + 0 }' chaos_load.txt
+}
+for k in recoveries busy_retries breaker_opens breaker_closes; do
+  v=$(rollup "$k")
+  if [ "$v" -le 0 ]; then
+    echo "FAIL: cluster roll-up $k=$v, want > 0" >&2
+    exit 1
+  fi
+  echo "rollup $k=$v"
+done
+
+kill -TERM "$SRV"
+wait "$SRV"
+SRV=
+kill -TERM "$PRX"
+wait "$PRX" 2>/dev/null || true
+PRX=
+echo "chaos soak OK (seed $SEED)"
