@@ -8,11 +8,13 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bimodal"
 	"repro/internal/gshare"
 	"repro/internal/jrs"
 	"repro/internal/looppred"
+	"repro/internal/obs"
 	"repro/internal/ogehl"
 	"repro/internal/perceptron"
 	"repro/internal/serve"
@@ -180,8 +182,14 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// MaxInflight is on so the measured loop includes the admission gate:
-	// overload control must not cost the hot path an allocation.
+	// overload control must not cost the hot path an allocation. The
+	// flight recorder and serve-time histogram are on too — the observing
+	// the production handler does per batch rides inside the measured
+	// window, so instrumentation that allocates fails this pin.
 	eng := serve.NewEngine(serve.EngineConfig{MaxInflight: 4})
+	rec := obs.NewFlightRecorder(64)
+	eng.SetEvents(rec)
+	var hist obs.Histogram
 	cs, err := serve.OpenCheckpointStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -210,11 +218,21 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 			t.Fatal("admission gate shed an uncontended batch")
 		}
 		batch[0] = branches[i%len(branches)]
+		serveStart := time.Now()
 		grades, ok = s.Serve(batch, grades, int64(i))
+		served := time.Since(serveStart)
 		eng.ReleaseBatch()
 		if !ok {
 			t.Fatal("session retired")
 		}
+		// Mirror the server's per-batch instrumentation: one histogram
+		// sample and one flight-recorder event per served batch.
+		hist.Observe(served)
+		rec.Record(obs.Event{
+			UnixNano: int64(i), Kind: obs.EvBatch, Conn: 1, Session: id,
+			Key: "alloc/hot-path", Backend: "16K", Frame: 0x03, Batch: 1,
+			ServeNS: served.Nanoseconds(),
+		})
 		out = serve.AppendPredictions(out[:0], id, grades)
 	}
 	for i := 0; i < 10_000; i++ {
@@ -237,6 +255,46 @@ func TestServeHotPathZeroAllocs(t *testing.T) {
 		t.Fatalf("CheckpointDirty wrote %d checkpoints, want 1", n)
 	}
 	measure()
+}
+
+// TestObsHotPathZeroAllocs pins each observability primitive at zero
+// heap allocations per operation in isolation: atomic counter and gauge
+// updates, a histogram observation (bucket index + three atomic adds),
+// and a flight-recorder event (one ring-slot copy under a mutex). These
+// are the operations the serve handler performs per batch, so any of
+// them allocating would put a per-batch allocation on the hot path.
+func TestObsHotPathZeroAllocs(t *testing.T) {
+	var c obs.Counter
+	var g obs.Gauge
+	var h obs.Histogram
+	rec := obs.NewFlightRecorder(64)
+	cases := []struct {
+		name string
+		op   func(i int)
+	}{
+		{"counter", func(i int) { c.Inc(); c.Add(uint64(i)) }},
+		{"gauge", func(i int) { g.Set(int64(i)); g.Add(-1) }},
+		{"histogram", func(i int) { h.ObserveValue(uint64(i) * 977) }},
+		{"flight-recorder", func(i int) {
+			rec.Record(obs.Event{
+				UnixNano: int64(i), Kind: obs.EvBatch, Conn: 7, Session: 42,
+				Key: "alloc/obs", Backend: "64Kbits", Frame: 0x03, Batch: 512,
+				QueueNS: 1000, ServeNS: 2000, FlushNS: 300,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := 0
+			allocs := testing.AllocsPerRun(20_000, func() {
+				tc.op(i)
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: %v allocs per op, want 0", tc.name, allocs)
+			}
+		})
+	}
 }
 
 // TestTraceOpenReuseZeroAllocs asserts that reopening a synthetic

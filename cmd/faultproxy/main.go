@@ -17,7 +17,7 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +42,9 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+
 	if *seed == 0 {
 		*seed = uint64(time.Now().UnixNano())
 	}
@@ -58,19 +61,22 @@ func main() {
 	}
 	p, err := faultnet.NewProxy(*listen, *upstream, cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("faultproxy: listen failed", "err", err)
+		os.Exit(1)
 	}
-	// The seed line is the reproduction handle: a failing soak reruns with
-	// this exact value to replay the same fault schedule.
-	log.Printf("faultproxy: %s -> %s seed=%d corrupt=%g drop=%g reset=%g stall=%g/%v jitter=%v fragment=%v",
-		p.Addr(), *upstream, *seed, *corrupt, *drop, *reset, *stall, *stallFor, *jitter, *frag)
+	// The seed attribute is the reproduction handle: a failing soak reruns
+	// with this exact value to replay the same fault schedule.
+	logger.Info("faultproxy: relaying",
+		"listen", p.Addr().String(), "upstream", *upstream, "seed", *seed,
+		"corrupt", *corrupt, "drop", *drop, "reset", *reset,
+		"stall", *stall, "stall_for", *stallFor, "jitter", *jitter, "fragment", *frag)
 
 	done := make(chan error, 1)
 	go func() { done <- p.Serve() }()
 	if *report > 0 {
 		go func() {
 			for range time.Tick(*report) {
-				log.Printf("faultproxy: %s", p.Stats())
+				logger.Info("faultproxy: tally", "seed", *seed, "stats", p.Stats().String())
 			}
 		}()
 	}
@@ -79,12 +85,12 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-done:
-		log.Printf("faultproxy: %s", p.Stats())
-		log.Fatal(err)
+		logger.Error("faultproxy: serve failed", "seed", *seed, "stats", p.Stats().String(), "err", err)
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("faultproxy: %v, shutting down", sig)
+		logger.Info("faultproxy: shutting down", "signal", sig.String())
 		p.Close()
 		<-done
-		log.Printf("faultproxy: seed=%d %s", *seed, p.Stats())
+		logger.Info("faultproxy: final tally", "seed", *seed, "stats", p.Stats().String())
 	}
 }

@@ -1,0 +1,64 @@
+// Command promlint validates Prometheus text exposition format 0.0.4
+// documents — the CI serve-smoke job pipes the live /metrics scrape
+// through it so a malformed exposition (bad escaping, duplicate
+// series, histogram bucket violations) fails the build instead of
+// silently breaking scrapers.
+//
+// Usage:
+//
+//	promlint [file ...]
+//
+// With no arguments (or "-") it reads standard input. Problems print
+// as file:line: message on stderr; the exit status is 1 if any input
+// had problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: promlint [file ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"-"}
+	}
+	bad := 0
+	for _, arg := range args {
+		var (
+			data []byte
+			err  error
+			name = arg
+		)
+		if arg == "-" {
+			name = "<stdin>"
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(arg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(2)
+		}
+		probs := obs.Lint(data)
+		for _, p := range probs {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", name, p.Line, p.Msg)
+		}
+		if len(probs) > 0 {
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %d input(s) OK\n", len(args))
+}

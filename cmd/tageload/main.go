@@ -30,7 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -67,8 +67,15 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *timeout == 0 {
-		log.Print("tageload: -timeout 0: deadlines disabled, a stalled server will hang this run indefinitely")
+		logger.Warn("tageload: -timeout 0: deadlines disabled, a stalled server will hang this run indefinitely")
 	}
 	clientCfg := serve.ClientConfig{
 		DialTimeout:  5 * time.Second,
@@ -82,19 +89,19 @@ func main() {
 
 	opts, err := bf.Options()
 	if err != nil {
-		log.Fatal(err)
+		fatal("tageload: bad backend options", "err", err)
 	}
 	var traces []trace.Trace
 	if *traceName != "" {
 		tr, err := workload.ByName(*traceName)
 		if err != nil {
-			log.Fatal(err)
+			fatal("tageload: unknown trace", "err", err)
 		}
 		traces = []trace.Trace{tr}
 	} else {
 		traces, err = workload.Suite(*suiteName)
 		if err != nil {
-			log.Fatal(err)
+			fatal("tageload: unknown suite", "err", err)
 		}
 	}
 
@@ -107,9 +114,10 @@ func main() {
 			BreakerThreshold: *brkThresh,
 			BreakerCooldown:  *brkCool,
 			Seed:             *seed,
+			Logger:           logger,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("tageload: router setup failed", "err", err)
 		}
 	}
 
@@ -120,7 +128,7 @@ func main() {
 	var deadline time.Time
 	if *duration > 0 {
 		if *verify {
-			log.Fatal("tageload: -verify needs an exact pass; drop -duration")
+			fatal("tageload: -verify needs an exact pass; drop -duration")
 		}
 		deadline = time.Now().Add(*duration)
 		if *branches == 0 {
@@ -235,14 +243,21 @@ func main() {
 	var busy uint64
 	for i := range outs {
 		if outs[i].err != nil {
-			log.Fatalf("conn %d: %v", i, outs[i].err)
+			if router != nil {
+				// The router's flight recorder holds the retries, breaker
+				// transitions and failovers leading up to the failure.
+				var tail strings.Builder
+				router.Events().WriteText(&tail)
+				logger.Error("tageload: router events at failure", "events", tail.String())
+			}
+			fatal("tageload: connection failed", "conn", i, "err", outs[i].err)
 		}
 		all = append(all, outs[i].results...)
 		lat.Merge(&outs[i].lat)
 		busy += outs[i].busy
 	}
 	if len(all) == 0 {
-		log.Fatal("tageload: no trace replay completed within the duration")
+		fatal("tageload: no trace replay completed within the duration")
 	}
 
 	var agg sim.Result
@@ -275,7 +290,7 @@ func main() {
 	}
 	if *verify {
 		if err := verifyOffline(all, bf, opts, *branches); err != nil {
-			log.Fatalf("tageload: VERIFY FAILED: %v", err)
+			fatal("tageload: VERIFY FAILED", "err", err)
 		}
 		fmt.Printf("  verify: %d replays bit-identical to offline sim.Run\n", len(all))
 	}

@@ -22,15 +22,22 @@
 //
 //	tageserved -addr :7421 -state-dir /var/lib/tageserved
 //
-// SIGINT/SIGTERM shut the server down gracefully (live connections are
-// closed, handlers drained, and a final checkpoint written for every
-// live keyed session).
+// The -metrics listener serves Prometheus text exposition at /metrics,
+// liveness at /healthz and /livez, readiness at /readyz (503 while
+// draining), and the flight-recorder event ring at /debug/events.
+// -debug-addr opts into a separate pprof listener.
+//
+// SIGINT/SIGTERM shut the server down gracefully: readiness flips to
+// draining first (so load balancers stop routing), -drain-grace elapses,
+// then live connections are closed, handlers drained, and a final
+// checkpoint written for every live keyed session.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,7 +53,9 @@ func main() {
 	var (
 		bf          = core.AddBackendFlags(flag.CommandLine, "64K", "probabilistic")
 		addr        = flag.String("addr", ":7421", "wire-protocol TCP listen address")
-		metricsAddr = flag.String("metrics", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+		metricsAddr = flag.String("metrics", "", "HTTP listen address for /metrics, /healthz, /livez, /readyz and /debug/events (empty = disabled)")
+		debugAddr   = flag.String("debug-addr", "", "HTTP listen address for pprof profiling endpoints (empty = disabled)")
+		eventBuffer = flag.Int("event-buffer", 0, "flight-recorder ring size in events (0 = default, <0 disables the recorder)")
 		shards      = flag.Int("shards", serve.DefaultShards, "session-registry lock stripes (rounded up to a power of two)")
 		maxSessions = flag.Int("max-sessions", 0, "live-session cap (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "evict sessions idle this long (<0 disables eviction)")
@@ -55,26 +64,40 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admission control: batches served concurrently before load-shedding FrameBusy (0 = unlimited)")
 		frameTO     = flag.Duration("frame-timeout", serve.DefaultFrameTimeout, "evict a peer that stalls mid-frame for this long (<0 disables slow-reader eviction)")
 		writeTO     = flag.Duration("write-timeout", serve.DefaultWriteTimeout, "evict a peer that stops draining responses for this long (<0 disables slow-writer eviction)")
+		drainGrace  = flag.Duration("drain-grace", 0, "on SIGINT/SIGTERM, fail readiness this long before closing connections (lets load balancers drain)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "tageserved: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	fatal := func(err error) {
+		logger.Error("tageserved: fatal", "err", err)
+		os.Exit(1)
+	}
+
 	if *maxInflight == 0 {
-		log.Print("tageserved: -max-inflight 0: admission control disabled, overload will queue instead of shedding")
+		logger.Warn("tageserved: -max-inflight 0: admission control disabled, overload will queue instead of shedding")
 	}
 	if *frameTO < 0 {
-		log.Print("tageserved: -frame-timeout < 0: slow-reader eviction disabled, a stalled peer can park a handler forever")
+		logger.Warn("tageserved: -frame-timeout < 0: slow-reader eviction disabled, a stalled peer can park a handler forever")
 	}
 	if *writeTO < 0 {
-		log.Print("tageserved: -write-timeout < 0: slow-writer eviction disabled, an undrained peer can park a handler forever")
+		logger.Warn("tageserved: -write-timeout < 0: slow-writer eviction disabled, an undrained peer can park a handler forever")
 	}
 
 	cfg, err := tage.ConfigByName(*bf.Config)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	opts, err := bf.Options()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Validate an explicit -backend up front so a typo fails at startup,
 	// not on the first open request; resolve its canonical label for the
@@ -83,7 +106,7 @@ func main() {
 	if bf.Explicit() {
 		probe, _, err := predictor.New(*bf.Backend)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defaultLabel = probe.Label()
 	}
@@ -91,6 +114,8 @@ func main() {
 	srv := serve.NewServer(serve.Config{
 		Addr:               *addr,
 		MetricsAddr:        *metricsAddr,
+		DebugAddr:          *debugAddr,
+		EventBuffer:        *eventBuffer,
 		IdleTimeout:        *idleTimeout,
 		CheckpointInterval: *ckptEvery,
 		FrameTimeout:       *frameTO,
@@ -110,14 +135,16 @@ func main() {
 		// own attach when one is already wired in).
 		cs, err := serve.OpenCheckpointStore(*stateDir)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		restored, err := srv.Engine().AttachStore(cs, time.Now().UnixNano())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("tageserved: state dir %s (restored %d checkpointed sessions, checkpoint interval %v)",
-			*stateDir, restored, *ckptEvery)
+		// Keep the "restored N checkpointed sessions" phrase verbatim in
+		// the message: the crash-recovery soak greps for it.
+		logger.Info(fmt.Sprintf("tageserved: state dir %s (restored %d checkpointed sessions, checkpoint interval %v)",
+			*stateDir, restored, *ckptEvery))
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -130,35 +157,48 @@ func main() {
 	for srv.Addr() == nil {
 		select {
 		case err := <-done:
-			log.Fatal(err)
+			fatal(err)
 		case <-time.After(time.Millisecond):
 		}
 	}
-	log.Printf("tageserved: serving on %s (default %s, shards %d, max-sessions %d, idle-timeout %v)",
-		srv.Addr(), defaultLabel, *shards, *maxSessions, *idleTimeout)
+	logger.Info("tageserved: serving",
+		"addr", srv.Addr().String(), "default_backend", defaultLabel,
+		"shards", *shards, "max_sessions", *maxSessions, "idle_timeout", *idleTimeout)
 	if ma := srv.MetricsAddr(); ma != nil {
-		log.Printf("tageserved: metrics on http://%s/metrics", ma)
+		logger.Info("tageserved: metrics listener up", "url", "http://"+ma.String()+"/metrics")
+	}
+	if da := srv.DebugAddr(); da != nil {
+		logger.Info("tageserved: pprof listener up", "url", "http://"+da.String()+"/debug/pprof/")
 	}
 
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		fatal(err)
 	case sig := <-sigc:
-		log.Printf("tageserved: %v, shutting down", sig)
+		logger.Info("tageserved: shutting down", "signal", sig.String(), "drain_grace", *drainGrace)
+		if *drainGrace > 0 {
+			// Fail readiness first so load balancers route around this
+			// instance while existing streams finish naturally.
+			srv.BeginDrain()
+			time.Sleep(*drainGrace)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Fatalf("tageserved: shutdown: %v", err)
+			logger.Error("tageserved: shutdown failed", "err", err)
+			os.Exit(1)
 		}
 		snap := srv.Engine().Snapshot()
-		log.Printf("tageserved: served %d branches over %d sessions (%.2f%% mispredicted), bye",
-			snap.Branches, snap.OpenedSessions, 100*snap.Total.Rate())
+		logger.Info("tageserved: served, bye",
+			"branches", snap.Branches, "sessions", snap.OpenedSessions,
+			"mispredict_pct", fmt.Sprintf("%.2f", 100*snap.Total.Rate()))
 		if snap.ShedBatches > 0 {
-			log.Printf("tageserved: load-shed %d batches under admission control", snap.ShedBatches)
+			logger.Info("tageserved: load shed under admission control", "batches", snap.ShedBatches)
 		}
 		if snap.CheckpointsWritten > 0 || snap.CheckpointRestores > 0 {
-			log.Printf("tageserved: wrote %d checkpoints (%d bytes, %d restores, %d write failures)",
-				snap.CheckpointsWritten, snap.CheckpointBytes, snap.CheckpointRestores, snap.CheckpointWriteFailures)
+			logger.Info("tageserved: checkpoint totals",
+				"written", snap.CheckpointsWritten, "bytes", snap.CheckpointBytes,
+				"restores", snap.CheckpointRestores, "write_failures", snap.CheckpointWriteFailures)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/textplot"
@@ -33,6 +34,7 @@ func main() {
 		suiteName = flag.String("suite", "", "suite to simulate: cbp1, cbp2 or all")
 		branches  = flag.Uint64("branches", 0, "branch records per trace (0 = full trace)")
 		parallel  = flag.Int("parallel", 0, "simulation workers for suite runs (0 = GOMAXPROCS, 1 = serial)")
+		timings   = flag.Bool("timings", false, "report per-trace wall-time quantiles for suite runs")
 		list      = flag.Bool("list", false, "list available backends, configurations and traces, then exit")
 	)
 	flag.Parse()
@@ -78,6 +80,9 @@ func main() {
 			fatal(err)
 		}
 		pool := sim.SuiteRunner{Workers: *parallel}
+		if *timings {
+			pool.JobTime = &obs.Histogram{}
+		}
 		sr, err := pool.RunSuiteSpec(sp, traces, *branches)
 		if err != nil {
 			fatal(err)
@@ -92,6 +97,10 @@ func main() {
 		textplot.Table(os.Stdout, fmt.Sprintf("%s on %s (%v automaton)", probe.Label(), *suiteName, predictor.ModeOf(probe)),
 			[]string{"trace", "misp/KI", "MKP"}, rows)
 		fmt.Printf("\nper-trace misp/KI: %s\n\n", metrics.Summarize(mpkis))
+		if h := pool.JobTime; h != nil {
+			fmt.Printf("per-trace wall time: n=%d p50=%v p90=%v p99=%v max=%v\n\n",
+				h.Count(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Quantile(1))
+		}
 		report(sr.Aggregate)
 	default:
 		fatal(fmt.Errorf("specify -trace or -suite (or -list)"))

@@ -64,6 +64,17 @@ var stdlibAllow = map[string]map[string]bool{
 	// MakeTable is deliberately absent — build tables at init, not on
 	// the hot path.
 	"hash/crc32": {"Checksum": true, "Update": true},
+	// The observability primitives are designed for hot paths (atomic
+	// counters, fixed-bucket histograms, a preallocated event ring); in
+	// the module itself they are vetted as //repro:hotpath functions, and
+	// this entry admits them when the analyzed code is outside the module
+	// (fixtures, vendored copies).
+	"repro/internal/obs": {
+		"Counter.Inc": true, "Counter.Add": true,
+		"Gauge.Set": true, "Gauge.Add": true,
+		"Histogram.Observe": true, "Histogram.ObserveValue": true,
+		"FlightRecorder.Record": true,
+	},
 	"encoding/binary": {
 		"Uvarint": true, "Varint": true,
 		"PutUvarint": true, "PutVarint": true,

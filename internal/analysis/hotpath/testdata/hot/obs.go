@@ -1,0 +1,54 @@
+// Observability-instrumentation fixtures: the obs primitives (atomic
+// counters/gauges, the fixed-bucket histogram, the flight-recorder
+// ring) are allow-listed for hot paths, while a naive map-backed
+// metric — the thing the allow-list exists to steer people away from —
+// still fails the vet.
+package hot
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+type instrumented struct {
+	served  obs.Counter
+	depth   obs.Gauge
+	latency obs.Histogram
+	rec     *obs.FlightRecorder
+}
+
+// observe is the golden instrumented hot path: counter bump, gauge set,
+// histogram observe and one flight-recorder event, all alloc-free and
+// all silent under the analyzer.
+//
+//repro:hotpath
+func observe(m *instrumented, d time.Duration, sess uint64) {
+	m.served.Inc()
+	m.served.Add(2)
+	m.depth.Set(1)
+	m.depth.Add(-1)
+	m.latency.Observe(d)
+	m.latency.ObserveValue(uint64(d))
+	m.rec.Record(obs.Event{Kind: obs.EvBatch, Session: sess, ServeNS: int64(d)})
+}
+
+type naiveMetrics struct {
+	counts map[string]uint64
+}
+
+// naive is the anti-pattern the obs package replaces: per-label map
+// lookups hash and may grow on every observation.
+//
+//repro:hotpath
+func naive(m *naiveMetrics, label string) {
+	m.counts[label]++ // want "map access in hot path"
+}
+
+// offList: obs functions outside the curated primitive set (quantiles,
+// text rendering — the cold query side) stay rejected on hot paths.
+//
+//repro:hotpath
+func offList(m *instrumented) time.Duration {
+	return m.latency.Quantile(0.99) // want "call to obs.Histogram.Quantile: not on the hot-path stdlib allow-list"
+}

@@ -6,32 +6,104 @@ import (
 	"time"
 )
 
+// DefaultLatencyCap bounds the retained samples of a Latency recorder.
+// Beyond the cap the recorder switches to reservoir sampling
+// (Vitter's algorithm R), keeping a uniform random subset: memory stays
+// O(cap) no matter how long a load run streams.
+//
+// Quantile estimates from a k-sample uniform reservoir carry a rank
+// standard error of about sqrt(p*(1-p)/k) — at the default cap of
+// 16384 the p99 rank is off by at most ~0.08 percentile points (one
+// standard error), and the median by ~0.4. Below the cap the recorder
+// is exact.
+const DefaultLatencyCap = 16384
+
 // Latency accumulates duration samples for tail-latency reporting (the
 // serving load generator records one sample per request batch). It is
 // not safe for concurrent use; concurrent recorders keep one Latency
 // each and Merge them afterwards.
+//
+// The recorder retains at most its cap samples (DefaultLatencyCap
+// unless SetCap chose another), reservoir-downsampling past it; N still
+// counts every observation.
 type Latency struct {
-	samples []float64 // seconds
+	samples []float64 // seconds; uniform reservoir once seen > cap
+	seen    uint64    // total observations (not just retained)
+	limit   int       // retention cap; 0 means DefaultLatencyCap
+	rng     uint64    // splitmix64 state for reservoir replacement
 	sorted  bool
+}
+
+// SetCap sets the retention cap (<= 0 restores DefaultLatencyCap).
+// Call before the first Observe; lowering the cap later does not shrink
+// an already-full reservoir.
+func (l *Latency) SetCap(n int) {
+	if n <= 0 {
+		n = DefaultLatencyCap
+	}
+	l.limit = n
+}
+
+func (l *Latency) cap() int {
+	if l.limit <= 0 {
+		return DefaultLatencyCap
+	}
+	return l.limit
+}
+
+// next steps the inline splitmix64 PRNG. Seeding from the sample count
+// keeps the recorder zero-value-ready and deterministic for tests.
+func (l *Latency) next() uint64 {
+	if l.rng == 0 {
+		l.rng = l.seen*0x9e3779b97f4a7c15 + 0x1a2b3c4d5e6f7081
+	}
+	l.rng += 0x9e3779b97f4a7c15
+	z := l.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Observe records one duration sample.
 func (l *Latency) Observe(d time.Duration) {
-	l.samples = append(l.samples, d.Seconds())
+	l.observe(d.Seconds())
+}
+
+// observe runs one step of Vitter's algorithm R: fill the reservoir to
+// cap, then replace a uniformly chosen slot with probability cap/seen.
+func (l *Latency) observe(v float64) {
+	l.seen++
+	if max := l.cap(); len(l.samples) >= max {
+		if j := l.next() % l.seen; j < uint64(max) {
+			l.samples[j] = v
+			l.sorted = false
+		}
+		return
+	}
+	l.samples = append(l.samples, v)
 	l.sorted = false
 }
 
-// Merge folds another recorder's samples into l.
+// Merge folds another recorder's samples into l. The retained samples
+// of other stream through l's reservoir; other's downsampled-away
+// observations still count toward l.seen, so N stays the true total.
 func (l *Latency) Merge(other *Latency) {
-	l.samples = append(l.samples, other.samples...)
-	l.sorted = false
+	for _, v := range other.samples {
+		l.observe(v)
+	}
+	l.seen += other.seen - uint64(len(other.samples))
 }
 
-// N returns the number of recorded samples.
-func (l *Latency) N() int { return len(l.samples) }
+// N returns the number of observed samples (including any the reservoir
+// downsampled away).
+func (l *Latency) N() int { return int(l.seen) }
 
-// Quantile returns the p-quantile (p in [0,1]) of the recorded samples
-// as a duration; 0 when no samples were recorded.
+// Retained returns the number of samples currently held.
+func (l *Latency) Retained() int { return len(l.samples) }
+
+// Quantile returns the p-quantile (p in [0,1]) of the retained samples
+// as a duration; 0 when no samples were recorded. Exact while N is
+// within the cap, a sqrt(p*(1-p)/cap)-rank-error estimate beyond it.
 func (l *Latency) Quantile(p float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
@@ -43,7 +115,7 @@ func (l *Latency) Quantile(p float64) time.Duration {
 	return time.Duration(Percentile(l.samples, p) * float64(time.Second))
 }
 
-// Summary computes the distribution statistics of the recorded samples
+// Summary computes the distribution statistics of the retained samples
 // in seconds.
 func (l *Latency) Summary() Summary { return Summarize(l.samples) }
 

@@ -34,6 +34,58 @@ func TestLatencyQuantiles(t *testing.T) {
 	}
 }
 
+// TestLatencyReservoirCap pins the bounded-memory behavior: past the
+// cap the recorder keeps exactly cap samples, N still counts every
+// observation, and the retained set remains a plausible uniform sample
+// (quantiles stay near the true distribution).
+func TestLatencyReservoirCap(t *testing.T) {
+	var l Latency
+	l.SetCap(1000)
+	const total = 50_000
+	// Uniform 1..total microseconds, ascending (a worst case for naive
+	// retain-the-prefix downsampling).
+	for i := 1; i <= total; i++ {
+		l.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if l.N() != total {
+		t.Fatalf("N = %d, want %d", l.N(), total)
+	}
+	if l.Retained() != 1000 {
+		t.Fatalf("Retained = %d, want 1000", l.Retained())
+	}
+	// Rank SE at k=1000, p=0.5 is ~1.6 percentile points; 5 SE bounds.
+	p50 := l.Quantile(0.5)
+	lo, hi := time.Duration(0.42*total)*time.Microsecond, time.Duration(0.58*total)*time.Microsecond
+	if p50 < lo || p50 > hi {
+		t.Fatalf("reservoir p50 = %v, want within [%v, %v]", p50, lo, hi)
+	}
+	if max := l.Quantile(1); max < time.Duration(0.9*total)*time.Microsecond {
+		t.Fatalf("reservoir max = %v suspiciously low; prefix bias?", max)
+	}
+}
+
+// TestLatencyMergeCapped checks Merge keeps the true observation count
+// when donors were themselves downsampled.
+func TestLatencyMergeCapped(t *testing.T) {
+	var a, b Latency
+	a.SetCap(100)
+	b.SetCap(100)
+	for i := 0; i < 500; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(2 * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.N() != 1000 {
+		t.Fatalf("merged N = %d, want 1000", a.N())
+	}
+	if a.Retained() != 100 {
+		t.Fatalf("merged Retained = %d, want 100", a.Retained())
+	}
+	if got := a.Quantile(1); got != 2*time.Millisecond {
+		t.Fatalf("merged p100 = %v, want 2ms", got)
+	}
+}
+
 func TestLatencyMerge(t *testing.T) {
 	var a, b Latency
 	a.Observe(1 * time.Millisecond)

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.ObserveValue(uint64(i) * 977)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkFlightRecorderRecord(b *testing.B) {
+	r := NewFlightRecorder(256)
+	ev := Event{UnixNano: 1, Kind: EvBatch, Conn: 1, Session: 2, Key: "k", Backend: "b", Frame: 3, Batch: 512, QueueNS: 1, ServeNS: 2, FlushNS: 3}
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}

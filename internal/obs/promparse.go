@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one exposition-format violation found by Lint.
+type Problem struct {
+	Line int // 1-based; 0 for whole-document problems
+	Msg  string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+}
+
+// histSample is one _bucket/_sum/_count sample attributed to a
+// histogram family, grouped by its labels minus le.
+type histSeries struct {
+	line    int
+	buckets []histBucket
+	sum     *float64
+	count   *float64
+}
+
+type histBucket struct {
+	le   float64
+	cum  float64
+	line int
+}
+
+// Lint validates Prometheus text exposition format 0.0.4: line syntax,
+// name and label grammar, value parsing, TYPE placement and uniqueness,
+// duplicate series, and histogram-family invariants (cumulative
+// non-decreasing buckets, strictly increasing le, a closing +Inf bucket
+// that equals _count, a _sum). It returns every problem found, nil for
+// a clean document.
+func Lint(data []byte) []Problem {
+	var probs []Problem
+	add := func(line int, format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		add(0, "document does not end in a newline")
+	}
+
+	types := map[string]string{}                 // family -> TYPE
+	helps := map[string]bool{}                   // family -> HELP seen
+	sampled := map[string]int{}                  // family (base-resolved) -> first sample line
+	series := map[string]int{}                   // name+labels -> first line
+	hists := map[string]map[string]*histSeries{} // family -> labelKey -> series
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimLeft(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+				name := fields[0]
+				if !validName(name) {
+					add(ln, "HELP for invalid metric name %q", name)
+					continue
+				}
+				if helps[name] {
+					add(ln, "second HELP line for %q", name)
+				}
+				helps[name] = true
+				if l, ok := sampled[name]; ok {
+					add(ln, "HELP for %q after its first sample (line %d)", name, l)
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(rest[len("TYPE "):])
+				if len(fields) != 2 {
+					add(ln, "malformed TYPE line")
+					continue
+				}
+				name, typ := fields[0], fields[1]
+				if !validName(name) {
+					add(ln, "TYPE for invalid metric name %q", name)
+					continue
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					add(ln, "unknown metric type %q for %q", typ, name)
+					continue
+				}
+				if _, ok := types[name]; ok {
+					add(ln, "second TYPE line for %q", name)
+					continue
+				}
+				if l, ok := sampled[name]; ok {
+					add(ln, "TYPE for %q after its first sample (line %d)", name, l)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					hists[name] = map[string]*histSeries{}
+				}
+			}
+			// Other comments are free-form.
+			continue
+		}
+
+		name, labels, labelKey, value, perr := parseSample(line)
+		if perr != "" {
+			add(ln, "%s", perr)
+			continue
+		}
+		family := baseFamily(name, types)
+		if _, ok := sampled[family]; !ok {
+			sampled[family] = ln
+		}
+		key := name + "{" + labelKey + "}"
+		if prev, ok := series[key]; ok {
+			add(ln, "duplicate sample %s (first at line %d)", key, prev)
+			continue
+		}
+		series[key] = ln
+
+		if hs, ok := hists[family]; ok && family != name {
+			le, hasLe := labels["le"]
+			group := labelKeyWithout(labels, "le")
+			s := hs[group]
+			if s == nil {
+				s = &histSeries{line: ln}
+				hs[group] = s
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLe {
+					add(ln, "histogram bucket %s has no le label", name)
+					continue
+				}
+				lev, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					add(ln, "histogram bucket le=%q is not a float", le)
+					continue
+				}
+				s.buckets = append(s.buckets, histBucket{le: lev, cum: value, line: ln})
+			case strings.HasSuffix(name, "_sum"):
+				v := value
+				s.sum = &v
+			case strings.HasSuffix(name, "_count"):
+				v := value
+				s.count = &v
+			}
+		}
+	}
+
+	// Histogram-family invariants.
+	var fams []string
+	for fam := range hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		groups := hists[fam]
+		if len(groups) == 0 {
+			add(0, "histogram %q has a TYPE line but no samples", fam)
+			continue
+		}
+		for _, s := range groups {
+			if len(s.buckets) == 0 {
+				add(s.line, "histogram %q series has no _bucket samples", fam)
+				continue
+			}
+			for i := 1; i < len(s.buckets); i++ {
+				if s.buckets[i].le <= s.buckets[i-1].le {
+					add(s.buckets[i].line, "histogram %q buckets not in increasing le order", fam)
+				}
+				if s.buckets[i].cum < s.buckets[i-1].cum {
+					add(s.buckets[i].line, "histogram %q cumulative bucket counts decrease", fam)
+				}
+			}
+			last := s.buckets[len(s.buckets)-1]
+			if !math.IsInf(last.le, 1) {
+				add(last.line, "histogram %q is missing the le=\"+Inf\" bucket", fam)
+			} else if s.count != nil && last.cum != *s.count {
+				add(last.line, "histogram %q +Inf bucket %v != _count %v", fam, last.cum, *s.count)
+			}
+			if s.count == nil {
+				add(s.line, "histogram %q series has no _count sample", fam)
+			}
+			if s.sum == nil {
+				add(s.line, "histogram %q series has no _sum sample", fam)
+			}
+		}
+	}
+
+	sort.Slice(probs, func(i, j int) bool { return probs[i].Line < probs[j].Line })
+	return probs
+}
+
+// baseFamily strips a recognized histogram/summary suffix when the
+// stripped name has a matching TYPE declaration.
+func baseFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+// It returns the parsed labels, a canonical sorted labelKey for
+// duplicate detection, and a non-empty error description on failure.
+func parseSample(line string) (name string, labels map[string]string, labelKey string, value float64, errMsg string) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", nil, "", 0, fmt.Sprintf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		body, tail, msg := splitLabels(rest[1:])
+		if msg != "" {
+			return "", nil, "", 0, msg
+		}
+		labels = body
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, "", 0, "sample has no value"
+	}
+	if len(fields) > 2 {
+		return "", nil, "", 0, "trailing garbage after value and timestamp"
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, "", 0, fmt.Sprintf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, "", 0, fmt.Sprintf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, labelKeyWithout(labels, ""), v, ""
+}
+
+// splitLabels parses `name="value",...}` (the body after the opening
+// brace) and returns the remainder after the closing brace.
+func splitLabels(s string) (labels map[string]string, rest string, errMsg string) {
+	labels = map[string]string{}
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], ""
+		}
+		i := 0
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i == len(s) {
+			return nil, "", "unterminated label set"
+		}
+		lname := strings.TrimSpace(s[:i])
+		if !validLabelName(lname) {
+			return nil, "", fmt.Sprintf("invalid label name %q", lname)
+		}
+		s = s[i+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Sprintf("label %q value is not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, "", fmt.Sprintf("unterminated value for label %q", lname)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Sprintf("dangling escape in label %q", lname)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Sprintf("bad escape \\%c in label %q", s[1], lname)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, "", fmt.Sprintf("duplicate label %q", lname)
+		}
+		labels[lname] = val.String()
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], ""
+		}
+		return nil, "", "labels not separated by a comma"
+	}
+}
+
+// validLabelName is the Prometheus label-name grammar (no colons).
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelKeyWithout renders labels (minus the named one) as a canonical
+// sorted key for grouping and duplicate detection.
+func labelKeyWithout(labels map[string]string, drop string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == drop {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(labels[k]))
+	}
+	return b.String()
+}

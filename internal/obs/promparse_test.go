@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintProblems(t *testing.T, doc string) []Problem {
+	t.Helper()
+	return Lint([]byte(doc))
+}
+
+func wantProblem(t *testing.T, doc, substr string) {
+	t.Helper()
+	probs := lintProblems(t, doc)
+	for _, p := range probs {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no problem containing %q in %v for:\n%s", substr, probs, doc)
+}
+
+// TestLintClean accepts a well-formed document exercising every shape
+// the registry emits.
+func TestLintClean(t *testing.T) {
+	doc := `# HELP x_total Requests.
+# TYPE x_total counter
+x_total 12
+# TYPE x_gauge gauge
+x_gauge -3.5
+# a free-form comment
+x_untyped{a="1",b="two \"quoted\" \\ thing\n"} 4.5e-3 1700000000000
+# HELP h_seconds Latency.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.001"} 1
+h_seconds_bucket{le="0.01"} 3
+h_seconds_bucket{le="+Inf"} 4
+h_seconds_sum 0.25
+h_seconds_count 4
+`
+	if probs := lintProblems(t, doc); len(probs) != 0 {
+		t.Fatalf("clean document flagged: %v", probs)
+	}
+}
+
+// TestLintViolations pins one problem per rule.
+func TestLintViolations(t *testing.T) {
+	wantProblem(t, "x_total 1", "does not end in a newline")
+	wantProblem(t, "9bad 1\n", "invalid metric name")
+	wantProblem(t, "x{9l=\"v\"} 1\n", "invalid label name")
+	wantProblem(t, "x{l=\"v} 1\n", "unterminated value")
+	wantProblem(t, "x{l=\"\\q\"} 1\n", "bad escape")
+	wantProblem(t, "x{l=\"a\" m=\"b\"} 1\n", "not separated by a comma")
+	wantProblem(t, "x{l=\"a\",l=\"b\"} 1\n", "duplicate label")
+	wantProblem(t, "x nope\n", "bad sample value")
+	wantProblem(t, "x 1 2 3\n", "trailing garbage")
+	wantProblem(t, "x 1 t\n", "bad timestamp")
+	wantProblem(t, "x 1\nx 1\n", "duplicate sample")
+	wantProblem(t, "# TYPE x counter\n# TYPE x counter\nx 1\n", "second TYPE")
+	wantProblem(t, "# HELP x a\n# HELP x b\nx 1\n", "second HELP")
+	wantProblem(t, "# TYPE x wat\nx 1\n", "unknown metric type")
+	wantProblem(t, "x 1\n# TYPE x counter\n", "after its first sample")
+	wantProblem(t, "# TYPE h histogram\n", "no samples")
+	wantProblem(t, "# TYPE h histogram\nh_sum 1\nh_count 1\n", "no _bucket samples")
+	wantProblem(t,
+		"# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_sum 1\nh_count 1\n",
+		`missing the le="+Inf"`)
+	wantProblem(t,
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"not in increasing le order")
+	wantProblem(t,
+		"# TYPE h histogram\nh_bucket{le=\"0.5\"} 3\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"cumulative bucket counts decrease")
+	wantProblem(t,
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"!= _count")
+	wantProblem(t,
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"no _sum")
+	wantProblem(t,
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"no _count")
+	wantProblem(t, "x{le 1\n", "unterminated label set")
+	wantProblem(t, "x{le=\"oops\"\n", "not separated by a comma")
+}
+
+// TestLintDuplicateDistinguishesLabels makes sure distinct label sets
+// are not flagged as duplicates, regardless of label order.
+func TestLintDuplicateDistinguishesLabels(t *testing.T) {
+	doc := "x{a=\"1\",b=\"2\"} 1\nx{a=\"2\",b=\"1\"} 1\n"
+	if probs := lintProblems(t, doc); len(probs) != 0 {
+		t.Fatalf("distinct series flagged: %v", probs)
+	}
+	// Same set, different order: duplicate.
+	wantProblem(t, "x{a=\"1\",b=\"2\"} 1\nx{b=\"2\",a=\"1\"} 1\n", "duplicate sample")
+}

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -49,6 +48,14 @@ const DefaultBusyBackoff = 2 * time.Millisecond
 
 // maxBusyBackoff caps the doubling busy-retry backoff.
 const maxBusyBackoff = 250 * time.Millisecond
+
+// BatchObserver receives one round-trip latency sample per served
+// batch. Both *metrics.Latency (exact, unbounded-percentile reporting)
+// and *obs.Histogram (fixed-footprint, hot-path safe) satisfy it; a nil
+// interface disables sampling.
+type BatchObserver interface {
+	Observe(d time.Duration)
+}
 
 // Client speaks the wire protocol over one connection. It is not safe
 // for concurrent use; a load generator opens one Client per goroutine.
@@ -371,7 +378,7 @@ func (s *ClientSession) Close() (sim.Result, error) {
 //
 // When lat is non-nil, one round-trip latency sample is recorded per
 // batch.
-func (s *ClientSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat *metrics.Latency) (sim.Result, error) {
+func (s *ClientSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat BatchObserver) (sim.Result, error) {
 	if batchSize <= 0 || batchSize > MaxBatch {
 		batchSize = 1024
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tage"
@@ -48,6 +49,11 @@ type Engine struct {
 	ckptRestoreFailures atomic.Uint64
 	ckptWriteFailures   atomic.Uint64
 	lastCkptNano        atomic.Int64
+
+	// events receives cold-path lifecycle events (idle evictions,
+	// checkpoint failures, restores) when a recorder is attached; a nil
+	// recorder records nothing, so no call site needs a guard.
+	events *obs.FlightRecorder
 
 	// keyMu guards the durable-session namespace: the key→session-id
 	// index, the parked tallies of evicted keyed sessions, and the
@@ -126,6 +132,11 @@ func NewEngine(cfg EngineConfig) *Engine {
 		parked:         make(map[string]sim.Result),
 	}
 }
+
+// SetEvents attaches a flight recorder for cold-path lifecycle events.
+// Call before serving traffic (the field is not synchronized against
+// in-flight recordings).
+func (e *Engine) SetEvents(rec *obs.FlightRecorder) { e.events = rec }
 
 // AcquireBatch claims one inflight-batch slot, reporting false — and
 // counting a shed — when the engine-wide budget is exhausted. Callers
@@ -209,8 +220,10 @@ func (e *Engine) Open(req OpenRequest, now int64) (*Session, error) {
 				return nil, aerr
 			}
 			e.ckptRestoreFailures.Add(1)
+			e.events.Record(obs.Event{UnixNano: now, Kind: obs.EvRestoreFail, Key: req.Key, Cause: aerr.Error()})
 		case !notExist(err):
 			e.ckptRestoreFailures.Add(1)
+			e.events.Record(obs.Event{UnixNano: now, Kind: obs.EvRestoreFail, Key: req.Key, Cause: err.Error()})
 		}
 	}
 	s, err := e.openFresh(req, now)
@@ -266,6 +279,13 @@ func (e *Engine) resumeLocked(snap SessionSnapshot, now int64) (*Session, error)
 	e.retiredMu.Lock()
 	e.openedBy[e.labelKeyLocked(snap.Res.Config)]++
 	e.retiredMu.Unlock()
+	e.events.Record(obs.Event{
+		UnixNano: now,
+		Kind:     obs.EvRestore,
+		Session:  id,
+		Key:      snap.Key,
+		Backend:  snap.Res.Config,
+	})
 	return s, nil
 }
 
@@ -440,6 +460,14 @@ func (e *Engine) SweepIdle(cutoff int64) int {
 			e.fold(res)
 			e.reg.release()
 			e.evicted.Add(1)
+			e.events.Record(obs.Event{
+				UnixNano: now,
+				Kind:     obs.EvIdleEvict,
+				Session:  s.id,
+				Key:      s.key,
+				Backend:  res.Config,
+				Cause:    "idle past IdleTimeout",
+			})
 			n++
 		}
 	}
@@ -494,6 +522,12 @@ func (e *Engine) writeCheckpointLocked(s *Session, now int64) {
 func (e *Engine) writeBlobLocked(key string, blob []byte, now int64) bool {
 	if err := e.store.Write(key, blob); err != nil {
 		e.ckptWriteFailures.Add(1)
+		e.events.Record(obs.Event{
+			UnixNano: now,
+			Kind:     obs.EvCheckpointFail,
+			Key:      key,
+			Cause:    err.Error(),
+		})
 		return false
 	}
 	e.ckptWritten.Add(1)
@@ -527,10 +561,12 @@ func (e *Engine) AttachStore(cs *CheckpointStore, now int64) (int, error) {
 		blob, err := cs.Read(key)
 		if err != nil {
 			e.ckptRestoreFailures.Add(1)
+			e.events.Record(obs.Event{UnixNano: now, Kind: obs.EvRestoreFail, Key: key, Cause: err.Error()})
 			continue
 		}
 		if _, err := e.adoptLocked(key, blob, now); err != nil {
 			e.ckptRestoreFailures.Add(1)
+			e.events.Record(obs.Event{UnixNano: now, Kind: obs.EvRestoreFail, Key: key, Cause: err.Error()})
 			continue
 		}
 		restored++

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -71,6 +73,13 @@ type RouterConfig struct {
 	// from the clock). Fixing it makes a chaos run's recovery timing
 	// replayable.
 	Seed uint64
+	// Events receives the router's flight-recorder stream (retries,
+	// breaker transitions, failovers, recoveries). Nil selects a private
+	// DefaultEventBuffer-sized recorder, reachable via Router.Events.
+	Events *obs.FlightRecorder
+	// Logger receives breaker-transition warnings (with a recorder tail
+	// attached on breaker-open). Nil selects slog.Default.
+	Logger *slog.Logger
 }
 
 // NodeStats is one node's roll-up of router activity.
@@ -94,8 +103,10 @@ type vnode struct {
 // ring. It is safe for concurrent use; each RouterSession owns its own
 // connection.
 type Router struct {
-	cfg  RouterConfig
-	ring []vnode
+	cfg    RouterConfig
+	ring   []vnode
+	rec    *obs.FlightRecorder
+	logger *slog.Logger
 
 	mu       sync.Mutex
 	stats    map[string]*NodeStats
@@ -136,8 +147,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r := &Router{
 		cfg:      cfg,
+		rec:      cfg.Events,
+		logger:   cfg.Logger,
 		stats:    make(map[string]*NodeStats),
 		breakers: make(map[string]*breakerState),
+	}
+	if r.rec == nil {
+		r.rec = obs.NewFlightRecorder(0)
+	}
+	if r.logger == nil {
+		r.logger = slog.Default()
 	}
 	r.mu.Lock()
 	for i, node := range cfg.Nodes {
@@ -177,6 +196,9 @@ func (r *Router) nodesFor(key string) []string {
 	}
 	return order
 }
+
+// Events returns the router's flight recorder (never nil).
+func (r *Router) Events() *obs.FlightRecorder { return r.rec }
 
 // Stats returns the per-node roll-up sorted by address.
 func (r *Router) Stats() []NodeStats {
@@ -236,6 +258,17 @@ func (r *Router) nodeFailed(node string) {
 		if ns, ok := r.stats[node]; ok {
 			ns.BreakerOpens++
 		}
+		r.rec.Record(obs.Event{
+			UnixNano: time.Now().UnixNano(), Kind: obs.EvBreakerOpen, Backend: node,
+			Cause: fmt.Sprintf("%d consecutive failures", b.fails),
+		})
+		// Dump the recorder tail with the warning: the events leading up
+		// to a breaker trip are exactly what the ring exists to explain.
+		var tail strings.Builder
+		r.rec.WriteTail(&tail, evictDumpTail)
+		r.logger.Warn("serve: router breaker opened",
+			"node", node, "consecutive_failures", b.fails,
+			"cooldown", r.cfg.BreakerCooldown, "recent_events", tail.String())
 	}
 	b.openUntil = time.Now().Add(r.cfg.BreakerCooldown)
 }
@@ -256,6 +289,11 @@ func (r *Router) nodeOK(node string) {
 		if ns, ok := r.stats[node]; ok {
 			ns.BreakerCloses++
 		}
+		r.rec.Record(obs.Event{
+			UnixNano: time.Now().UnixNano(), Kind: obs.EvBreakerClose, Backend: node,
+			Cause: "half-open probe succeeded",
+		})
+		r.logger.Info("serve: router breaker closed", "node", node)
 	}
 	b.fails = 0
 }
@@ -394,6 +432,10 @@ func (rs *RouterSession) reconnectPass(respectBreakers bool) (err error, attempt
 			lastErr = err
 			rs.r.nodeFailed(node)
 			rs.r.bump(node, func(ns *NodeStats) { ns.Retries++ })
+			rs.r.rec.Record(obs.Event{
+				UnixNano: time.Now().UnixNano(), Kind: obs.EvRetry,
+				Key: rs.key, Backend: node, Cause: err.Error(),
+			})
 			continue
 		}
 		sess, err := rs.openOn(c, idx)
@@ -405,11 +447,20 @@ func (rs *RouterSession) reconnectPass(respectBreakers bool) (err error, attempt
 			}
 			rs.r.nodeFailed(node)
 			rs.r.bump(node, func(ns *NodeStats) { ns.Retries++ })
+			rs.r.rec.Record(obs.Event{
+				UnixNano: time.Now().UnixNano(), Kind: obs.EvRetry,
+				Key: rs.key, Backend: node, Cause: err.Error(),
+			})
 			continue
 		}
 		rs.r.nodeOK(node)
 		if idx != rs.nodeIdx {
 			rs.r.bump(node, func(ns *NodeStats) { ns.Failovers++ })
+			rs.r.rec.Record(obs.Event{
+				UnixNano: time.Now().UnixNano(), Kind: obs.EvFailover,
+				Key: rs.key, Backend: node,
+				Cause: "failed over from " + rs.nodes[rs.nodeIdx],
+			})
 			if rs.placed {
 				// Move the placement roll-up with the session. A session
 				// failing over during its initial Open is not counted yet
@@ -546,6 +597,14 @@ func (rs *RouterSession) recoverAndSync(cause error, local *sim.Result, pos *uin
 			continue
 		}
 		rs.r.bump(rs.Node(), func(ns *NodeStats) { ns.Recoveries++ })
+		causeMsg := ""
+		if cause != nil {
+			causeMsg = cause.Error()
+		}
+		rs.r.rec.Record(obs.Event{
+			UnixNano: time.Now().UnixNano(), Kind: obs.EvRecovery,
+			Key: rs.key, Backend: rs.Node(), Cause: causeMsg,
+		})
 		return nil
 	}
 	return fmt.Errorf("serve: session %q unrecoverable after %d attempts: %w",
@@ -563,7 +622,7 @@ func (rs *RouterSession) recoverAndSync(cause error, local *sim.Result, pos *uin
 // restored state (the tallies stay exact; a caller consuming grades live
 // sees the affected batches again). When lat is non-nil one round-trip
 // latency sample is recorded per served batch.
-func (rs *RouterSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat *metrics.Latency) (sim.Result, error) {
+func (rs *RouterSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat BatchObserver) (sim.Result, error) {
 	if batchSize <= 0 || batchSize > MaxBatch {
 		batchSize = 1024
 	}
@@ -618,7 +677,7 @@ func (rs *RouterSession) Replay(tr trace.Trace, limit uint64, batchSize int, lat
 // the reader reached io.EOF (or closed itself on a decode error) — a
 // drained reader must not be closed again by the caller.
 func (rs *RouterSession) replayFrom(rd trace.Reader, local *sim.Result, pos *uint64,
-	batch []trace.Branch, batchSize int, batches *int, lat *metrics.Latency) (res sim.Result, done, drained bool, err error) {
+	batch []trace.Branch, batchSize int, batches *int, lat BatchObserver) (res sim.Result, done, drained bool, err error) {
 	cfg := rs.r.cfg
 	for eof := false; !eof; {
 		batch = batch[:0]

@@ -5,14 +5,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -21,9 +25,20 @@ type Config struct {
 	// Addr is the TCP listen address for the wire protocol
 	// (ListenAndServe; Serve takes an explicit listener).
 	Addr string
-	// MetricsAddr is the HTTP listen address for /metrics and /healthz;
-	// empty disables the endpoint.
+	// MetricsAddr is the HTTP listen address for /metrics, the
+	// liveness/readiness probes (/livez, /readyz, with /healthz kept as
+	// a liveness alias) and /debug/events; empty disables the endpoint.
 	MetricsAddr string
+	// DebugAddr is an opt-in HTTP listen address exposing net/http/pprof
+	// profiles alongside the same /metrics and /debug/events handlers;
+	// empty (the default) disables it. Kept separate from MetricsAddr so
+	// profiling endpoints are never reachable from the scrape network by
+	// accident.
+	DebugAddr string
+	// EventBuffer sizes the flight-recorder ring (events retained for
+	// /debug/events and eviction dumps). 0 selects
+	// obs.DefaultEventBuffer; negative disables the recorder.
+	EventBuffer int
 	// Engine sizes the session engine (shards, max sessions, default
 	// predictor configuration).
 	Engine EngineConfig
@@ -83,16 +98,38 @@ type Server struct {
 	slowEvicted   atomic.Uint64
 	corruptFrames atomic.Uint64
 
+	// Observability: the metric registry backing /metrics, the flight
+	// recorder backing /debug/events and eviction dumps, and the
+	// serve/flush latency histograms fed from the batch hot path.
+	reg       *obs.Registry
+	rec       *obs.FlightRecorder
+	serveHist *obs.Histogram
+	flushHist *obs.Histogram
+	logger    *slog.Logger
+
+	// ready gates /readyz: false until Serve has restored state and is
+	// accepting, false again once a drain begins, so load balancers stop
+	// routing before the listener closes.
+	ready   atomic.Bool
+	connSeq atomic.Uint64
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	sweepEnd chan struct{}
 
-	httpLn  net.Listener
-	httpSrv *http.Server
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	debugLn  net.Listener
+	debugSrv *http.Server
 
-	wg sync.WaitGroup
+	// Connection handlers and sweep loops drain on wg; the HTTP
+	// endpoints live on httpWg and outlive the drain, so /readyz keeps
+	// answering 503 (and /metrics keeps scraping) while connections
+	// finish.
+	wg     sync.WaitGroup
+	httpWg sync.WaitGroup
 }
 
 // NewServer builds a server. The engine is constructed from cfg.Engine.
@@ -109,16 +146,46 @@ func NewServer(cfg Config) *Server {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		eng:      NewEngine(cfg.Engine),
 		conns:    make(map[net.Conn]struct{}),
 		sweepEnd: make(chan struct{}),
+		logger:   slog.Default(),
 	}
+	if cfg.EventBuffer >= 0 {
+		s.rec = obs.NewFlightRecorder(cfg.EventBuffer)
+		s.eng.SetEvents(s.rec)
+	}
+	s.reg = obs.NewRegistry()
+	s.serveHist = s.reg.Histogram("tage_serve_batch_serve_seconds",
+		"Predictor time per served batch (lookup through grade encoding).")
+	s.flushHist = s.reg.Histogram("tage_serve_batch_flush_seconds",
+		"Response flush time per coalesced write to the peer.")
+	s.reg.Collect(s.collectEngine)
+	obs.RegisterRuntimeMetrics(s.reg)
+	return s
 }
 
 // Engine exposes the server's session engine (metrics scrapes, tests).
 func (s *Server) Engine() *Engine { return s.eng }
+
+// Registry exposes the server's metric registry so embedders can add
+// their own families to the same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Events exposes the flight recorder (nil when disabled).
+func (s *Server) Events() *obs.FlightRecorder { return s.rec }
+
+// Ready reports whether the server is accepting and routable traffic
+// should flow — the /readyz answer.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// BeginDrain fails readiness without closing anything: /readyz starts
+// answering 503 while the wire listener keeps serving, giving load
+// balancers a window to stop routing before Shutdown closes the
+// listener.
+func (s *Server) BeginDrain() { s.ready.Store(false) }
 
 // Addr returns the bound wire-protocol address (after Serve/ListenAndServe).
 func (s *Server) Addr() net.Addr {
@@ -138,6 +205,16 @@ func (s *Server) MetricsAddr() net.Addr {
 		return nil
 	}
 	return s.httpLn.Addr()
+}
+
+// DebugAddr returns the bound pprof/debug address, or nil when disabled.
+func (s *Server) DebugAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.debugLn == nil {
+		return nil
+	}
+	return s.debugLn.Addr()
 }
 
 // ListenAndServe binds cfg.Addr and serves until Shutdown.
@@ -162,6 +239,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Unlock()
 
 	if err := s.startMetrics(); err != nil {
+		ln.Close()
+		return err
+	}
+	if err := s.startDebug(); err != nil {
 		ln.Close()
 		return err
 	}
@@ -197,6 +278,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 	}
 
+	// State restored and loops running: the server is ready for routed
+	// traffic. Shutdown/BeginDrain flip this back before the listener
+	// goes away.
+	s.ready.Store(true)
+	defer s.ready.Store(false)
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -224,14 +311,17 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Shutdown stops accepting, closes every connection and endpoint, and
-// waits for the handlers to drain (or ctx to expire).
+// Shutdown stops accepting, closes every connection, and waits for the
+// handlers to drain (or ctx to expire). The HTTP endpoints close last —
+// after the final checkpoint — so /readyz answers 503 and /metrics
+// stays scrapeable throughout the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
+	s.ready.Store(false)
 	s.closed = true
 	close(s.sweepEnd)
 	if s.ln != nil {
@@ -240,22 +330,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for conn := range s.conns {
 		conn.Close()
 	}
-	if s.httpSrv != nil {
-		s.httpSrv.Close()
-	}
 	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
 		// Graceful drain: with every handler stopped, write a final
 		// checkpoint for every live keyed session, so a SIGTERM'd server
 		// restarts exactly where its clients left it.
 		s.eng.CheckpointDirty(time.Now().UnixNano(), true)
+		s.mu.Lock()
+		if s.httpSrv != nil {
+			s.httpSrv.Close()
+		}
+		if s.debugSrv != nil {
+			s.debugSrv.Close()
+		}
+		s.mu.Unlock()
+		s.httpWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -294,85 +390,170 @@ func (s *Server) sweepLoop() {
 	}
 }
 
-func (s *Server) startMetrics() error {
-	if s.cfg.MetricsAddr == "" {
-		return nil
-	}
-	ln, err := net.Listen("tcp", s.cfg.MetricsAddr)
-	if err != nil {
-		return err
-	}
+// baseMux builds the observability handler set shared by the metrics
+// and debug listeners: health probes, the registry exposition, and the
+// flight-recorder dump.
+func (s *Server) baseMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	live := func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}
+	// /healthz stays as a liveness alias for existing probes and the CI
+	// smoke's curl; /livez is the canonical spelling.
+	mux.HandleFunc("/healthz", live)
+	mux.HandleFunc("/livez", live)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		s.writeMetrics(w)
+		w.Header().Set("Content-Type", obs.ContentType)
+		s.reg.WriteText(w)
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.rec.WriteText(w)
+	})
+	return mux
+}
+
+func (s *Server) startMetrics() error {
+	ln, srv, err := s.startHTTP(s.cfg.MetricsAddr, s.baseMux())
+	if err == nil && ln != nil {
+		s.mu.Lock()
+		s.httpLn, s.httpSrv = ln, srv
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// startDebug binds the opt-in pprof listener: the full profile suite
+// plus the same metrics/events handlers, on an address the operator
+// chose to expose.
+func (s *Server) startDebug() error {
+	if s.cfg.DebugAddr == "" {
+		return nil
+	}
+	mux := s.baseMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, srv, err := s.startHTTP(s.cfg.DebugAddr, mux)
+	if err == nil && ln != nil {
+		s.mu.Lock()
+		s.debugLn, s.debugSrv = ln, srv
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// startHTTP binds addr and serves mux on the httpWg side of the drain
+// order. Returns a nil listener when addr is empty or Shutdown already
+// won the startup race.
+func (s *Server) startHTTP(addr string, mux *http.ServeMux) (net.Listener, *http.Server, error) {
+	if addr == "" {
+		return nil, nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
 	srv := &http.Server{Handler: mux}
 	s.mu.Lock()
 	if s.closed {
 		// Shutdown won the race with this startup: it cannot have seen
-		// httpSrv, so close the endpoint here instead of leaking it
+		// the server, so close the endpoint here instead of leaking it
 		// (and never wg.Add after Shutdown may already be waiting).
 		s.mu.Unlock()
 		ln.Close()
-		return nil
+		return nil, nil, nil
 	}
-	s.httpLn, s.httpSrv = ln, srv
-	s.wg.Add(1)
+	s.httpWg.Add(1)
 	s.mu.Unlock()
 	go func() {
-		defer s.wg.Done()
+		defer s.httpWg.Done()
 		srv.Serve(ln)
 	}()
-	return nil
+	return ln, srv, nil
 }
 
-// writeMetrics renders the Prometheus-style exposition: session gauges
-// plus per-level and per-class hit/misprediction counters aggregated
-// over live and retired sessions.
-func (s *Server) writeMetrics(w http.ResponseWriter) {
+// collectEngine renders the engine snapshot into the exposition:
+// session gauges plus per-level, per-class and per-backend counters
+// aggregated over live and retired sessions. Metric names predate the
+// registry (the soak scripts and dashboards key on them), so this
+// collector preserves them exactly.
+func (s *Server) collectEngine(tw *obs.TextWriter) {
 	snap := s.eng.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "tage_serve_sessions_live %d\n", snap.LiveSessions)
-	fmt.Fprintf(w, "tage_serve_sessions_opened_total %d\n", snap.OpenedSessions)
-	fmt.Fprintf(w, "tage_serve_sessions_evicted_total %d\n", snap.EvictedSessions)
-	fmt.Fprintf(w, "tage_serve_branches_total %d\n", snap.Branches)
-	fmt.Fprintf(w, "tage_serve_instructions_total %d\n", snap.Instructions)
-	fmt.Fprintf(w, "tage_serve_predictions_total %d\n", snap.Total.Preds)
-	fmt.Fprintf(w, "tage_serve_mispredictions_total %d\n", snap.Total.Misps)
+	counter := func(name, help string, v uint64) {
+		tw.Family(name, "counter", help)
+		tw.Value(name, float64(v))
+	}
+	gauge := func(name, help string, v float64) {
+		tw.Family(name, "gauge", help)
+		tw.Value(name, v)
+	}
+	gauge("tage_serve_sessions_live", "Live sessions.", float64(snap.LiveSessions))
+	counter("tage_serve_sessions_opened_total", "Sessions ever opened.", snap.OpenedSessions)
+	counter("tage_serve_sessions_evicted_total", "Sessions evicted idle.", snap.EvictedSessions)
+	counter("tage_serve_branches_total", "Branches served.", snap.Branches)
+	counter("tage_serve_instructions_total", "Instructions covered by served branches.", snap.Instructions)
+	counter("tage_serve_predictions_total", "Predictions served.", snap.Total.Preds)
+	counter("tage_serve_mispredictions_total", "Mispredictions served.", snap.Total.Misps)
+
+	tw.Family("tage_serve_level_predictions_total", "counter", "Predictions by provider level.")
 	for _, l := range core.Levels() {
-		c := snap.Level(l)
-		fmt.Fprintf(w, "tage_serve_level_predictions_total{level=%q} %d\n", l.String(), c.Preds)
-		fmt.Fprintf(w, "tage_serve_level_mispredictions_total{level=%q} %d\n", l.String(), c.Misps)
+		tw.ValueL("tage_serve_level_predictions_total", float64(snap.Level(l).Preds), "level", l.String())
 	}
+	tw.Family("tage_serve_level_mispredictions_total", "counter", "Mispredictions by provider level.")
+	for _, l := range core.Levels() {
+		tw.ValueL("tage_serve_level_mispredictions_total", float64(snap.Level(l).Misps), "level", l.String())
+	}
+	tw.Family("tage_serve_class_predictions_total", "counter", "Predictions by confidence class.")
 	for _, cl := range core.Classes() {
-		c := snap.Class[cl]
-		fmt.Fprintf(w, "tage_serve_class_predictions_total{class=%q} %d\n", cl.String(), c.Preds)
-		fmt.Fprintf(w, "tage_serve_class_mispredictions_total{class=%q} %d\n", cl.String(), c.Misps)
+		tw.ValueL("tage_serve_class_predictions_total", float64(snap.Class[cl].Preds), "class", cl.String())
 	}
-	for _, bc := range snap.Backends {
-		fmt.Fprintf(w, "tage_serve_backend_sessions_opened_total{backend=%q} %d\n", bc.Label, bc.Opened)
-		fmt.Fprintf(w, "tage_serve_backend_branches_total{backend=%q} %d\n", bc.Label, bc.Branches)
-		fmt.Fprintf(w, "tage_serve_backend_predictions_total{backend=%q} %d\n", bc.Label, bc.Total.Preds)
-		fmt.Fprintf(w, "tage_serve_backend_mispredictions_total{backend=%q} %d\n", bc.Label, bc.Total.Misps)
+	tw.Family("tage_serve_class_mispredictions_total", "counter", "Mispredictions by confidence class.")
+	for _, cl := range core.Classes() {
+		tw.ValueL("tage_serve_class_mispredictions_total", float64(snap.Class[cl].Misps), "class", cl.String())
 	}
-	fmt.Fprintf(w, "tage_serve_shed_total %d\n", snap.ShedBatches)
-	fmt.Fprintf(w, "tage_serve_inflight_batches %d\n", snap.InflightBatches)
-	fmt.Fprintf(w, "tage_serve_slow_peer_evictions_total %d\n", s.slowEvicted.Load())
-	fmt.Fprintf(w, "tage_serve_corrupt_frames_total %d\n", s.corruptFrames.Load())
-	fmt.Fprintf(w, "tage_serve_checkpoints_written_total %d\n", snap.CheckpointsWritten)
-	fmt.Fprintf(w, "tage_serve_checkpoint_bytes_total %d\n", snap.CheckpointBytes)
-	fmt.Fprintf(w, "tage_serve_checkpoint_restores_total %d\n", snap.CheckpointRestores)
-	fmt.Fprintf(w, "tage_serve_checkpoint_restore_failures_total %d\n", snap.CheckpointRestoreFailures)
-	fmt.Fprintf(w, "tage_serve_checkpoint_write_failures_total %d\n", snap.CheckpointWriteFailures)
+	if len(snap.Backends) > 0 {
+		tw.Family("tage_serve_backend_sessions_opened_total", "counter", "Sessions opened by backend spec.")
+		for _, bc := range snap.Backends {
+			tw.ValueL("tage_serve_backend_sessions_opened_total", float64(bc.Opened), "backend", bc.Label)
+		}
+		tw.Family("tage_serve_backend_branches_total", "counter", "Branches served by backend spec.")
+		for _, bc := range snap.Backends {
+			tw.ValueL("tage_serve_backend_branches_total", float64(bc.Branches), "backend", bc.Label)
+		}
+		tw.Family("tage_serve_backend_predictions_total", "counter", "Predictions served by backend spec.")
+		for _, bc := range snap.Backends {
+			tw.ValueL("tage_serve_backend_predictions_total", float64(bc.Total.Preds), "backend", bc.Label)
+		}
+		tw.Family("tage_serve_backend_mispredictions_total", "counter", "Mispredictions served by backend spec.")
+		for _, bc := range snap.Backends {
+			tw.ValueL("tage_serve_backend_mispredictions_total", float64(bc.Total.Misps), "backend", bc.Label)
+		}
+	}
+	counter("tage_serve_shed_total", "Batches shed by admission control.", snap.ShedBatches)
+	gauge("tage_serve_inflight_batches", "Batches currently in flight.", float64(snap.InflightBatches))
+	counter("tage_serve_slow_peer_evictions_total", "Connections evicted as slow readers or writers.", s.slowEvicted.Load())
+	counter("tage_serve_corrupt_frames_total", "Frames rejected with a checksum mismatch.", s.corruptFrames.Load())
+	counter("tage_serve_checkpoints_written_total", "Checkpoints written.", snap.CheckpointsWritten)
+	counter("tage_serve_checkpoint_bytes_total", "Checkpoint bytes written.", snap.CheckpointBytes)
+	counter("tage_serve_checkpoint_restores_total", "Sessions restored from checkpoints.", snap.CheckpointRestores)
+	counter("tage_serve_checkpoint_restore_failures_total", "Checkpoint restore failures.", snap.CheckpointRestoreFailures)
+	counter("tage_serve_checkpoint_write_failures_total", "Checkpoint write failures.", snap.CheckpointWriteFailures)
 	if snap.LastCheckpointUnixNano != 0 {
 		age := float64(time.Now().UnixNano()-snap.LastCheckpointUnixNano) / 1e9
 		if age < 0 {
 			age = 0
 		}
-		fmt.Fprintf(w, "tage_serve_checkpoint_last_age_seconds %g\n", age)
+		gauge("tage_serve_checkpoint_last_age_seconds", "Seconds since the last checkpoint write.", age)
 	}
 }
 
@@ -385,6 +566,21 @@ type connState struct {
 	records []trace.Branch // decoded batch
 	grades  []byte         // encoded responses
 	holding bool           // an admission slot is held until the response ships
+
+	// Flight-recorder context. conn is this connection's sequence
+	// number; sess/key/backend remember the last served batch so an
+	// eviction event carries the victim's identity; ev is the pending
+	// batch event, completed with the flush duration and recorded once
+	// the response ships (evPend). arrived timestamps the frame read
+	// for the queue-delay component. All reused, never allocated, per
+	// frame.
+	conn    uint64
+	sess    uint64
+	key     string
+	backend string
+	arrived time.Time
+	ev      obs.Event
+	evPend  bool
 }
 
 // release frees the connection's held admission slot, if any.
@@ -404,10 +600,37 @@ func (s *Server) armWrite(conn net.Conn) {
 	}
 }
 
-func (s *Server) writeFailed(err error) {
+func (s *Server) writeFailed(st *connState, err error) {
 	if errors.Is(err, os.ErrDeadlineExceeded) {
 		s.slowEvicted.Add(1)
+		s.evictSlowPeer(st, "write stall past WriteTimeout")
 	}
+}
+
+// evictDumpTail bounds the context attached to an eviction log line.
+const evictDumpTail = 32
+
+// evictSlowPeer records the eviction in the flight recorder and dumps
+// the recorder's tail to the structured log, so the eviction arrives
+// with its last-N-events context instead of a bare counter bump.
+func (s *Server) evictSlowPeer(st *connState, cause string) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Record(obs.Event{
+		UnixNano: time.Now().UnixNano(),
+		Kind:     obs.EvSlowPeerEvict,
+		Conn:     st.conn,
+		Session:  st.sess,
+		Key:      st.key,
+		Backend:  st.backend,
+		Cause:    cause,
+	})
+	var b strings.Builder
+	s.rec.WriteTail(&b, evictDumpTail)
+	s.logger.Warn("serve: slow peer evicted",
+		"conn", st.conn, "session", st.sess, "key", st.key, "cause", cause,
+		"recent_events", b.String())
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -424,6 +647,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		out:     make([]byte, 0, 4096),
 		records: make([]trace.Branch, 0, 1024),
 		grades:  make([]byte, 0, 1024),
+		conn:    s.connSeq.Add(1),
 	}
 	// The slow-reader deadline arms once a frame has started (first
 	// header byte read) and clears when it completes: a connection may
@@ -436,6 +660,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	for {
 		typ, payload, frame, err := readFrame(br, st.frame, armRead)
 		st.frame = frame
+		st.arrived = time.Now()
 		if armRead != nil {
 			conn.SetReadDeadline(time.Time{})
 		}
@@ -448,6 +673,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			// of them drop the connection, never the sessions.
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				s.slowEvicted.Add(1)
+				s.evictSlowPeer(st, "mid-frame read stall past FrameTimeout")
 				return
 			}
 			if !errors.Is(err, ErrProtocol) {
@@ -456,6 +682,14 @@ func (s *Server) handleConn(conn net.Conn) {
 			code := ErrCodeMalformed
 			if errors.Is(err, ErrCorrupt) {
 				s.corruptFrames.Add(1)
+				s.rec.Record(obs.Event{
+					UnixNano: time.Now().UnixNano(),
+					Kind:     obs.EvCorrupt,
+					Conn:     st.conn,
+					Session:  st.sess,
+					Key:      st.key,
+					Cause:    err.Error(),
+				})
 				code = ErrCodeCorrupt
 			}
 			st.out = AppendError(st.out[:0], code, err.Error())
@@ -470,7 +704,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.armWrite(conn)
 			if _, err := bw.Write(st.out); err != nil {
 				s.release(st)
-				s.writeFailed(err)
+				s.writeFailed(st, err)
 				return
 			}
 		}
@@ -478,11 +712,24 @@ func (s *Server) handleConn(conn net.Conn) {
 		// further request is already buffered.
 		if br.Buffered() == 0 {
 			s.armWrite(conn)
+			flushStart := time.Now()
 			if err := bw.Flush(); err != nil {
 				s.release(st)
-				s.writeFailed(err)
+				s.writeFailed(st, err)
 				return
 			}
+			flushed := time.Since(flushStart)
+			s.flushHist.Observe(flushed)
+			if st.evPend {
+				st.ev.FlushNS = flushed.Nanoseconds()
+			}
+		}
+		// The batch event is recorded only after its response shipped, so
+		// the flight recorder shows completed batches in delivery order
+		// with the flush cost included.
+		if st.evPend {
+			s.rec.Record(st.ev)
+			st.evPend = false
 		}
 		// The batch's admission slot is freed only now: the response has
 		// shipped (or at least left st.out), so MaxInflight bounds batches
@@ -532,11 +779,43 @@ func (s *Server) handleFrame(st *connState, typ byte, payload []byte) (fatal boo
 			// was not applied: the client retries the same bytes after
 			// backing off.
 			if !s.eng.AcquireBatch() {
+				s.rec.Record(obs.Event{
+					UnixNano: now,
+					Kind:     obs.EvShed,
+					Conn:     st.conn,
+					Session:  id,
+					Key:      sess.Key(),
+					Backend:  sess.ConfigName(),
+					Frame:    typ,
+					Batch:    len(records),
+					Cause:    "admission: MaxInflight reached",
+				})
 				st.out = AppendBusy(st.out, id, 0)
 				return false
 			}
 			st.holding = true
+			serveStart := time.Now()
 			st.grades, ok = sess.Serve(records, st.grades, now)
+			if ok {
+				served := time.Since(serveStart)
+				s.serveHist.Observe(served)
+				if s.rec != nil {
+					st.sess, st.key, st.backend = id, sess.Key(), sess.ConfigName()
+					st.ev = obs.Event{
+						UnixNano: now,
+						Kind:     obs.EvBatch,
+						Conn:     st.conn,
+						Session:  id,
+						Key:      st.key,
+						Backend:  st.backend,
+						Frame:    typ,
+						Batch:    len(records),
+						QueueNS:  serveStart.Sub(st.arrived).Nanoseconds(),
+						ServeNS:  served.Nanoseconds(),
+					}
+					st.evPend = true
+				}
+			}
 		}
 		if !ok {
 			st.out = AppendError(st.out, ErrCodeUnknownSession,

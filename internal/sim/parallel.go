@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/tage"
 	"repro/internal/trace"
@@ -34,6 +36,10 @@ type Job struct {
 type SuiteRunner struct {
 	// Workers is the pool size. <= 0 selects GOMAXPROCS.
 	Workers int
+	// JobTime, when non-nil, receives one wall-time sample per completed
+	// iteration (per trace in a suite run). The histogram is safe for the
+	// pool's concurrent observes and costs nothing when nil.
+	JobTime *obs.Histogram
 }
 
 // Serial is the explicit single-worker runner (the reference semantics
@@ -64,6 +70,16 @@ func (s SuiteRunner) workerCount(n int) int {
 // completes — the lowest-index error is always recorded before the pool
 // drains, keeping the returned error identical to the serial loop's.
 func (s SuiteRunner) ForEach(n int, fn func(i int) error) error {
+	if s.JobTime != nil {
+		inner := fn
+		hist := s.JobTime
+		fn = func(i int) error {
+			start := time.Now()
+			err := inner(i)
+			hist.Observe(time.Since(start))
+			return err
+		}
+	}
 	w := s.workerCount(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {

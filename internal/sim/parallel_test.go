@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tage"
 	"repro/internal/workload"
 )
@@ -92,6 +93,37 @@ func TestForEachRunsEveryIndexOnce(t *testing.T) {
 		if c := counts[i].Load(); c != 1 {
 			t.Fatalf("index %d ran %d times", i, c)
 		}
+	}
+}
+
+// TestForEachJobTime checks the optional per-iteration wall-time
+// histogram sees every iteration exactly once — on both the serial
+// degenerate path and the worker pool — and stays inert when nil.
+func TestForEachJobTime(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var hist obs.Histogram
+		runner := SuiteRunner{Workers: workers, JobTime: &hist}
+		if err := runner.ForEach(25, func(i int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if got := hist.Count(); got != 25 {
+			t.Fatalf("%d workers: JobTime saw %d iterations, want 25", workers, got)
+		}
+	}
+	// An iteration that fails is still timed (it ran).
+	var hist obs.Histogram
+	boom := errors.New("boom")
+	err := SuiteRunner{Workers: 1, JobTime: &hist}.ForEach(3, func(i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := hist.Count(); got != 2 {
+		t.Fatalf("JobTime saw %d iterations, want 2 (serial stops at the failure)", got)
 	}
 }
 

@@ -25,7 +25,7 @@ cleanup() {
   fi
   if [ -n "$PRX" ]; then kill -9 "$PRX" 2>/dev/null || true; fi
   if [ -n "$SRV" ]; then kill -9 "$SRV" 2>/dev/null || true; fi
-  rm -rf "$STATE_DIR" chaos_load.txt chaos_metrics.txt
+  rm -rf "$STATE_DIR" chaos_load.txt chaos_metrics.txt chaos_events.txt
 }
 trap cleanup EXIT
 
@@ -37,7 +37,7 @@ trap cleanup EXIT
 # a 300ms frame timeout with 800ms proxy stalls forces slow-peer
 # evictions; durable keyed sessions let every recovery resync exactly.
 ./tageserved -addr "$UPSTREAM" -metrics "$METRICS" \
-  -max-inflight 1 -frame-timeout 300ms \
+  -max-inflight 1 -frame-timeout 300ms -event-buffer 65536 \
   -state-dir "$STATE_DIR" -checkpoint-interval 50ms &
 SRV=$!
 
@@ -86,6 +86,25 @@ for k in recoveries busy_retries breaker_opens breaker_closes; do
   fi
   echo "rollup $k=$v"
 done
+
+# The flight recorder must have caught the chaos it exists to explain:
+# a shed, a slow-peer eviction, and — for at least one evicted session —
+# the batch events that preceded the eviction.
+curl -fsS "http://$METRICS/debug/events" > chaos_events.txt
+grep -q "kind=shed" chaos_events.txt
+grep -q "kind=slow-peer-evict" chaos_events.txt
+EVICT_CONTEXT=0
+for sid in $(awk '/kind=slow-peer-evict/ { for (i = 1; i <= NF; i++) if ($i ~ /^sess=/) { split($i, a, "="); print a[2] } }' chaos_events.txt | sort -u); do
+  if grep -Eq "kind=batch .*sess=$sid " chaos_events.txt; then
+    EVICT_CONTEXT=1
+    break
+  fi
+done
+if [ "$EVICT_CONTEXT" -ne 1 ]; then
+  echo "FAIL: no evicted session has batch events in the flight-recorder dump" >&2
+  exit 1
+fi
+echo "flight recorder captured shed + eviction events with batch context"
 
 kill -TERM "$SRV"
 wait "$SRV"
