@@ -147,6 +147,7 @@ func Load(path string) (*Record, error) {
 
 // bestNs reduces repeated runs to the per-name minimum ns/op — the
 // standard way to compare on machines with background noise.
+//repro:deterministic
 func bestNs(benchmarks []Benchmark) map[string]float64 {
 	best := make(map[string]float64)
 	for _, b := range benchmarks {
@@ -170,6 +171,7 @@ func bestNs(benchmarks []Benchmark) map[string]float64 {
 // so when the two records' host CPUs differ the report flags every
 // would-be regression but the gate passes unless strictHost is set.
 // Same-host comparisons always enforce.
+//repro:deterministic
 func Gate(current, baseline *Record, pattern string, tolerance float64, strictHost bool) (report string, failed bool, err error) {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
@@ -179,16 +181,21 @@ func Gate(current, baseline *Record, pattern string, tolerance float64, strictHo
 	base := bestNs(baseline.Benchmarks)
 	var names []string
 	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	matched := names[:0]
+	for _, name := range names {
 		if re.MatchString(name) {
 			if _, ok := base[name]; ok {
-				names = append(names, name)
+				matched = append(matched, name)
 			}
 		}
 	}
+	names = matched
 	if len(names) == 0 {
 		return "", false, fmt.Errorf("no benchmark matching %q present in both current output and baseline", pattern)
 	}
-	sort.Strings(names)
 	crossHost := current.Host.CPU != baseline.Host.CPU
 	var sb strings.Builder
 	if crossHost {

@@ -1,13 +1,23 @@
 // Command tagevet is the repository's static-analysis suite: a
-// multichecker of repo-specific analyzers (hotpath, statecodec,
-// lockcheck, frames) enforcing the invariants the runtime pins only
-// catch after the fact. See PERF.md "Static invariants" for the
-// directive conventions.
+// multichecker of repo-specific analyzers (hotpath, atomics,
+// determinism, statecodec, lockcheck, frames) enforcing the invariants
+// the runtime pins only catch after the fact. See PERF.md "Static
+// invariants" for the directive conventions.
 //
 // Standalone (the CI entry point):
 //
 //	go run ./cmd/tagevet ./...
 //	go run ./cmd/tagevet -test=false ./internal/serve
+//	go run ./cmd/tagevet -json ./...   // machine-readable findings
+//	go run ./cmd/tagevet -gha ./...    // GitHub Actions ::error lines
+//	go run ./cmd/tagevet -facts ./...  // compiler-facts golden gate
+//
+// The -facts mode runs the compilerfacts gate instead of the source
+// analyzers: it rebuilds the tree with diagnostic gcflags, distills
+// bounds-check/escape/inline facts for every //repro:hotpath function,
+// and compares them against the committed golden
+// (internal/analysis/compilerfacts/testdata/compilerfacts.golden).
+// UPDATE_FACTS_GOLDEN=1 refreshes the golden in place.
 //
 // As a vet tool (integrates with go vet's per-package driver and build
 // cache):
@@ -20,6 +30,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +40,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/compilerfacts"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/suite"
 )
@@ -70,14 +82,28 @@ func printVersion() {
 	fmt.Printf("%s version tagevet-%s\n", name, id)
 }
 
+// finding is one diagnostic in machine-readable form (the -json
+// schema; stable field names are part of the CI contract).
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func runStandalone() int {
 	fs := flag.NewFlagSet("tagevet", flag.ExitOnError)
 	tests := fs.Bool("test", true, "also analyze packages' test files")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	ghaOut := fs.Bool("gha", false, "emit findings as GitHub Actions ::error annotations")
+	factsMode := fs.Bool("facts", false, "run the compiler-facts golden gate instead of the source analyzers")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tagevet [-test=false] packages...\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: tagevet [-test=false] [-json] [-gha] [-facts] packages...\n\nAnalyzers:\n")
 		for _, a := range suite.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", "facts", "compiler-fact golden gate (bounds checks, heap escapes, inlining) for //repro:hotpath functions")
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
@@ -87,14 +113,18 @@ func runStandalone() int {
 		patterns = []string{"."}
 	}
 
+	if *factsMode {
+		return runFacts(patterns, *ghaOut)
+	}
+
 	units, facts, err := load.Load(load.Config{Tests: *tests}, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tagevet: %v\n", err)
 		return 2
 	}
 
-	var lines []string
-	seen := make(map[string]bool)
+	var findings []finding
+	seen := make(map[finding]bool)
 	for _, u := range units {
 		pass := func(a *analysis.Analyzer) *analysis.Pass {
 			return &analysis.Pass{
@@ -106,10 +136,11 @@ func runStandalone() int {
 				Dirs:      u.Dirs,
 				Facts:     facts,
 				Report: func(d analysis.Diagnostic) {
-					line := fmt.Sprintf("%s: %s [%s]", u.Fset.Position(d.Pos), d.Message, d.Analyzer)
-					if !seen[line] {
-						seen[line] = true
-						lines = append(lines, line)
+					pos := u.Fset.Position(d.Pos)
+					f := finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message}
+					if !seen[f] {
+						seen[f] = true
+						findings = append(findings, f)
 					}
 				},
 			}
@@ -121,13 +152,140 @@ func runStandalone() int {
 			}
 		}
 	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Fprintln(os.Stderr, l)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return emit(findings, *jsonOut, *ghaOut)
+}
+
+// emit writes findings in the selected format and returns the exit
+// status. JSON goes to stdout (it is the payload); text and ::error
+// annotations go to stderr like go vet's own output.
+func emit(findings []finding, jsonOut, ghaOut bool) int {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "tagevet: %v\n", err)
+			return 2
+		}
 	}
-	if len(lines) > 0 {
-		fmt.Fprintf(os.Stderr, "tagevet: %d finding(s)\n", len(lines))
+	for _, f := range findings {
+		if ghaOut {
+			// GitHub annotation paths must be repo-relative for the finding
+			// to land on the PR diff.
+			file := f.File
+			if wd, err := os.Getwd(); err == nil {
+				if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d,title=tagevet/%s::%s\n",
+				filepath.ToSlash(file), f.Line, f.Col, f.Analyzer, ghaEscape(f.Message))
+		} else if !jsonOut {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "tagevet: %d finding(s)\n", len(findings))
+		}
 		return 1
 	}
+	return 0
+}
+
+// ghaEscape encodes the characters GitHub's annotation parser treats as
+// message terminators.
+func ghaEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// goldenRelPath locates the compilerfacts golden inside the module.
+const goldenRelPath = "internal/analysis/compilerfacts/testdata/compilerfacts.golden"
+
+// runFacts drives the compiler-facts gate: collect, then refresh or
+// compare the committed golden, plus the golden-independent must-be-zero
+// and waiver-hygiene checks.
+func runFacts(patterns []string, ghaOut bool) int {
+	root := moduleRoot(".")
+	if root == "" {
+		fmt.Fprintf(os.Stderr, "tagevet -facts: no go.mod above the working directory\n")
+		return 2
+	}
+	report, err := compilerfacts.Collect(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagevet -facts: %v\n", err)
+		return 2
+	}
+	rendered := report.Render()
+	goldenPath := filepath.Join(root, goldenRelPath)
+
+	failed := false
+	fail := func(msg string) {
+		failed = true
+		if ghaOut {
+			fmt.Fprintf(os.Stderr, "::error title=tagevet/facts::%s\n", ghaEscape(msg))
+		} else {
+			fmt.Fprintf(os.Stderr, "tagevet -facts: %s\n", msg)
+		}
+	}
+	for _, v := range report.Violations() {
+		fail(v)
+	}
+
+	if os.Getenv("UPDATE_FACTS_GOLDEN") == "1" {
+		if err := compilerfacts.WriteGolden(goldenPath, rendered); err != nil {
+			fmt.Fprintf(os.Stderr, "tagevet -facts: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "tagevet -facts: wrote %s (%s)\n", goldenPath, report.GoVersion)
+		if failed {
+			return 1
+		}
+		return 0
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		fail(fmt.Sprintf("missing golden %s — generate it with UPDATE_FACTS_GOLDEN=1 go run ./cmd/tagevet -facts ./...", goldenRelPath))
+		return 1
+	}
+	if gv := compilerfacts.GoldenVersion(string(golden)); gv != report.GoVersion {
+		// Compiler facts are toolchain-specific; a mismatched local
+		// toolchain would produce pure-noise diffs. CI pins the version, so
+		// skipping here loses nothing.
+		fmt.Fprintf(os.Stderr, "tagevet -facts: warning: golden is for %s, toolchain is %s; skipping the golden gate\n", gv, report.GoVersion)
+		if failed {
+			return 1
+		}
+		return 0
+	}
+	if diff := compilerfacts.Diff(string(golden), rendered); len(diff) > 0 {
+		fail(fmt.Sprintf("compiler facts diverge from %s (- golden, + current); inspect the diff, fix the regression or refresh with UPDATE_FACTS_GOLDEN=1:", goldenRelPath))
+		for _, d := range diff {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tagevet -facts: %d hotpath function(s) match %s (%s)\n", len(report.Funcs), goldenRelPath, report.GoVersion)
 	return 0
 }

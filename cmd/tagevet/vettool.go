@@ -129,7 +129,8 @@ func runVetTool(cfgPath string) int {
 	return 0
 }
 
-// vetToolFacts rebuilds module-local //repro:hotpath facts from source:
+// vetToolFacts rebuilds module-local directive facts (hotpath,
+// deterministic, atomic fields) from source:
 // the current package plus every module-local entry of the import map,
 // located under the module root.
 func vetToolFacts(cfg *vetConfig, fset *token.FileSet, pkgPath string, files []*ast.File) *analysis.ModuleFacts {
@@ -138,7 +139,7 @@ func vetToolFacts(cfg *vetConfig, fset *token.FileSet, pkgPath string, files []*
 	if facts.ModulePath == "" {
 		facts.ModulePath = modulePathFromRoot(cfg.Dir)
 	}
-	load.CollectHotpathFacts(facts, pkgPath, files)
+	load.CollectFacts(facts, pkgPath, files)
 
 	root := moduleRoot(cfg.Dir)
 	if root == "" || facts.ModulePath == "" {
@@ -169,7 +170,7 @@ func vetToolFacts(cfg *vetConfig, fset *token.FileSet, pkgPath string, files []*
 				if err != nil {
 					continue
 				}
-				load.CollectHotpathFacts(facts, dep, []*ast.File{f})
+				load.CollectFacts(facts, dep, []*ast.File{f})
 			}
 		}
 	}

@@ -78,11 +78,29 @@ type ModuleFacts struct {
 	// Hotpath holds the keys (FuncKey) of every function in the module
 	// annotated //repro:hotpath.
 	Hotpath map[string]bool
+	// Deterministic holds the keys (FuncKey) of every function in the
+	// module annotated //repro:deterministic.
+	Deterministic map[string]bool
+	// AtomicFields holds FieldKey entries for struct fields that demand
+	// atomic access discipline everywhere in the module: fields of a
+	// sync/atomic type, and plain fields whose address is handed to an
+	// atomic.* call inside their home package.
+	AtomicFields map[string]bool
 }
 
 // NewModuleFacts returns empty facts.
 func NewModuleFacts() *ModuleFacts {
-	return &ModuleFacts{Hotpath: make(map[string]bool)}
+	return &ModuleFacts{
+		Hotpath:       make(map[string]bool),
+		Deterministic: make(map[string]bool),
+		AtomicFields:  make(map[string]bool),
+	}
+}
+
+// FieldKey names a struct field uniquely across the module:
+// "pkgpath.Type.Field".
+func FieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
 }
 
 // FuncKey names a function or method uniquely across the module:

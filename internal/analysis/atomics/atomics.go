@@ -1,0 +1,248 @@
+// Package atomics implements the atomics analyzer: field-level atomic
+// access discipline.
+//
+// The serve layer's shared counters and the observability primitives
+// mix lock-free atomics with mutex-guarded state; the failure mode
+// -race only catches when the schedule cooperates is a *mixed* field —
+// one site updates it through sync/atomic while another reads it
+// plainly. The analyzer makes the discipline a static property:
+//
+//   - A struct field is atomically disciplined when its type comes from
+//     sync/atomic (atomic.Int64, atomic.Uint64, atomic.Bool, ...), or
+//     when any code in the module passes its address to an atomic.*
+//     call (the legacy idiom: atomic.AddUint64(&s.n, 1)).
+//   - Every access to a plainly-typed disciplined field must itself be
+//     atomic (an atomic.* call on its address), or demonstrably under a
+//     //repro:guardedby mutex shared with the atomic sites (the
+//     lockcheck machinery decides "held"), or annotated
+//     //repro:plainread <why the race is benign or excluded>.
+//   - The address of a typed-atomic field must not escape: &s.ctr
+//     handed to an arbitrary callee defeats the type's copy protection
+//     and hides the access from this analysis. (Method calls like
+//     s.ctr.Add(1) take the address implicitly and are fine.)
+//   - A by-value copy of any struct (transitively) containing atomics
+//     or mutexes is reported: value receivers, assignments, call
+//     arguments, returns, derefs and range values — a copy tears the
+//     atomic state and decouples it from its lock.
+//
+// Cross-package accesses are checked through module facts: a field
+// atomically disciplined in its home package keeps the obligation
+// everywhere in the module. //repro:plainread requires a justification,
+// and an annotation that suppresses nothing is itself a finding.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockcheck"
+)
+
+// Analyzer is the atomics analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomics",
+	Doc:  "fields touched through sync/atomic are accessed atomically at every site; no copies or escaping addresses of atomic state",
+	Run:  run,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// plainDisciplined maps plainly-typed fields that some atomic.* call
+	// targets (by address) to one such call position, package-local.
+	plainDisciplined map[*types.Var]token.Pos
+	// atomicArgs is the set of &field selector expressions that appear as
+	// arguments of atomic.* calls — the legal access sites.
+	atomicArgs map[*ast.SelectorExpr]bool
+	// guards maps guarded fields to their mutex name (lockcheck's
+	// //repro:guardedby machinery, silent variant).
+	guards map[*types.Var]string
+	// justified dedupes missing-justification reports per directive.
+	justified map[token.Pos]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:             pass,
+		plainDisciplined: make(map[*types.Var]token.Pos),
+		atomicArgs:       make(map[*ast.SelectorExpr]bool),
+		guards:           lockcheck.GuardedBy(pass),
+		justified:        make(map[token.Pos]bool),
+	}
+	c.collectAtomicCalls()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn)
+		}
+		c.checkCopies(file)
+	}
+	for _, dir := range pass.Dirs.Unused("plainread") {
+		pass.Reportf(dir.Pos, "unused //repro:plainread (no atomics finding on this line; remove the stale escape)")
+	}
+	return nil
+}
+
+// report emits a finding unless the line carries a justified
+// //repro:plainread escape.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if dir, ok := c.pass.Dirs.Get(pos, "plainread"); ok {
+		if dir.Args == "" && !c.justified[dir.Pos] {
+			c.justified[dir.Pos] = true
+			c.pass.Reportf(dir.Pos, "//repro:plainread requires a justification (why is this non-atomic access safe?)")
+		}
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// collectAtomicCalls finds every atomic.*(&x.field, ...) call in the
+// package, recording the targeted fields as disciplined and the selector
+// expressions as legal access sites.
+func (c *checker) collectAtomicCalls() {
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := c.calleeFunc(call)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				addr, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				c.atomicArgs[sel] = true
+				if field := c.fieldOf(sel); field != nil && !isAtomicType(field.Type()) {
+					if _, seen := c.plainDisciplined[field]; !seen {
+						c.plainDisciplined[field] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's statically-known callee.
+func (c *checker) calleeFunc(call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+// fieldOf returns the struct field a selector expression selects, or nil.
+func (c *checker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// fieldKeyOf returns the module-facts key of a selected field
+// ("pkgpath.Type.Field"), or "" when the owner is not a named type.
+func (c *checker) fieldKeyOf(sel *ast.SelectorExpr) string {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return ""
+	}
+	t := selection.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		// The field may be promoted through embedding; fall back to the
+		// field's own declaring struct, which facts cannot name either.
+		return ""
+	}
+	return analysis.FieldKey(field.Pkg().Path(), named.Obj().Name(), field.Name())
+}
+
+// disciplined reports whether the selected field demands atomic access,
+// with a short provenance string for the diagnostic.
+func (c *checker) disciplined(sel *ast.SelectorExpr, field *types.Var) (string, bool) {
+	if _, ok := c.plainDisciplined[field]; ok {
+		return "atomic.* on its address in this package", true
+	}
+	if field.Pkg() != nil && field.Pkg() != c.pass.Pkg && c.pass.Facts != nil {
+		if key := c.fieldKeyOf(sel); key != "" && c.pass.Facts.AtomicFields[key] && !isAtomicType(field.Type()) {
+			return "atomic.* on its address in its home package", true
+		}
+	}
+	return "", false
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	exempt := lockcheck.IsExempt(fn)
+	acquired := lockcheck.LockAcquisitions(c.pass, fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		// Address-escape of typed atomic fields: &s.ctr outside an
+		// atomic.* argument position.
+		if addr, ok := n.(*ast.UnaryExpr); ok && addr.Op == token.AND {
+			if sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr); ok && !c.atomicArgs[sel] {
+				if field := c.fieldOf(sel); field != nil && isAtomicType(field.Type()) {
+					c.report(addr.Pos(), "address of atomic field %s escapes; pass the enclosing struct pointer so accesses stay visible (or //repro:plainread <why>)", field.Name())
+				}
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := c.fieldOf(sel)
+		if field == nil {
+			return true
+		}
+		why, ok := c.disciplined(sel, field)
+		if !ok {
+			return true
+		}
+		if c.atomicArgs[sel] {
+			return true // the atomic access itself
+		}
+		// Guarded plain access: legal when the guarding mutex is
+		// demonstrably held (or the function is an audited ...Locked /
+		// //repro:locked accessor).
+		if lockName, guarded := c.guards[field]; guarded {
+			if exempt || lockcheck.Held(acquired, lockName, lockcheck.RootObject(c.pass, sel.X), sel.Pos()) {
+				return true
+			}
+		}
+		c.report(sel.Sel.Pos(), "plain access to field %s, which is accessed atomically elsewhere (%s): use sync/atomic here, guard every site with its //repro:guardedby mutex, or justify with //repro:plainread <why>", field.Name(), why)
+		return true
+	})
+}

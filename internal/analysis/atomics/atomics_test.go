@@ -1,0 +1,16 @@
+package atomics_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomics"
+)
+
+func TestAtomics(t *testing.T) {
+	analysistest.Run(t, "testdata/atomics", atomics.Analyzer)
+}
+
+func TestAtomicsCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/crosspkg", atomics.Analyzer)
+}

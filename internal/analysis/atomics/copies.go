@@ -1,0 +1,153 @@
+package atomics
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isAtomicType reports whether t is a sync/atomic type (atomic.Int64,
+// atomic.Uint64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isNoCopyType reports whether copying a value of type t by value tears
+// synchronization state: sync/atomic types, sync.Mutex/RWMutex/etc.,
+// and any struct transitively containing one. seen breaks type cycles.
+func isNoCopyType(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync/atomic":
+				return true
+			case "sync":
+				// sync.Once and friends embed noCopy/Mutex; every sync
+				// type except map-free helpers is copy-hostile. Be blunt:
+				// copying anything from package sync is wrong.
+				return obj.Name() != "" // all named sync types
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isNoCopyType(st.Field(i).Type(), seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// noCopy reports whether t must not be copied by value, with the name
+// of the offending type for the diagnostic.
+func noCopy(t types.Type) (string, bool) {
+	if !isNoCopyType(t, make(map[types.Type]bool)) {
+		return "", false
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() }), true
+}
+
+// checkCopies flags by-value copies of structs containing atomics or
+// mutexes anywhere in the file: value receivers and parameters/results
+// of such types, dereference-copies (x := *p), and range values.
+// Composite literals and call results initialize rather than copy, so
+// assignment of those is fine; what we catch is an existing value being
+// duplicated.
+func (c *checker) checkCopies(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		c.checkSignatureCopies(fn)
+		if fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					c.checkValueCopy(rhs)
+				}
+			case *ast.RangeStmt:
+				// ranging over []T copies each element into the value var.
+				if n.Value != nil {
+					if t := c.pass.TypesInfo.TypeOf(n.Value); t != nil {
+						if name, bad := noCopy(t); bad {
+							c.report(n.Value.Pos(), "range value copies %s, which contains atomic/mutex state; range over indices or pointers", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					c.checkValueCopy(arg)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					c.checkValueCopy(res)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSignatureCopies flags value receivers and by-value params/results
+// whose type contains synchronization state.
+func (c *checker) checkSignatureCopies(fn *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			t := c.pass.TypesInfo.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if name, bad := noCopy(t); bad {
+				c.report(f.Type.Pos(), "%s of %s copies atomic/mutex state; use a pointer", what, name)
+			}
+		}
+	}
+	check(fn.Recv, "value receiver")
+	check(fn.Type.Params, "by-value parameter")
+	check(fn.Type.Results, "by-value result")
+}
+
+// checkValueCopy reports e when evaluating it copies an existing
+// no-copy value: a plain identifier/selector/index of such a type, or a
+// dereference. Composite literals, calls, and &-expressions construct
+// or alias rather than copy.
+func (c *checker) checkValueCopy(e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if name, bad := noCopy(t); bad {
+		c.report(e.Pos(), "copies %s by value, which contains atomic/mutex state; use a pointer", name)
+	}
+}

@@ -1,0 +1,91 @@
+// Fixture for the atomics analyzer: mixed atomic/plain field access,
+// guarded reads, escape hatches (valid, missing justification, stale),
+// typed-atomic address escapes, and by-value copies of no-copy structs.
+package atomicsfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu sync.Mutex
+	// n is disciplined by the atomic.AddUint64 in inc.
+	n uint64
+	// guarded is touched both atomically and under mu.
+	guarded uint64 //repro:guardedby mu
+	typed   atomic.Int64
+	plain   int
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counters) okAtomic() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counters) bad() uint64 {
+	return c.n // want "plain access to field n, which is accessed atomically elsewhere"
+}
+
+func (c *counters) okGuarded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	atomic.AddUint64(&c.guarded, 0)
+	return c.guarded
+}
+
+func (c *counters) badGuarded() uint64 {
+	return c.guarded // want "plain access to field guarded"
+}
+
+func (c *counters) okPlainread() uint64 {
+	return c.n //repro:plainread monotonic stats counter, torn read acceptable
+}
+
+func (c *counters) missingWhy() uint64 {
+	return c.n //repro:plainread // want "requires a justification"
+}
+
+func (c *counters) stale() int {
+	return c.plain //repro:plainread not needed here // want "unused //repro:plainread"
+}
+
+func (c *counters) escape() *atomic.Int64 {
+	return &c.typed // want "address of atomic field typed escapes"
+}
+
+func (c *counters) okTyped() int64 {
+	return c.typed.Load()
+}
+
+func sink(c counters) int { // want "by-value parameter of .*counters"
+	return c.plain
+}
+
+func (c counters) snapshot() int { // want "value receiver of .*counters"
+	return c.plain
+}
+
+func deref(p *counters) {
+	v := *p // want "copies .*counters by value"
+	_ = v.plain
+}
+
+func passByValue(p *counters) int {
+	return sink(*p) // want "copies .*counters by value"
+}
+
+func rangeCopy(list []counters) {
+	for _, v := range list { // want "range value copies .*counters"
+		_ = v.plain
+	}
+}
+
+func okPointers(list []*counters) {
+	for _, v := range list {
+		v.inc()
+	}
+}

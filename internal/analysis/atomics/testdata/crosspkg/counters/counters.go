@@ -1,0 +1,15 @@
+// Dependency package: exports the atomics-discipline fact for Stats.N
+// (its address feeds atomic.AddUint64 here, its home package).
+package counters
+
+import "sync/atomic"
+
+// Stats is a shared counter block updated lock-free.
+type Stats struct {
+	N uint64
+}
+
+// Inc bumps the counter.
+func (s *Stats) Inc() {
+	atomic.AddUint64(&s.N, 1)
+}

@@ -1,0 +1,14 @@
+// Fixture for cross-package atomics discipline: counters.Stats.N is
+// disciplined in its home package (fixture/counters); plain reads here
+// must be flagged through module facts.
+package crosspkg
+
+import "fixture/counters"
+
+func bad(s *counters.Stats) uint64 {
+	return s.N // want "plain access to field N, which is accessed atomically elsewhere .*home package"
+}
+
+func ok(s *counters.Stats) uint64 {
+	return s.N //repro:plainread stats endpoint tolerates a torn read
+}

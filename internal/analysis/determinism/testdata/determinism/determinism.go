@@ -1,0 +1,163 @@
+// Fixture for the determinism analyzer: map iteration (sorted,
+// aggregated, collected, arbitrary), wall-clock reads, non-xrand
+// randomness, selects, transitive callees, and the order-insensitive
+// escape (valid, missing justification, stale).
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type pair struct {
+	k string
+	v int
+}
+
+//repro:deterministic
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//repro:deterministic
+func sortedStructs(m map[string]int) []pair {
+	out := make([]pair, 0, len(m))
+	for k, v := range m {
+		out = append(out, pair{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+//repro:deterministic
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "collects into keys but no sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//repro:deterministic
+func aggregate(m map[string]int) int {
+	sum, n := 0, 0
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum + n
+}
+
+//repro:deterministic
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+//repro:deterministic
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+//repro:deterministic
+func hashFold(m map[string]int) int {
+	h := 0
+	for _, v := range m { // want "unordered map iteration"
+		h = h*31 + v
+	}
+	return h
+}
+
+//repro:deterministic
+func escaped(m map[string]int) int {
+	h := 0
+	for _, v := range m { //repro:order-insensitive fixture: pretend the fold commutes
+		h = h*31 + v
+	}
+	return h
+}
+
+//repro:deterministic
+func missingWhy(m map[string]int) int {
+	h := 0
+	for _, v := range m { //repro:order-insensitive // want "requires a justification"
+		h = h*31 + v
+	}
+	return h
+}
+
+//repro:deterministic
+func stale(xs []int) int {
+	s := 0
+	for _, v := range xs { //repro:order-insensitive slice order is fixed // want "unused //repro:order-insensitive"
+		s += v
+	}
+	return s
+}
+
+//repro:deterministic
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic function"
+}
+
+//repro:deterministic
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic function"
+}
+
+//repro:deterministic
+func noise() int {
+	return rand.Int() // want "rand.Int in deterministic function"
+}
+
+//repro:deterministic
+func race(a, b chan int) int {
+	select { // want "select over multiple channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//repro:deterministic
+func tryRecv(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+//repro:deterministic
+func helperOK(x int) int { return x + 1 }
+
+//repro:deterministic
+func callsOK(x int) int { return helperOK(x) }
+
+func helper(x int) int { return x * 2 }
+
+//repro:deterministic
+func callsBad(x int) int {
+	return helper(x) // want "callee is not //repro:deterministic"
+}
+
+// unannotated functions are not checked at all.
+func freeAgent(m map[string]int) int64 {
+	for range m {
+		break
+	}
+	return time.Now().UnixNano()
+}

@@ -23,6 +23,7 @@ package lockcheck
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -60,6 +61,22 @@ func run(pass *analysis.Pass) error {
 
 // collectGuards finds //repro:guardedby annotations and validates them.
 func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	return collectGuardsImpl(pass, true)
+}
+
+// collectGuardsQuiet is collectGuards without the malformed-annotation
+// diagnostics, for reuse by sibling analyzers that must not duplicate
+// lockcheck's own reports.
+func collectGuardsQuiet(pass *analysis.Pass) map[*types.Var]guard {
+	return collectGuardsImpl(pass, false)
+}
+
+func collectGuardsImpl(pass *analysis.Pass, report bool) map[*types.Var]guard {
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if report {
+			pass.Reportf(pos, format, args...)
+		}
+	}
 	guards := make(map[*types.Var]guard)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -73,16 +90,16 @@ func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
 					continue
 				}
 				if dir.Args == "" {
-					pass.Reportf(dir.Pos, "//repro:guardedby needs the guarding mutex field name")
+					reportf(dir.Pos, "//repro:guardedby needs the guarding mutex field name")
 					continue
 				}
 				lockName := dir.Args
 				if !lockFieldExists(pass, st, lockName) {
-					pass.Reportf(dir.Pos, "//repro:guardedby %s: no sync.Mutex/sync.RWMutex field %q in this struct", lockName, lockName)
+					reportf(dir.Pos, "//repro:guardedby %s: no sync.Mutex/sync.RWMutex field %q in this struct", lockName, lockName)
 					continue
 				}
 				if len(f.Names) == 0 {
-					pass.Reportf(dir.Pos, "//repro:guardedby on an embedded field is not supported; name the field")
+					reportf(dir.Pos, "//repro:guardedby on an embedded field is not supported; name the field")
 					continue
 				}
 				for _, name := range f.Names {
@@ -130,23 +147,32 @@ func isMutex(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
-// lockAcquisition is one x.mu.Lock()/RLock() call site.
-type lockAcquisition struct {
-	root     types.Object // the object x the lock hangs off
-	lockName string
-	pos      int // file offset for textual ordering
+// Acquisition is one x.mu.Lock()/RLock() call site. Exported so sibling
+// analyzers (atomics) can reuse the same "is the guarding mutex
+// demonstrably held here" reasoning.
+type Acquisition struct {
+	// Root is the object the lock hangs off (x in x.mu.Lock()).
+	Root types.Object
+	// LockName is the mutex field's name.
+	LockName string
+	// Pos is the acquisition's position, for textual ordering.
+	Pos token.Pos
 }
 
-func checkFunc(pass *analysis.Pass, guards map[*types.Var]guard, fn *ast.FuncDecl) {
+// IsExempt reports whether fn opted out of per-function lock checking as
+// an audited lock-held accessor: a ...Locked name suffix or a
+// //repro:locked caller-contract annotation.
+func IsExempt(fn *ast.FuncDecl) bool {
 	if strings.HasSuffix(fn.Name.Name, "Locked") {
-		return
+		return true
 	}
-	if _, ok := analysis.FuncDirective(fn, "locked"); ok {
-		return
-	}
+	_, ok := analysis.FuncDirective(fn, "locked")
+	return ok
+}
 
-	// Pass 1: collect lock acquisitions.
-	var acquired []lockAcquisition
+// LockAcquisitions collects every mutex acquisition in fn's body.
+func LockAcquisitions(pass *analysis.Pass, fn *ast.FuncDecl) []Acquisition {
+	var acquired []Acquisition
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -160,17 +186,52 @@ func checkFunc(pass *analysis.Pass, guards map[*types.Var]guard, fn *ast.FuncDec
 		if !ok {
 			return true
 		}
-		root := rootObject(pass, lockExpr.X)
+		root := RootObject(pass, lockExpr.X)
 		if root == nil {
 			return true
 		}
-		acquired = append(acquired, lockAcquisition{
-			root:     root,
-			lockName: lockExpr.Sel.Name,
-			pos:      int(call.Pos()),
+		acquired = append(acquired, Acquisition{
+			Root:     root,
+			LockName: lockExpr.Sel.Name,
+			Pos:      call.Pos(),
 		})
 		return true
 	})
+	return acquired
+}
+
+// Held reports whether some acquisition of lockName on root textually
+// precedes pos.
+func Held(acquired []Acquisition, lockName string, root types.Object, pos token.Pos) bool {
+	if root == nil {
+		return false
+	}
+	for _, a := range acquired {
+		if a.LockName == lockName && a.Root == root && a.Pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// GuardedBy returns the //repro:guardedby annotations of the package's
+// struct fields without reporting malformed ones (the lockcheck run
+// itself does that): field object → guarding mutex field name.
+func GuardedBy(pass *analysis.Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for v, g := range collectGuardsQuiet(pass) {
+		out[v] = g.lockName
+	}
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, guards map[*types.Var]guard, fn *ast.FuncDecl) {
+	if IsExempt(fn) {
+		return
+	}
+
+	// Pass 1: collect lock acquisitions.
+	acquired := LockAcquisitions(pass, fn)
 
 	// Pass 2: check guarded-field accesses.
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -190,24 +251,17 @@ func checkFunc(pass *analysis.Pass, guards map[*types.Var]guard, fn *ast.FuncDec
 		if !guarded {
 			return true
 		}
-		root := rootObject(pass, sel.X)
-		held := false
-		for _, a := range acquired {
-			if a.lockName == g.lockName && a.root == root && root != nil && a.pos < int(sel.Pos()) {
-				held = true
-				break
-			}
-		}
-		if !held {
+		root := RootObject(pass, sel.X)
+		if !Held(acquired, g.lockName, root, sel.Pos()) {
 			pass.Reportf(sel.Sel.Pos(), "field %s (guarded by %s) accessed without %s held: lock it in this function, or audit the caller contract with //repro:locked / a ...Locked name", field.Name(), g.lockName, g.lockName)
 		}
 		return true
 	})
 }
 
-// rootObject resolves the innermost identifier of a selector/index
+// RootObject resolves the innermost identifier of a selector/index
 // chain to its object (s in s.res.Class[i], sh in sh.m).
-func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+func RootObject(pass *analysis.Pass, e ast.Expr) types.Object {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.Ident:

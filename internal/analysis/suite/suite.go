@@ -4,6 +4,8 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomics"
+	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/frames"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lockcheck"
@@ -14,6 +16,8 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		hotpath.Analyzer,
+		atomics.Analyzer,
+		determinism.Analyzer,
 		statecheck.Analyzer,
 		lockcheck.Analyzer,
 		frames.Analyzer,

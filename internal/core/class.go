@@ -61,6 +61,7 @@ var classNames = [NumClasses]string{
 }
 
 // String returns the paper's name for the class.
+//repro:deterministic
 func (c Class) String() string {
 	if c >= NumClasses {
 		return "invalid-class"
@@ -90,6 +91,7 @@ const (
 var levelNames = [NumLevels]string{"low", "medium", "high"}
 
 // String returns the level name.
+//repro:deterministic
 func (l Level) String() string {
 	if l >= NumLevels {
 		return "invalid-level"
@@ -107,6 +109,7 @@ func (l Level) String() string {
 // runs the modified (probabilistic-saturation) automaton; with the standard
 // automaton Stag retains a near-average misprediction rate (§5.3).
 //repro:hotpath
+//repro:deterministic
 func (c Class) Level() Level {
 	switch c {
 	case LowConfBim, Wtag, NWtag:
@@ -120,9 +123,11 @@ func (c Class) Level() Level {
 
 // Classes lists all seven classes in display order (bimodal classes by
 // rising confidence, then tagged classes by rising counter strength).
+//repro:deterministic
 func Classes() []Class {
 	return []Class{LowConfBim, MediumConfBim, HighConfBim, Wtag, NWtag, NStag, Stag}
 }
 
 // Levels lists the three levels in rising-confidence order.
+//repro:deterministic
 func Levels() []Level { return []Level{Low, Medium, High} }

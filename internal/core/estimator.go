@@ -27,6 +27,7 @@ const (
 )
 
 // String names the mode.
+//repro:deterministic
 func (m AutomatonMode) String() string {
 	switch m {
 	case ModeStandard:

@@ -64,6 +64,7 @@ func (r *Runner) RunBimWindowAblation() (BimWindowAblation, error) {
 }
 
 // Render writes the window ablation table.
+//repro:deterministic
 func (a BimWindowAblation) Render(w io.Writer) {
 	header := []string{"window", "medium-conf-bim Pcov", "MPcov", "MPrate", "high-conf-bim MPrate"}
 	var rows [][]string
@@ -130,6 +131,7 @@ func (r *Runner) RunUseAltAblation() (UseAltAblation, error) {
 }
 
 // Render writes the USE_ALT_ON_NA ablation table.
+//repro:deterministic
 func (a UseAltAblation) Render(w io.Writer) {
 	header := []string{"config", "misp/KI with", "misp/KI without", "Wtag MKP with", "Wtag MKP without"}
 	var rows [][]string
@@ -196,6 +198,7 @@ func (r *Runner) RunCtrWidthAblation() (CtrWidthAblation, error) {
 }
 
 // Render writes the counter-width ablation table.
+//repro:deterministic
 func (a CtrWidthAblation) Render(w io.Writer) {
 	header := []string{"config", "ctr bits", "misp/KI", "Stag Pcov", "Stag MPrate"}
 	var rows [][]string
@@ -295,6 +298,7 @@ func (r *Runner) RunEstimatorComparison() (EstimatorComparison, error) {
 }
 
 // Render writes the estimator comparison table.
+//repro:deterministic
 func (c EstimatorComparison) Render(w io.Writer) {
 	header := []string{"estimator", "extra storage", "SENS", "PVP", "SPEC", "PVN"}
 	var rows [][]string

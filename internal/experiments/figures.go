@@ -16,6 +16,7 @@ var classSegments = []core.Class{
 	core.Stag, core.NStag, core.NWtag, core.Wtag,
 }
 
+//repro:deterministic
 func classSegmentNames() []string {
 	names := make([]string, len(classSegments))
 	for i, c := range classSegments {
@@ -104,6 +105,7 @@ func (r *Runner) distribution(title string, opts core.Options, specs []panelSpec
 // Render draws each panel as a pair of stacked-bar charts mirroring the
 // paper's left (prediction coverage) and right (misp/KI contribution)
 // columns.
+//repro:deterministic
 func (f DistributionFigure) Render(w io.Writer) {
 	fmt.Fprintf(w, "%s\n\n", f.Title)
 	segNames := classSegmentNames()
@@ -168,6 +170,7 @@ func (r *Runner) RunFigure6() (RatesFigure, error) {
 }
 
 // Render draws one group of class-rate bars per trace.
+//repro:deterministic
 func (f RatesFigure) Render(w io.Writer) {
 	var groups []textplot.Group
 	for _, tr := range f.Traces {

@@ -133,6 +133,7 @@ func (r *Runner) compareLTAGE(cfg tage.Config, loopCfg looppred.Config, label st
 }
 
 // Render writes the comparison table.
+//repro:deterministic
 func (c LTAGEComparison) Render(w io.Writer) {
 	header := []string{"config", "workload", "TAGE misp/KI", "L-TAGE misp/KI", "loop-provided", "extra bits"}
 	var rows [][]string

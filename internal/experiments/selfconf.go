@@ -189,6 +189,7 @@ func runSelfConfidence(p selfConfidencePredictor, tr trace.Trace, limit uint64) 
 }
 
 // Render writes the comparison table.
+//repro:deterministic
 func (s SelfConfidence) Render(w io.Writer) {
 	header := []string{"scheme", "predictor bits", "misp/KI", "SENS", "PVP", "SPEC", "PVN"}
 	var rows [][]string

@@ -71,6 +71,7 @@ func (r *Runner) RunTable1() (Table1, error) {
 
 // Render writes the table in the paper's layout, with the paper's numbers
 // alongside for comparison.
+//repro:deterministic
 func (t Table1) Render(w io.Writer) {
 	header := []string{"", "Small", "Medium", "Large"}
 	rows := [][]string{
@@ -99,6 +100,7 @@ type LevelCell struct {
 	MPrate float64
 }
 
+//repro:deterministic
 func (c LevelCell) String() string {
 	return fmt.Sprintf("%.3f-%.3f (%.0f)", c.Pcov, c.MPcov, c.MPrate)
 }
@@ -194,6 +196,7 @@ func (r *Runner) RunThreeClass(adaptive bool) (ThreeClassTable, error) {
 }
 
 // Render writes the table in the paper's layout with the paper's values.
+//repro:deterministic
 func (t ThreeClassTable) Render(w io.Writer) {
 	title := "Table 2: high/medium/low confidence coverage (Pcov-MPcov (MPrate MKP)), probability 1/128"
 	paper := PaperTable2
@@ -216,6 +219,7 @@ func (t ThreeClassTable) Render(w io.Writer) {
 	textplot.Table(w, title, header, rows)
 }
 
+//repro:deterministic
 func shortSize(config string) string {
 	switch config {
 	case "16Kbits":

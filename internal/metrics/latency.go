@@ -37,6 +37,7 @@ type Latency struct {
 // SetCap sets the retention cap (<= 0 restores DefaultLatencyCap).
 // Call before the first Observe; lowering the cap later does not shrink
 // an already-full reservoir.
+//repro:deterministic
 func (l *Latency) SetCap(n int) {
 	if n <= 0 {
 		n = DefaultLatencyCap
@@ -44,6 +45,7 @@ func (l *Latency) SetCap(n int) {
 	l.limit = n
 }
 
+//repro:deterministic
 func (l *Latency) cap() int {
 	if l.limit <= 0 {
 		return DefaultLatencyCap
@@ -65,15 +67,20 @@ func (l *Latency) next() uint64 {
 }
 
 // Observe records one duration sample.
+//repro:deterministic
 func (l *Latency) Observe(d time.Duration) {
 	l.observe(d.Seconds())
 }
 
 // observe runs one step of Vitter's algorithm R: fill the reservoir to
 // cap, then replace a uniformly chosen slot with probability cap/seen.
+//repro:deterministic
 func (l *Latency) observe(v float64) {
 	l.seen++
 	if max := l.cap(); len(l.samples) >= max {
+		// The PRNG step is pure, but which samples survive still depends
+		// on observation arrival order across goroutines/merges.
+		//repro:order-insensitive the reservoir is a deliberately lossy statistical summary; quantile estimates are exchangeable and never feed bit-reproduced output
 		if j := l.next() % l.seen; j < uint64(max) {
 			l.samples[j] = v
 			l.sorted = false
@@ -87,6 +94,7 @@ func (l *Latency) observe(v float64) {
 // Merge folds another recorder's samples into l. The retained samples
 // of other stream through l's reservoir; other's downsampled-away
 // observations still count toward l.seen, so N stays the true total.
+//repro:deterministic
 func (l *Latency) Merge(other *Latency) {
 	for _, v := range other.samples {
 		l.observe(v)
@@ -96,14 +104,17 @@ func (l *Latency) Merge(other *Latency) {
 
 // N returns the number of observed samples (including any the reservoir
 // downsampled away).
+//repro:deterministic
 func (l *Latency) N() int { return int(l.seen) }
 
 // Retained returns the number of samples currently held.
+//repro:deterministic
 func (l *Latency) Retained() int { return len(l.samples) }
 
 // Quantile returns the p-quantile (p in [0,1]) of the retained samples
 // as a duration; 0 when no samples were recorded. Exact while N is
 // within the cap, a sqrt(p*(1-p)/cap)-rank-error estimate beyond it.
+//repro:deterministic
 func (l *Latency) Quantile(p float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
@@ -117,9 +128,11 @@ func (l *Latency) Quantile(p float64) time.Duration {
 
 // Summary computes the distribution statistics of the retained samples
 // in seconds.
+//repro:deterministic
 func (l *Latency) Summary() Summary { return Summarize(l.samples) }
 
 // String reports the conventional latency quartet.
+//repro:deterministic
 func (l *Latency) String() string {
 	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
 		l.Quantile(0.5), l.Quantile(0.9), l.Quantile(0.99), l.Quantile(1))

@@ -20,6 +20,7 @@ type Counts struct {
 }
 
 // Add accumulates other into c.
+//repro:deterministic
 func (c *Counts) Add(other Counts) {
 	c.Preds += other.Preds
 	c.Misps += other.Misps
@@ -28,6 +29,7 @@ func (c *Counts) Add(other Counts) {
 // Sub removes other from c, clamping at zero. The serve engine uses it
 // to un-fold the tallies of an evicted session that is re-adopted from
 // its checkpoint, so its branches are counted exactly once.
+//repro:deterministic
 func (c *Counts) Sub(other Counts) {
 	if other.Preds > c.Preds {
 		c.Preds = 0
@@ -52,6 +54,7 @@ func (c *Counts) Record(mispredicted bool) {
 
 // MKP returns the misprediction rate in mispredictions per
 // kilo-prediction; 0 when there are no predictions.
+//repro:deterministic
 func (c Counts) MKP() float64 {
 	if c.Preds == 0 {
 		return 0
@@ -60,14 +63,17 @@ func (c Counts) MKP() float64 {
 }
 
 // Rate returns the misprediction rate as a fraction in [0, 1].
+//repro:deterministic
 func (c Counts) Rate() float64 { return c.MKP() / 1000 }
 
+//repro:deterministic
 func (c Counts) String() string {
 	return fmt.Sprintf("%d/%d (%.1f MKP)", c.Misps, c.Preds, c.MKP())
 }
 
 // MPKI converts a misprediction count and instruction count to
 // mispredictions per kilo-instruction.
+//repro:deterministic
 func MPKI(misps, instructions uint64) float64 {
 	if instructions == 0 {
 		return 0
@@ -77,6 +83,7 @@ func MPKI(misps, instructions uint64) float64 {
 
 // Pcov is the prediction coverage of a class: the fraction of all
 // predictions that belong to it.
+//repro:deterministic
 func Pcov(class, total Counts) float64 {
 	if total.Preds == 0 {
 		return 0
@@ -86,6 +93,7 @@ func Pcov(class, total Counts) float64 {
 
 // MPcov is the misprediction coverage of a class: the fraction of all
 // mispredictions that belong to it.
+//repro:deterministic
 func MPcov(class, total Counts) float64 {
 	if total.Misps == 0 {
 		return 0
@@ -95,6 +103,7 @@ func MPcov(class, total Counts) float64 {
 
 // MPrate is the misprediction rate of the class in MKP (an alias of
 // Counts.MKP named as in the paper).
+//repro:deterministic
 func MPrate(class Counts) float64 { return class.MKP() }
 
 // Binary is the confusion tally of a two-way (high/low confidence)
@@ -122,6 +131,7 @@ func (b *Binary) Record(highConfidence, mispredicted bool) {
 }
 
 // Add accumulates other into b.
+//repro:deterministic
 func (b *Binary) Add(other Binary) {
 	b.HighCorrect += other.HighCorrect
 	b.HighWrong += other.HighWrong
@@ -130,10 +140,12 @@ func (b *Binary) Add(other Binary) {
 }
 
 // Total returns the number of recorded predictions.
+//repro:deterministic
 func (b Binary) Total() uint64 {
 	return b.HighCorrect + b.HighWrong + b.LowCorrect + b.LowWrong
 }
 
+//repro:deterministic
 func ratio(num, den uint64) float64 {
 	if den == 0 {
 		return 0
@@ -143,20 +155,25 @@ func ratio(num, den uint64) float64 {
 
 // Sens (sensitivity) is the fraction of correct predictions classified
 // high confidence.
+//repro:deterministic
 func (b Binary) Sens() float64 { return ratio(b.HighCorrect, b.HighCorrect+b.LowCorrect) }
 
 // PVP (predictive value of a positive test) is the probability that a
 // high-confidence prediction is correct.
+//repro:deterministic
 func (b Binary) PVP() float64 { return ratio(b.HighCorrect, b.HighCorrect+b.HighWrong) }
 
 // Spec (specificity) is the fraction of mispredictions correctly
 // identified as low confidence.
+//repro:deterministic
 func (b Binary) Spec() float64 { return ratio(b.LowWrong, b.LowWrong+b.HighWrong) }
 
 // PVN (predictive value of a negative test) is the fraction of
 // low-confidence predictions that are effectively mispredicted.
+//repro:deterministic
 func (b Binary) PVN() float64 { return ratio(b.LowWrong, b.LowWrong+b.LowCorrect) }
 
+//repro:deterministic
 func (b Binary) String() string {
 	return fmt.Sprintf("SENS=%.3f PVP=%.3f SPEC=%.3f PVN=%.3f", b.Sens(), b.PVP(), b.Spec(), b.PVN())
 }

@@ -51,6 +51,7 @@ func bucketIndex(v uint64) int {
 // inclusive upper bound, which is also what Quantile reports so the
 // estimate always errs high (a latency SLO read from the histogram is
 // conservative).
+//repro:deterministic
 func BucketBound(i int) uint64 {
 	if i < histSubs {
 		return uint64(i)
@@ -73,7 +74,12 @@ func (h *Histogram) Observe(d time.Duration) {
 //
 //repro:hotpath
 func (h *Histogram) ObserveValue(v uint64) {
-	h.counts[bucketIndex(v)].Add(1)
+	// bucketIndex's maximum is exactly NumBuckets-1 (v = MaxUint64 hits
+	// the last sub-bucket of the top octave), so the clamp never fires;
+	// it exists to hand the compiler a provable bound and drop the bounds
+	// check from the hot atomic add.
+	i := min(uint(bucketIndex(v)), NumBuckets-1)
+	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
 }
@@ -103,6 +109,7 @@ func (h *Histogram) Merge(other *Histogram) {
 // snapshot copies the bucket counts and returns their total. Summing
 // the copied buckets (rather than loading h.count) keeps the quantile
 // walk internally consistent under concurrent writers.
+//repro:deterministic
 func (h *Histogram) snapshot(buckets *[NumBuckets]uint64) (total uint64) {
 	for i := range h.counts {
 		buckets[i] = h.counts[i].Load()

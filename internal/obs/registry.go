@@ -118,6 +118,7 @@ func (r *Registry) Collect(fn func(*TextWriter)) {
 
 // WriteText renders the full exposition to w and reports the first
 // write error.
+//repro:deterministic
 func (r *Registry) WriteText(w io.Writer) error {
 	tw := NewTextWriter(w)
 	for i := range r.metrics {
@@ -146,6 +147,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 // writeHistogram emits the cumulative bucket series in seconds. Only
 // occupied buckets get a line (the cumulative encoding makes skipped
 // empties implicit); +Inf always closes the series.
+//repro:deterministic
 func writeHistogram(tw *TextWriter, name string, h *Histogram) {
 	var buckets [NumBuckets]uint64
 	total := h.snapshot(&buckets)
@@ -185,13 +187,16 @@ type TextWriter struct {
 }
 
 // NewTextWriter wraps w.
+//repro:deterministic
 func NewTextWriter(w io.Writer) *TextWriter {
 	return &TextWriter{w: w, buf: make([]byte, 0, 256)}
 }
 
 // Err returns the first write error, if any.
+//repro:deterministic
 func (t *TextWriter) Err() error { return t.err }
 
+//repro:deterministic
 func (t *TextWriter) flush() {
 	if t.err == nil {
 		_, t.err = t.w.Write(t.buf)
@@ -201,6 +206,7 @@ func (t *TextWriter) flush() {
 
 // Family emits the # HELP and # TYPE header for a metric family. typ is
 // one of counter, gauge, histogram, summary or untyped.
+//repro:deterministic
 func (t *TextWriter) Family(name, typ, help string) {
 	t.buf = append(t.buf, "# HELP "...)
 	t.buf = append(t.buf, name...)
@@ -215,6 +221,7 @@ func (t *TextWriter) Family(name, typ, help string) {
 }
 
 // Value emits an unlabeled sample.
+//repro:deterministic
 func (t *TextWriter) Value(name string, v float64) {
 	t.buf = append(t.buf, name...)
 	t.buf = append(t.buf, ' ')
@@ -225,6 +232,7 @@ func (t *TextWriter) Value(name string, v float64) {
 
 // ValueL emits a sample with labels given as alternating key, value
 // pairs.
+//repro:deterministic
 func (t *TextWriter) ValueL(name string, v float64, kv ...string) {
 	if len(kv)%2 != 0 {
 		panic("obs: ValueL needs alternating key, value pairs")
@@ -249,6 +257,7 @@ func (t *TextWriter) ValueL(name string, v float64, kv ...string) {
 // formatValue renders a sample value. Integral values print without an
 // exponent or decimal point so shell-side awk comparisons in the smoke
 // scripts ('test "$v" -gt 0') keep working on large counters.
+//repro:deterministic
 func formatValue(v float64) string {
 	switch {
 	case math.IsInf(v, 1):
@@ -262,6 +271,7 @@ func formatValue(v float64) string {
 }
 
 // appendEscapedHelp escapes a HELP docstring (backslash and newline).
+//repro:deterministic
 func appendEscapedHelp(dst []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
@@ -277,6 +287,7 @@ func appendEscapedHelp(dst []byte, s string) []byte {
 }
 
 // appendEscapedLabel escapes a label value (backslash, quote, newline).
+//repro:deterministic
 func appendEscapedLabel(dst []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {

@@ -667,6 +667,7 @@ type Snapshot struct {
 
 // Level aggregates the snapshot's class counts into a confidence level,
 // exactly as sim.Result.Level does.
+//repro:deterministic
 func (s Snapshot) Level(l core.Level) metrics.Counts {
 	var c metrics.Counts
 	for _, cl := range core.Classes() {
@@ -680,14 +681,20 @@ func (s Snapshot) Level(l core.Level) metrics.Counts {
 // Snapshot aggregates the engine's counters. Live sessions are snapshot
 // one at a time under their own lock, so a scrape never blocks the whole
 // service; the view is per-session consistent, not globally atomic.
+//repro:deterministic
 func (e *Engine) Snapshot() Snapshot {
 	e.retiredMu.Lock()
 	agg := e.retired
-	per := make(map[string]BackendCounts, len(e.openedBy))
-	for label, opened := range e.openedBy {
+	labels := make([]string, 0, len(e.openedBy))
+	for label := range e.openedBy {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	per := make(map[string]BackendCounts, len(labels))
+	for _, label := range labels {
 		bc := e.retiredBy[label]
 		bc.Label = label
-		bc.Opened = opened
+		bc.Opened = e.openedBy[label]
 		per[label] = bc
 	}
 	e.retiredMu.Unlock()

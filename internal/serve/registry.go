@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -88,11 +89,15 @@ func (r *registry) remove(id uint64) (*Session, bool) {
 }
 
 // count returns the number of live sessions.
+//repro:deterministic
 func (r *registry) count() int64 { return r.live.Load() }
 
-// forEach visits every live session. The visit runs outside the shard
-// locks (the snapshot is per shard), so it may observe sessions being
-// concurrently retired — callers handle that via the session lock.
+// forEach visits every live session in ascending id order. The visit
+// runs outside the shard locks (the snapshot is per shard), so it may
+// observe sessions being concurrently retired — callers handle that via
+// the session lock. The id ordering makes scrape aggregation and
+// checkpoint-write order deterministic for a given session population.
+//repro:deterministic
 func (r *registry) forEach(fn func(*Session)) {
 	var snap []*Session
 	for i := range r.shards {
@@ -103,6 +108,7 @@ func (r *registry) forEach(fn func(*Session)) {
 			snap = append(snap, s)
 		}
 		sh.mu.RUnlock()
+		sort.Slice(snap, func(i, j int) bool { return snap[i].id < snap[j].id })
 		for _, s := range snap {
 			fn(s)
 		}

@@ -487,6 +487,7 @@ func (s *Server) startHTTP(addr string, mux *http.ServeMux) (net.Listener, *http
 // aggregated over live and retired sessions. Metric names predate the
 // registry (the soak scripts and dashboards key on them), so this
 // collector preserves them exactly.
+//repro:deterministic
 func (s *Server) collectEngine(tw *obs.TextWriter) {
 	snap := s.eng.Snapshot()
 	counter := func(name, help string, v uint64) {
@@ -549,6 +550,7 @@ func (s *Server) collectEngine(tw *obs.TextWriter) {
 	counter("tage_serve_checkpoint_restore_failures_total", "Checkpoint restore failures.", snap.CheckpointRestoreFailures)
 	counter("tage_serve_checkpoint_write_failures_total", "Checkpoint write failures.", snap.CheckpointWriteFailures)
 	if snap.LastCheckpointUnixNano != 0 {
+		//repro:order-insensitive checkpoint age is a wall-clock freshness gauge by design; it feeds dashboards and alerts, never reproduced tables
 		age := float64(time.Now().UnixNano()-snap.LastCheckpointUnixNano) / 1e9
 		if age < 0 {
 			age = 0

@@ -85,7 +85,7 @@ func (s *Session) step(b trace.Branch) byte {
 	pred, class, level := s.bk.Predict(b.PC)
 	miss := pred != b.Taken
 	s.res.Total.Record(miss)
-	s.res.Class[class].Record(miss)
+	s.res.Class[class].Record(miss) //repro:allow-bce class comes from the backend's classifier, always < NumClasses; clamping would silently misattribute tallies
 	s.res.Branches++
 	s.res.Instructions += uint64(b.Instr)
 	s.bk.Update(b.PC, b.Taken)
@@ -121,6 +121,7 @@ func (s *Session) Stats() sim.Result {
 	return s.statsLocked()
 }
 
+//repro:deterministic
 func (s *Session) statsLocked() sim.Result {
 	s.res.FinalProbability = predictor.SaturationProbabilityOf(s.bk)
 	return s.res
@@ -129,6 +130,7 @@ func (s *Session) statsLocked() sim.Result {
 // liveStats snapshots the tallies unless the session has been retired.
 // Scrapes use it so a session racing with Close/eviction is counted
 // either in the live pass or in the retired aggregate, never in both.
+//repro:deterministic
 func (s *Session) liveStats() (sim.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

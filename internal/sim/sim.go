@@ -43,9 +43,11 @@ type Result struct {
 }
 
 // MPKI returns the run's mispredictions per kilo-instruction.
+//repro:deterministic
 func (r Result) MPKI() float64 { return metrics.MPKI(r.Total.Misps, r.Instructions) }
 
 // Level aggregates the class counts into the three confidence levels.
+//repro:deterministic
 func (r Result) Level(l core.Level) metrics.Counts {
 	var c metrics.Counts
 	for _, cl := range core.Classes() {
@@ -57,22 +59,27 @@ func (r Result) Level(l core.Level) metrics.Counts {
 }
 
 // Pcov returns the prediction coverage of a class.
+//repro:deterministic
 func (r Result) Pcov(c core.Class) float64 { return metrics.Pcov(r.Class[c], r.Total) }
 
 // MPcov returns the misprediction coverage of a class.
+//repro:deterministic
 func (r Result) MPcov(c core.Class) float64 { return metrics.MPcov(r.Class[c], r.Total) }
 
 // MPrate returns the misprediction rate of a class in MKP.
+//repro:deterministic
 func (r Result) MPrate(c core.Class) float64 { return r.Class[c].MKP() }
 
 // ClassMPKI returns the class's contribution to whole-trace misp/KI (the
 // right-hand panels of Figures 2, 3 and 5).
+//repro:deterministic
 func (r Result) ClassMPKI(c core.Class) float64 {
 	return metrics.MPKI(r.Class[c].Misps, r.Instructions)
 }
 
 // Add merges another result into r (suite aggregation). Trace/Config/Mode
 // are kept from r unless empty.
+//repro:deterministic
 func (r *Result) Add(other Result) {
 	if r.Trace == "" {
 		r.Trace = other.Trace
@@ -201,6 +208,7 @@ func RunSuite(cfg tage.Config, opts core.Options, traces []trace.Trace, limit ui
 // that assemble suites from individually cached trace results. The
 // assembly is deterministic, so a suite built from memoized per-trace
 // results is bit-identical to a freshly simulated one.
+//repro:deterministic
 func AssembleSuite(configName string, mode core.AutomatonMode, per []Result) SuiteResult {
 	var out SuiteResult
 	out.PerTrace = per

@@ -21,9 +21,14 @@ func (p *Predictor) AppendState(dst []byte) []byte {
 	for _, w := range p.arena {
 		dst = binary.LittleEndian.AppendUint32(dst, w)
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(p.folds)))
+	// Three folded registers per table, written as one flat count so the
+	// byte stream is unchanged from when folds was a flat slice.
+	dst = binary.AppendUvarint(dst, uint64(3*len(p.folds)))
 	for i := range p.folds {
-		dst = binary.AppendUvarint(dst, uint64(p.folds[i].Value()))
+		f := &p.folds[i]
+		dst = binary.AppendUvarint(dst, uint64(f.idx.Value()))
+		dst = binary.AppendUvarint(dst, uint64(f.tag.Value()))
+		dst = binary.AppendUvarint(dst, uint64(f.tag2.Value()))
 	}
 	dst = p.ghist.AppendState(dst)
 	dst = binary.AppendUvarint(dst, uint64(p.phist.Value()))
@@ -53,11 +58,14 @@ func (p *Predictor) RestoreState(r *statecodec.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	if nf != uint64(len(p.folds)) {
-		return fmt.Errorf("%w: tage folds %d, want %d", statecodec.ErrCorrupt, nf, len(p.folds))
+	if nf != uint64(3*len(p.folds)) {
+		return fmt.Errorf("%w: tage folds %d, want %d", statecodec.ErrCorrupt, nf, 3*len(p.folds))
 	}
 	for i := range p.folds {
-		p.folds[i].SetValue(uint32(r.Uvarint()))
+		f := &p.folds[i]
+		f.idx.SetValue(uint32(r.Uvarint()))
+		f.tag.SetValue(uint32(r.Uvarint()))
+		f.tag2.SetValue(uint32(r.Uvarint()))
 	}
 	if err := p.ghist.RestoreState(r); err != nil {
 		return err

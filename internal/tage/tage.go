@@ -105,13 +105,13 @@ type Predictor struct {
 	// Per-table pathHash parameters, precomputed so the per-probe hash is
 	// pure shift/mask work (the bank % taggedLog rotation amount used to
 	// cost an integer division per probe).
-	pathMask []uint32 //repro:derived (1 << min(histLen, PathBits)) - 1, fixed by cfg
-	pathSh   []uint32 //repro:derived bank % taggedLog (1-based bank), fixed by cfg
+	pathSpec []pathSpec //repro:derived fixed by cfg
 
-	// folds holds the three folded-history registers of each table
-	// contiguously: index fold, tag fold 1, tag fold 2 for table t at
-	// folds[3t], folds[3t+1], folds[3t+2].
-	folds []history.Folded
+	// folds holds each table's folded-history registers and history
+	// length in one struct: the per-branch history advance walks one
+	// contiguous slice, and a probe loads a bank's three registers from
+	// adjacent words with a single bounds check.
+	folds []tableFolds
 
 	ghist *history.Buffer
 	phist *history.Path
@@ -133,6 +133,24 @@ type Predictor struct {
 	altBank      int      //repro:derived per-prediction scratch
 	longestPred  bool     //repro:derived per-prediction scratch
 	allocScratch []int    //repro:derived per-prediction scratch
+}
+
+// pathSpec is one table's precomputed pathHash parameters: the
+// path-history mask ((1 << min(histLen, PathBits)) - 1) and the per-bank
+// rotation amount (bank % taggedLog, 1-based bank).
+type pathSpec struct {
+	mask uint32
+	sh   uint32
+}
+
+// tableFolds is one tagged table's folded-history state: the index
+// compression, the two tag compressions, and the history length whose
+// oldest bit leaves the fold window on each update.
+type tableFolds struct {
+	idx     history.Folded
+	tag     history.Folded
+	tag2    history.Folded
+	histLen int
 }
 
 // New builds a predictor with the standard saturating-counter automaton.
@@ -166,9 +184,8 @@ func NewWithAutomaton(cfg Config, auto counter.Automaton) *Predictor {
 		rowMask:   uint32(rows - 1),
 		tagMask:   (uint32(1) << cfg.TagBits) - 1,
 		histLens:  append([]int(nil), cfg.HistLengths...),
-		pathMask:  make([]uint32, m),
-		pathSh:    make([]uint32, m),
-		folds:     make([]history.Folded, 3*m),
+		pathSpec:  make([]pathSpec, m),
+		folds:     make([]tableFolds, m),
 		ghist:     history.NewBuffer(maxHist + 2),
 		phist:     history.NewPath(cfg.PathBits),
 		auto:      auto,
@@ -189,11 +206,13 @@ func NewWithAutomaton(cfg Config, auto counter.Automaton) *Predictor {
 		if ps > cfg.PathBits {
 			ps = cfg.PathBits
 		}
-		p.pathMask[i] = uint32(1)<<ps - 1
-		p.pathSh[i] = uint32(uint(i+1) % cfg.TaggedLog)
-		p.folds[3*i] = history.MakeFolded(hl, int(cfg.TaggedLog))
-		p.folds[3*i+1] = history.MakeFolded(hl, tagBits)
-		p.folds[3*i+2] = history.MakeFolded(hl, t2)
+		p.pathSpec[i] = pathSpec{mask: uint32(1)<<ps - 1, sh: uint32(uint(i+1) % cfg.TaggedLog)}
+		p.folds[i] = tableFolds{
+			idx:     history.MakeFolded(hl, int(cfg.TaggedLog)),
+			tag:     history.MakeFolded(hl, tagBits),
+			tag2:    history.MakeFolded(hl, t2),
+			histLen: hl,
+		}
 	}
 	return p
 }
@@ -210,12 +229,18 @@ func (p *Predictor) Automaton() counter.Automaton { return p.auto }
 // shift/mask/add work.
 //repro:hotpath
 func (p *Predictor) pathHash(bank int) uint32 {
+	// uint compare: one cold guard instead of a bounds check per field.
+	i := uint(bank) - 1
+	if i >= uint(len(p.pathSpec)) {
+		panic("tage: pathHash bank out of range")
+	}
+	ps := p.pathSpec[i]
 	logg := uint(p.taggedLog)
-	a := p.phist.Value() & p.pathMask[bank-1]
+	a := p.phist.Value() & ps.mask
 	mask := p.rowMask
 	a1 := a & mask
 	a2 := a >> logg
-	sh := uint(p.pathSh[bank-1])
+	sh := uint(ps.sh)
 	a2 = ((a2 << sh) & mask) + (a2 >> (logg - sh))
 	a = a1 ^ a2
 	a = ((a << sh) & mask) + (a >> (logg - sh))
@@ -227,15 +252,23 @@ func (p *Predictor) pathHash(bank int) uint32 {
 // history with the PC and path-history hash.
 //repro:hotpath
 func (p *Predictor) tableIndex(pc uint64, bank int) uint32 {
-	idx := uint32(pc>>2) ^ uint32(pc>>(2+p.taggedLog)) ^ p.folds[3*(bank-1)].Value() ^ p.pathHash(bank)
+	i := uint(bank) - 1
+	if i >= uint(len(p.folds)) {
+		panic("tage: tableIndex bank out of range")
+	}
+	idx := uint32(pc>>2) ^ uint32(pc>>(2+p.taggedLog)) ^ p.folds[i].idx.Value() ^ p.pathHash(bank)
 	return idx & p.rowMask
 }
 
 // tableTag computes the partial tag for table bank (1-based).
 //repro:hotpath
 func (p *Predictor) tableTag(pc uint64, bank int) uint16 {
-	fi := 3 * (bank - 1)
-	tag := uint32(pc>>2) ^ p.folds[fi+1].Value() ^ (p.folds[fi+2].Value() << 1)
+	i := uint(bank) - 1
+	if i >= uint(len(p.folds)) {
+		panic("tage: tableTag bank out of range")
+	}
+	f := &p.folds[i]
+	tag := uint32(pc>>2) ^ f.tag.Value() ^ (f.tag2.Value() << 1)
 	return uint16(tag & p.tagMask)
 }
 
@@ -246,34 +279,45 @@ func (p *Predictor) tableTag(pc uint64, bank int) uint16 {
 func (p *Predictor) Predict(pc uint64) Observation {
 	m := p.numTables
 	logg := p.taggedLog
-	p.hitBank, p.altBank = 0, 0
+	// Scratch as locals behind one geometry guard: with
+	// len(pos) == len(tagc) == m+1 established, the per-bank loops below
+	// index the scratch slices check-free.
+	pos, tagc := p.pos, p.tagc
+	if len(pos) != m+1 || len(tagc) != m+1 {
+		panic("tage: prediction scratch out of sync with geometry")
+	}
+	entries := p.entries
+	hitBank, altBank := 0, 0
 	// One pass computes each bank's absolute flat-storage position and
 	// partial tag, reading the bank's three folded-history registers from
-	// one contiguous cache line.
-	for bank := 1; bank <= m; bank++ {
-		p.pos[bank] = uint32(bank-1)<<logg | p.tableIndex(pc, bank)
-		p.tagc[bank] = p.tableTag(pc, bank)
+	// one contiguous cache line. The loops bound bank by len(pos) rather
+	// than m (the guard made them equal) so the compiler can discharge
+	// the scratch indexing without reasoning about m+1 overflow.
+	for bank := 1; bank < len(pos); bank++ {
+		pos[bank] = uint32(bank-1)<<logg | p.tableIndex(pc, bank)
+		tagc[bank] = p.tableTag(pc, bank)
 	}
-	for bank := m; bank >= 1; bank-- {
-		if entryTag(p.entries[p.pos[bank]]) == p.tagc[bank] {
-			if p.hitBank == 0 {
-				p.hitBank = bank
+	for bank := len(pos) - 1; bank >= 1; bank-- {
+		if entryTag(entries[pos[bank]]) == tagc[bank] { //repro:allow-bce pos[bank] = (bank-1)<<taggedLog | (row & rowMask) < numTables<<taggedLog = len(entries) by arena construction
+			if hitBank == 0 {
+				hitBank = bank
 			} else {
-				p.altBank = bank
+				altBank = bank
 				break
 			}
 		}
 	}
+	p.hitBank, p.altBank = hitBank, altBank
 
 	obs := Observation{
 		PC:          pc,
 		Provider:    ProviderBimodal,
 		AltProvider: ProviderBimodal,
-		BimCtr:      p.base.Counter(pc),
+		BimCtr:      p.base.Counter(pc), //repro:allow-bce inlined bimodal read: slot/packedPerWord < len(words) by NewPackedIn's length check
 	}
 	basePred := obs.BimCtr.Taken()
 
-	if p.hitBank == 0 {
+	if hitBank == 0 {
 		obs.Pred = basePred
 		obs.AltPred = basePred
 		p.longestPred = basePred
@@ -284,19 +328,19 @@ func (p *Predictor) Predict(pc uint64) Observation {
 
 	// The provider's word was just loaded by the tag-match loop; ctr and
 	// u come out of the same word with no further memory traffic.
-	providerEntry := p.entries[p.pos[p.hitBank]]
+	providerEntry := entries[pos[hitBank]] //repro:allow-bce pos[hitBank] is an arena position < len(entries) by construction (see the tag-match loop)
 	providerCtr := entryCtr(providerEntry)
 	p.longestPred = counter.TakenSigned(providerCtr)
 
 	altPred := basePred
-	if p.altBank > 0 {
-		altCtr := entryCtr(p.entries[p.pos[p.altBank]])
+	if altBank > 0 {
+		altCtr := entryCtr(entries[pos[altBank]]) //repro:allow-bce pos[altBank] is an arena position < len(entries) by construction
 		altPred = counter.TakenSigned(altCtr)
-		obs.AltProvider = p.altBank - 1
+		obs.AltProvider = altBank - 1
 		obs.AltCtr = altCtr
 	}
 
-	obs.Provider = p.hitBank - 1
+	obs.Provider = hitBank - 1
 	obs.ProviderCtr = providerCtr
 	obs.ProviderU = entryU(providerEntry)
 	obs.AltPred = altPred
@@ -327,17 +371,25 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	obs := p.lastObs
 	m := p.numTables
 	ctrBits := p.cfg.CtrBits
+	hitBank, altBank := p.hitBank, p.altBank
+	entries := p.entries
 
 	// Allocation on misprediction when a longer-history table exists.
-	if obs.Pred != taken && p.hitBank < m {
+	if obs.Pred != taken && hitBank < m {
 		p.allocate(taken)
 	}
 
-	if p.hitBank > 0 {
+	if hitBank > 0 {
+		// uint compares: one cold guard lifts the scratch-index bounds
+		// checks off the provider/alternate updates below.
+		pos := p.pos
+		if uint(hitBank) >= uint(len(pos)) || uint(altBank) >= uint(len(pos)) {
+			panic("tage: prediction scratch out of sync with geometry")
+		}
 		// The provider's ctr and u updates below are a read-modify-write
 		// of one entry word: load once, rewrite fields, store once.
-		providerPos := p.pos[p.hitBank]
-		e := p.entries[providerPos]
+		providerPos := pos[hitBank]
+		e := entries[providerPos] //repro:allow-bce providerPos = (hitBank-1)<<taggedLog | (row & rowMask) < len(entries) by arena construction
 		ctr := entryCtr(e)
 
 		// USE_ALT_ON_NA monitors whether the alternate prediction beats a
@@ -355,10 +407,10 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 		// When the provider entry is not yet established (u == 0), also
 		// train the alternate prediction source.
 		if entryU(e) == 0 {
-			if p.altBank > 0 {
-				altPos := p.pos[p.altBank]
-				ae := p.entries[altPos]
-				p.entries[altPos] = entrySetCtr(ae, p.auto.Update(entryCtr(ae), ctrBits, taken))
+			if altBank > 0 {
+				altPos := pos[altBank]
+				ae := entries[altPos] //repro:allow-bce altPos is an arena position < len(entries) by construction
+				entries[altPos] = entrySetCtr(ae, p.auto.Update(entryCtr(ae), ctrBits, taken))
 			} else {
 				p.base.Update(pc, taken)
 			}
@@ -375,7 +427,7 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 				e = entrySetU(e, counter.DecUnsigned(entryU(e)))
 			}
 		}
-		p.entries[providerPos] = e
+		entries[providerPos] = e
 	} else {
 		p.base.Update(pc, taken)
 	}
@@ -384,8 +436,8 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	// every UResetPeriod updates — one pass over the flat entry array.
 	p.tick++
 	if p.tick&(p.cfg.UResetPeriod-1) == 0 {
-		for j := range p.entries {
-			p.entries[j] = entryAgeU(p.entries[j])
+		for j := range entries {
+			entries[j] = entryAgeU(entries[j])
 		}
 	}
 
@@ -394,18 +446,19 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 	// The three folds of a table share one history window, so the boundary
 	// bits are loaded once per table and fed from registers (the newest
 	// bit is the outcome just pushed).
-	p.ghist.Push(taken)
+	p.ghist.Push(taken) //repro:allow-bce inlined circular-buffer write: head & mask < len(bits) by NewBuffer's power-of-two sizing
 	p.phist.Push(pc)
 	var newest uint8
 	if taken {
 		newest = 1
 	}
 	folds := p.folds
-	for t := 0; t < m; t++ {
-		leaving := p.ghist.Bit(p.histLens[t])
-		folds[3*t].UpdateBits(newest, leaving)
-		folds[3*t+1].UpdateBits(newest, leaving)
-		folds[3*t+2].UpdateBits(newest, leaving)
+	for t := range folds {
+		f := &folds[t]
+		leaving := p.ghist.Bit(f.histLen) //repro:allow-bce inlined circular-buffer read: (head+i) & mask < len(bits) by NewBuffer's power-of-two sizing
+		f.idx.UpdateBits(newest, leaving)
+		f.tag.UpdateBits(newest, leaving)
+		f.tag2.UpdateBits(newest, leaving)
 	}
 }
 
@@ -418,22 +471,34 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 //repro:hotpath
 func (p *Predictor) allocate(taken bool) {
 	m := p.numTables
-	p.allocScratch = p.allocScratch[:0]
-	for bank := p.hitBank + 1; bank <= m; bank++ {
-		if entryU(p.entries[p.pos[bank]]) == 0 {
-			p.allocScratch = append(p.allocScratch, bank)
+	// Same geometry guard as Predict: with len(pos) == len(tagc) == m+1
+	// established and hitBank ranged, the candidate loops below index
+	// the scratch slices check-free.
+	pos, tagc, entries := p.pos, p.tagc, p.entries
+	if len(pos) != m+1 || len(tagc) != m+1 {
+		panic("tage: prediction scratch out of sync with geometry")
+	}
+	hitBank := p.hitBank
+	if uint(hitBank) >= uint(len(pos)) {
+		panic("tage: stale provider bank")
+	}
+	scratch := p.allocScratch[:0]
+	for bank := hitBank + 1; bank < len(pos); bank++ {
+		if entryU(entries[pos[bank]]) == 0 { //repro:allow-bce pos[bank] is an arena position < len(entries) by construction
+			scratch = append(scratch, bank)
 		}
 	}
-	if len(p.allocScratch) == 0 {
-		for bank := p.hitBank + 1; bank <= m; bank++ {
-			pos := p.pos[bank]
-			e := p.entries[pos]
-			p.entries[pos] = entrySetU(e, counter.DecUnsigned(entryU(e)))
+	p.allocScratch = scratch
+	if len(scratch) == 0 {
+		for bank := hitBank + 1; bank < len(pos); bank++ {
+			pp := pos[bank]
+			e := entries[pp] //repro:allow-bce pos[bank] is an arena position < len(entries) by construction
+			entries[pp] = entrySetU(e, counter.DecUnsigned(entryU(e)))
 		}
 		return
 	}
-	chosen := p.allocScratch[len(p.allocScratch)-1]
-	for _, bank := range p.allocScratch[:len(p.allocScratch)-1] {
+	chosen := scratch[len(scratch)-1]
+	for _, bank := range scratch[:len(scratch)-1] {
 		if p.rng.OneIn(2) {
 			chosen = bank
 			break
@@ -443,7 +508,10 @@ func (p *Predictor) allocate(taken bool) {
 	if !taken {
 		ctr = -1
 	}
-	p.entries[p.pos[chosen]] = packEntry(p.tagc[chosen], ctr, 0)
+	if uint(chosen) >= uint(len(pos)) {
+		panic("tage: allocation candidate out of range")
+	}
+	entries[pos[chosen]] = packEntry(tagc[chosen], ctr, 0) //repro:allow-bce pos[chosen] is an arena position < len(entries) by construction
 }
 
 // UseAltOnNA returns the current USE_ALT_ON_NA counter value (for tests
